@@ -1,0 +1,68 @@
+//! Criterion ablation benches: the paper's mechanism claims as paired
+//! benchmarks (with/without), in real compute time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ogsa_core::container::Testbed;
+use ogsa_core::counter::{CounterApi, TransferCounter, WsrfCounter};
+use ogsa_core::security::SecurityPolicy;
+
+fn bench_resource_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_resource_cache");
+    group.sample_size(30);
+    for (label, enabled) in [("set_with_cache", true), ("set_without_cache", false)] {
+        let tb = Testbed::calibrated();
+        let container = tb.container("host-a", SecurityPolicy::None);
+        let api = WsrfCounter::deploy_with_cache(&container, enabled)
+            .client(tb.client("host-b", "CN=a", SecurityPolicy::None));
+        let counter = api.create().expect("create");
+        let mut i = 0i64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                api.set(&counter, i).expect("set")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tls_session_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tls_session_cache");
+    group.sample_size(30);
+    for (label, enabled) in [("get_with_cache", true), ("get_without_cache", false)] {
+        let tb = Testbed::calibrated();
+        tb.network().set_tls_session_cache(enabled);
+        let container = tb.container("host-a", SecurityPolicy::Https);
+        let api = TransferCounter::deploy(&container)
+            .client(tb.client("host-b", "CN=a", SecurityPolicy::Https));
+        let counter = api.create().expect("create");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                if !enabled {
+                    tb.network().reset_connections();
+                }
+                api.get(&counter).expect("get")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_broker_amplification(c: &mut Criterion) {
+    // Counts are the interesting output; bench the end-to-end cost of the
+    // demand-based interaction to show it is also slower, not just chattier.
+    let mut group = c.benchmark_group("ablation_broker");
+    group.sample_size(10);
+    group.bench_function("demand_based_roundtrip_3_consumers", |b| {
+        b.iter(|| ogsa_core::ablation::broker_amplification(3))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_resource_cache,
+    bench_tls_session_cache,
+    bench_broker_amplification
+);
+criterion_main!(benches);

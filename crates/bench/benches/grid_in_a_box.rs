@@ -1,0 +1,80 @@
+//! Criterion benches for the Grid-in-a-Box flow (the real-compute companion
+//! to Figure 6): the full Figure-5 user flow per iteration, on each stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ogsa_core::container::Testbed;
+use ogsa_core::gridbox::{GridScenario, TransferGrid, WsrfGrid};
+use ogsa_core::security::SecurityPolicy;
+use ogsa_core::sim::SimDuration;
+use std::time::Duration;
+
+const ALICE: &str = "CN=alice,O=UVA-VO";
+const HOSTS: [&str; 2] = ["site-a", "site-b"];
+const APPS: [&str; 1] = ["blast"];
+
+fn full_flow(s: &mut dyn GridScenario) {
+    s.get_available_resource("blast").expect("discover");
+    s.make_reservation().expect("reserve");
+    s.upload_file("input.dat", 8 * 1024).expect("upload");
+    s.instantiate_job(SimDuration::from_millis(100.0)).expect("start");
+    s.finish_job(Duration::from_secs(10)).expect("finish");
+    s.delete_file("input.dat").expect("delete");
+    s.unreserve_resource().expect("unreserve");
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_in_a_box_full_flow");
+    group.sample_size(10);
+
+    {
+        let tb = Testbed::calibrated();
+        let grid = WsrfGrid::deploy(&tb, SecurityPolicy::X509Sign, &HOSTS, &APPS, &[ALICE]);
+        group.bench_function("wsrf", |b| {
+            b.iter(|| {
+                let mut s = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::X509Sign));
+                full_flow(&mut s);
+            })
+        });
+    }
+    {
+        let tb = Testbed::calibrated();
+        let grid = TransferGrid::deploy(&tb, SecurityPolicy::X509Sign, &HOSTS, &APPS, &[ALICE]);
+        group.bench_function("transfer", |b| {
+            b.iter(|| {
+                let mut s = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::X509Sign));
+                full_flow(&mut s);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    // Discovery alone (no state changes), higher sample count.
+    let mut group = c.benchmark_group("grid_in_a_box_discovery");
+    group.sample_size(40);
+    {
+        let tb = Testbed::calibrated();
+        let grid = WsrfGrid::deploy(&tb, SecurityPolicy::X509Sign, &HOSTS, &APPS, &[ALICE]);
+        group.bench_function("wsrf_get_available", |b| {
+            b.iter(|| {
+                let mut s = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::X509Sign));
+                s.get_available_resource("blast").expect("discover");
+            })
+        });
+    }
+    {
+        let tb = Testbed::calibrated();
+        let grid = TransferGrid::deploy(&tb, SecurityPolicy::X509Sign, &HOSTS, &APPS, &[ALICE]);
+        group.bench_function("transfer_get_available", |b| {
+            b.iter(|| {
+                let mut s = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::X509Sign));
+                s.get_available_resource("blast").expect("discover");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches for the "hello world" counter operations (the
+//! real-compute companion to Figures 2-4): each iteration performs genuine
+//! XML serialisation, parsing, dispatch — and, for the signed variants,
+//! canonicalisation + SHA-256 — through the full container pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ogsa_core::container::Testbed;
+use ogsa_core::counter::{CounterApi, TransferCounter, WsrfCounter};
+use ogsa_core::security::SecurityPolicy;
+
+fn make_api(tb: &Testbed, wsrf: bool, policy: SecurityPolicy) -> Box<dyn CounterApi> {
+    let container = tb.container("host-a", policy);
+    let agent = tb.client("host-b", "CN=alice,O=UVA-VO", policy);
+    if wsrf {
+        Box::new(WsrfCounter::deploy(&container).client(agent))
+    } else {
+        Box::new(TransferCounter::deploy(&container).client(agent))
+    }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hello_world");
+    group.sample_size(30);
+    for policy in [SecurityPolicy::None, SecurityPolicy::X509Sign] {
+        for (stack, wsrf) in [("wsrf", true), ("transfer", false)] {
+            let label = format!("{stack}/{}", policy.label().replace(' ', "-"));
+            let tb = Testbed::calibrated();
+            let api = make_api(&tb, wsrf, policy);
+            let counter = api.create().expect("create");
+
+            group.bench_function(BenchmarkId::new("get", &label), |b| {
+                b.iter(|| api.get(&counter).expect("get"))
+            });
+            group.bench_function(BenchmarkId::new("set", &label), |b| {
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    api.set(&counter, i).expect("set")
+                })
+            });
+            group.bench_function(BenchmarkId::new("create_destroy", &label), |b| {
+                b.iter(|| {
+                    let fresh = api.create().expect("create");
+                    api.destroy(&fresh).expect("destroy");
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_notify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hello_world_notify");
+    group.sample_size(20);
+    for (stack, wsrf) in [("wsrf_http", true), ("transfer_tcp", false)] {
+        let tb = Testbed::calibrated();
+        let api = make_api(&tb, wsrf, SecurityPolicy::None);
+        let counter = api.create().expect("create");
+        let waiter = api.subscribe(&counter).expect("subscribe");
+        let mut i = 0i64;
+        group.bench_function(stack, |b| {
+            b.iter(|| {
+                i += 1;
+                api.set(&counter, i).expect("set");
+                waiter
+                    .wait(std::time::Duration::from_secs(10))
+                    .expect("notification");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_notify);
+criterion_main!(benches);

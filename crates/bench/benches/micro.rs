@@ -1,0 +1,120 @@
+//! Micro-benches for the substrate hot paths (per the perf-book guidance:
+//! measure the layers the macro numbers are built from): XML
+//! parse/serialise/canonicalise, SHA-256, XPath, topic matching, envelope
+//! roundtrip, database operations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ogsa_core::security::sha256::sha256;
+use ogsa_core::soap::Envelope;
+use ogsa_core::wsn::{TopicExpression, TopicPath};
+use ogsa_core::xml::{canonicalize, parse, Element, XPath, XPathContext};
+use ogsa_core::xmldb::Database;
+
+fn sample_doc(children: usize) -> Element {
+    let mut e = Element::new("jobs");
+    for i in 0..children {
+        e.add_child(
+            Element::new("job")
+                .with_attr("id", i.to_string())
+                .with_attr("state", if i % 2 == 0 { "done" } else { "running" })
+                .with_child(Element::text_element("owner", format!("user-{}", i % 7)))
+                .with_child(Element::text_element("cpu", (i % 32).to_string())),
+        );
+    }
+    e
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let doc = sample_doc(50);
+    let wire = doc.into_document_string();
+
+    let mut group = c.benchmark_group("xml");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("serialise_50_jobs", |b| b.iter(|| doc.to_xml_string()));
+    group.bench_function("parse_50_jobs", |b| b.iter(|| parse(&wire).unwrap()));
+    group.bench_function("canonicalise_50_jobs", |b| b.iter(|| canonicalize(&doc)));
+    group.finish();
+}
+
+fn bench_xpath(c: &mut Criterion) {
+    let doc = sample_doc(100);
+    let xp = XPath::compile("/jobs/job[@state='done' and cpu > 8]/owner").unwrap();
+    let ctx = XPathContext::new();
+    c.bench_function("xpath/select_filtered_owners", |b| {
+        b.iter(|| xp.select(&doc, &ctx).unwrap())
+    });
+    c.bench_function("xpath/compile", |b| {
+        b.iter(|| XPath::compile("/jobs/job[@state='done' and cpu > 8]/owner").unwrap())
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [256usize, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(&data)));
+    }
+    group.finish();
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let env = Envelope::new(sample_doc(20));
+    let wire = env.to_wire();
+    c.bench_function("soap/envelope_roundtrip", |b| {
+        b.iter(|| Envelope::from_wire(&env.to_wire()).unwrap())
+    });
+    c.bench_function("soap/envelope_parse", |b| {
+        b.iter(|| Envelope::from_wire(&wire).unwrap())
+    });
+}
+
+fn bench_topics(c: &mut Criterion) {
+    let exprs = [
+        TopicExpression::simple("jobs"),
+        TopicExpression::concrete("jobs/status/exited"),
+        TopicExpression::full("jobs/*/exited"),
+        TopicExpression::full("vo//status"),
+    ];
+    let topics: Vec<TopicPath> = (0..50)
+        .map(|i| TopicPath::parse(&format!("jobs/j{i}/exited")).unwrap())
+        .collect();
+    c.bench_function("topics/match_4_exprs_x_50_topics", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for e in &exprs {
+                for t in &topics {
+                    if e.matches(t) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_xmldb(c: &mut Criterion) {
+    let db = Database::in_memory_free();
+    let coll = db.collection("bench");
+    for i in 0..500 {
+        coll.insert(&format!("doc-{i}"), sample_doc(3)).unwrap();
+    }
+    let xp = XPath::compile("/jobs/job[@state='done']").unwrap();
+    let ctx = XPathContext::new();
+    c.bench_function("xmldb/get", |b| b.iter(|| coll.get("doc-250").unwrap()));
+    c.bench_function("xmldb/query_500_docs", |b| {
+        b.iter(|| coll.query(&xp, &ctx).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xml,
+    bench_xpath,
+    bench_sha256,
+    bench_envelope,
+    bench_topics,
+    bench_xmldb
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Mechanism ablations behind the §4.1.3 explanations: each design choice
+//! the paper credits, toggled in isolation.
+
+use ogsa_core::ablation;
+use ogsa_core::report::render_ablation;
+
+fn main() {
+    println!("Mechanism ablations (virtual ms per operation)\n");
+    for a in [
+        ablation::resource_cache(12),
+        ablation::tls_session_cache(12),
+        ablation::notify_transport(12),
+    ] {
+        println!("{}", render_ablation(&a));
+    }
+    println!(
+        "\nEach line isolates one claim: the write-through cache explains the Set gap,\n\
+         session caching explains why Figure 3 ≈ Figure 2, and the TCP push path\n\
+         explains WS-Eventing's Notify advantage."
+    );
+}

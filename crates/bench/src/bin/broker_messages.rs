@@ -1,0 +1,20 @@
+//! Reproduce the §3.1 estimate: "More messages are generated in response to
+//! a demand based publisher scenario then in any other spec, by what we
+//! estimate to be an order of magnitude at a minimum."
+
+use ogsa_core::ablation::broker_amplification;
+use ogsa_core::report::render_broker;
+
+fn main() {
+    println!("Demand-based brokered publishing vs direct subscription");
+    println!("(messages on the wire for registration + subscribe + 1 event + teardown)\n");
+    for consumers in [1, 2, 4, 8] {
+        let b = broker_amplification(consumers);
+        println!("{}", render_broker(&b));
+    }
+    println!(
+        "\nThe demand-based path touches up to six services (publisher, its\n\
+         subscription manager, broker, broker's subscription manager, the\n\
+         registration manager, and each consumer) — the §3.1 complexity claim."
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerate Figure 2: Testing "Hello World" with no security.
+
+use ogsa_bench::{print_hello_figure, print_hello_summary};
+use ogsa_core::security::SecurityPolicy;
+
+fn main() {
+    let rows = print_hello_figure(
+        "Figure 2",
+        "Testing \"Hello World\" with no security (ms per request)",
+        SecurityPolicy::None,
+    );
+    print_hello_summary(&rows);
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 3: Testing "Hello World" over HTTPS.
+
+use ogsa_bench::{print_hello_figure, print_hello_summary};
+use ogsa_core::security::SecurityPolicy;
+
+fn main() {
+    let rows = print_hello_figure(
+        "Figure 3",
+        "Testing \"Hello World\" over HTTPS (ms per request)",
+        SecurityPolicy::Https,
+    );
+    print_hello_summary(&rows);
+    println!("  (socket/session caching keeps HTTPS near the unsecured numbers)");
+}

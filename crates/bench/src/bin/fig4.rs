@@ -1,0 +1,14 @@
+//! Regenerate Figure 4: Testing "Hello World" with X.509 Signing.
+
+use ogsa_bench::{print_hello_figure, print_hello_summary};
+use ogsa_core::security::SecurityPolicy;
+
+fn main() {
+    let rows = print_hello_figure(
+        "Figure 4",
+        "Testing \"Hello World\" with X.509 Signing (ms per request)",
+        SecurityPolicy::X509Sign,
+    );
+    print_hello_summary(&rows);
+    println!("  (security processing dominates; stack differences fade percentage-wise)");
+}

@@ -1,0 +1,48 @@
+//! Regenerate the complete evaluation in one run: Figures 2, 3, 4 and 6,
+//! the broker message counts, and the mechanism ablations — everything
+//! EXPERIMENTS.md reports.
+//!
+//! ```text
+//! cargo run --release -p ogsa-bench --bin report_all
+//! ```
+
+use ogsa_bench::{print_hello_figure, print_hello_summary};
+use ogsa_core::ablation;
+use ogsa_core::grid::{self, GridConfig};
+use ogsa_core::report;
+use ogsa_core::security::SecurityPolicy;
+
+fn main() {
+    println!("ogsa-grid: full evaluation regeneration\n");
+
+    for (figure, caption, policy) in [
+        ("Figure 2", "Testing \"Hello World\" with no security", SecurityPolicy::None),
+        ("Figure 3", "Testing \"Hello World\" over HTTPS", SecurityPolicy::Https),
+        ("Figure 4", "Testing \"Hello World\" with X.509 Signing", SecurityPolicy::X509Sign),
+    ] {
+        let rows = print_hello_figure(figure, caption, policy);
+        print_hello_summary(&rows);
+        println!();
+    }
+
+    let rows = grid::run(GridConfig::default());
+    println!(
+        "{}",
+        report::render_grid("Figure 6: Grid-in-a-Box Performance Comparison (ms)", &rows)
+    );
+
+    println!("§3.1 demand-based broker message amplification");
+    for consumers in [1, 2, 4] {
+        println!("  {}", report::render_broker(&ablation::broker_amplification(consumers)));
+    }
+    println!();
+
+    println!("§4.1.3 mechanism ablations");
+    for a in [
+        ablation::resource_cache(12),
+        ablation::tls_session_cache(12),
+        ablation::notify_transport(12),
+    ] {
+        println!("  {}", report::render_ablation(&a));
+    }
+}

@@ -1,0 +1,50 @@
+//! # ogsa-bench
+//!
+//! Regenerates every quantitative result in the paper:
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `cargo run --release -p ogsa-bench --bin fig2` | Figure 2 (no security) |
+//! | `cargo run --release -p ogsa-bench --bin fig3` | Figure 3 (HTTPS) |
+//! | `cargo run --release -p ogsa-bench --bin fig4` | Figure 4 (X.509 signing) |
+//! | `cargo run --release -p ogsa-bench --bin fig6` | Figure 6 (Grid-in-a-Box) |
+//! | `cargo run --release -p ogsa-bench --bin broker_messages` | §3.1 demand-based message estimate |
+//! | `cargo run --release -p ogsa-bench --bin ablations` | §4.1.3 mechanism claims |
+//!
+//! The Criterion benches (`cargo bench -p ogsa-bench`) measure the *real*
+//! compute cost of this implementation (XML parsing, canonicalisation,
+//! hashing, dispatch) alongside the virtual-time figures.
+
+use ogsa_core::hello::{self, HelloConfig, HelloRow};
+use ogsa_core::report;
+use ogsa_core::security::SecurityPolicy;
+
+/// Shared driver for the three hello-world figures.
+pub fn print_hello_figure(figure: &str, caption: &str, policy: SecurityPolicy) -> Vec<HelloRow> {
+    let rows = hello::run(HelloConfig {
+        policy,
+        iterations: 12,
+    });
+    println!(
+        "{}",
+        report::render_hello(&format!("{figure}: {caption}"), &rows)
+    );
+    rows
+}
+
+/// Print the who-wins summary the paper's text draws from a hello figure.
+pub fn print_hello_summary(rows: &[HelloRow]) {
+    use ogsa_core::comparison::Stack;
+    use ogsa_core::transport::Deployment;
+    let cell = |op, stack, dep| hello::cell(rows, op, stack, dep).unwrap_or(f64::NAN);
+    for dep in Deployment::all() {
+        let set_gap = cell("Set", Stack::Transfer, dep) - cell("Set", Stack::Wsrf, dep);
+        let notify_gap = cell("Notify", Stack::Wsrf, dep) - cell("Notify", Stack::Transfer, dep);
+        println!(
+            "  {}: WSRF.NET faster on Set by {:.1} ms (cache); WS-Eventing faster on Notify by {:.1} ms (TCP)",
+            dep.label(),
+            set_gap,
+            notify_gap
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! The container itself: deploy services, run the dispatch + security
+//! pipeline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ogsa_addressing::{EndpointReference, MessageHeaders};
+use ogsa_security::{sign_envelope, verify_envelope, CertStore, Identity, SecurityPolicy};
+use ogsa_sim::{CostModel, SimDuration, VirtualClock};
+use ogsa_soap::{Envelope, Fault};
+use ogsa_transport::Network;
+use ogsa_xmldb::Database;
+use parking_lot::RwLock;
+
+use crate::lifetime::LifetimeManager;
+use crate::service::{Operation, OperationContext, WebService};
+use crate::ClientAgent;
+
+struct ContainerInner {
+    host: String,
+    policy: SecurityPolicy,
+    network: Network,
+    db: Database,
+    clock: VirtualClock,
+    model: Arc<CostModel>,
+    identity: Identity,
+    cert_store: CertStore,
+    lifetime: LifetimeManager,
+    services: RwLock<HashMap<String, Arc<dyn WebService>>>,
+    msg_seq: AtomicU64,
+}
+
+/// One application-hosting environment on one host (ASP.NET + our
+/// extensions, in the paper's terms). Deploy services into it with
+/// [`Container::deploy`].
+#[derive(Clone)]
+pub struct Container {
+    inner: Arc<ContainerInner>,
+}
+
+impl Container {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        host: String,
+        policy: SecurityPolicy,
+        network: Network,
+        db: Database,
+        clock: VirtualClock,
+        model: Arc<CostModel>,
+        identity: Identity,
+        cert_store: CertStore,
+    ) -> Self {
+        Container {
+            inner: Arc::new(ContainerInner {
+                host,
+                policy,
+                network,
+                db,
+                clock,
+                model,
+                identity,
+                cert_store,
+                lifetime: LifetimeManager::new(),
+                services: RwLock::new(HashMap::new()),
+                msg_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The host this container runs on.
+    pub fn host(&self) -> &str {
+        &self.inner.host
+    }
+
+    pub fn policy(&self) -> SecurityPolicy {
+        self.inner.policy
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.inner.db
+    }
+
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+
+    pub fn model(&self) -> &CostModel {
+        &self.inner.model
+    }
+
+    pub fn lifetime(&self) -> &LifetimeManager {
+        &self.inner.lifetime
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.inner.network
+    }
+
+    /// The scheme requests to this container use, derived from policy.
+    pub fn scheme(&self) -> &'static str {
+        if self.inner.policy.uses_tls() {
+            "https"
+        } else {
+            "http"
+        }
+    }
+
+    /// Address of a service deployed at `path`.
+    pub fn address_of(&self, path: &str) -> String {
+        format!("{}://{}{}", self.scheme(), self.inner.host, path)
+    }
+
+    /// An outcall agent carrying this container's (service) identity.
+    pub fn service_agent(&self) -> ClientAgent {
+        ClientAgent::new(
+            self.inner.network.port(&self.inner.host),
+            self.inner.identity.clone(),
+            self.inner.cert_store.clone(),
+            self.inner.policy,
+            self.inner.clock.clone(),
+            self.inner.model.clone(),
+        )
+    }
+
+    /// The operation context services deployed here receive.
+    pub fn context_for(&self, path: &str) -> OperationContext {
+        OperationContext {
+            host: self.inner.host.clone(),
+            db: self.inner.db.clone(),
+            clock: self.inner.clock.clone(),
+            model: self.inner.model.clone(),
+            lifetime: self.inner.lifetime.clone(),
+            agent: self.service_agent(),
+            own_address: self.address_of(path),
+        }
+    }
+
+    /// Deploy `service` at `path` (e.g. `/services/CounterService`); returns
+    /// the service EPR.
+    pub fn deploy(&self, path: &str, service: Arc<dyn WebService>) -> EndpointReference {
+        let address = self.address_of(path);
+        self.inner
+            .services
+            .write()
+            .insert(path.to_owned(), service.clone());
+
+        let this = self.clone();
+        let ctx = self.context_for(path);
+        let handler: ogsa_transport::net::Handler = Arc::new(move |req: Envelope| {
+            this.pipeline(&ctx, &service, req)
+        });
+        self.inner.network.bind(&address, handler);
+        EndpointReference::service(address)
+    }
+
+    /// Remove a deployed service.
+    pub fn undeploy(&self, path: &str) {
+        let address = self.address_of(path);
+        self.inner.network.unbind(&address);
+        self.inner.services.write().remove(path);
+    }
+
+    /// The full request pipeline of Figure 1.
+    fn pipeline(
+        &self,
+        ctx: &OperationContext,
+        service: &Arc<dyn WebService>,
+        req: Envelope,
+    ) -> Envelope {
+        let inner = &self.inner;
+
+        // Dispatch cost + lifetime sweep (scheduled terminations fire as
+        // requests arrive — the container's background activity).
+        inner
+            .clock
+            .advance(SimDuration::from_micros(inner.model.dispatch_us));
+        inner.lifetime.sweep_now(&inner.clock);
+
+        let result = self.run_service(ctx, service, &req);
+
+        // Build the response, passing back through the security handler.
+        let (body, request_headers) = match result {
+            Ok((body, headers)) => (body, Some(headers)),
+            Err(fault) => (fault.to_element(), None),
+        };
+        let msg_id = format!(
+            "uuid:{}-{}",
+            inner.host,
+            inner.msg_seq.fetch_add(1, Ordering::Relaxed)
+        );
+        let mut resp = match &request_headers {
+            Some(h) => MessageHeaders::response(h, msg_id).apply(Envelope::new(body)),
+            None => Envelope::new(body),
+        };
+        if inner.policy.signs_messages() {
+            sign_envelope(&mut resp, &inner.identity, &inner.clock, &inner.model);
+        }
+        resp
+    }
+
+    fn run_service(
+        &self,
+        ctx: &OperationContext,
+        service: &Arc<dyn WebService>,
+        req: &Envelope,
+    ) -> Result<(ogsa_xml::Element, MessageHeaders), Fault> {
+        let inner = &self.inner;
+
+        let headers = MessageHeaders::extract(req)
+            .map_err(|e| Fault::client(format!("bad addressing headers: {e}")))?;
+
+        // Security/policy handler: authenticate the client.
+        let signer_dn = if inner.policy.signs_messages() {
+            let signer = verify_envelope(req, &inner.cert_store, &inner.clock, &inner.model)
+                .map_err(|e| Fault::client(format!("security check failed: {e}")))?;
+            Some(signer.dn().to_owned())
+        } else {
+            None
+        };
+
+        let op = Operation {
+            action: headers.action.clone(),
+            body: req.body.clone(),
+            headers: headers.clone(),
+            signer_dn,
+        };
+        let body = service.handle(&op, ctx)?;
+        Ok((body, headers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::InvokeError;
+    use crate::testbed::Testbed;
+    use ogsa_xml::Element;
+
+    fn echo_service() -> Arc<dyn WebService> {
+        Arc::new(
+            |op: &Operation, _ctx: &OperationContext| -> Result<Element, Fault> {
+                if op.action_name() == "Boom" {
+                    return Err(Fault::server("boom requested"));
+                }
+                Ok(Element::new("EchoResponse")
+                    .with_attr("action", op.action_name())
+                    .with_text(op.body.text()))
+            },
+        )
+    }
+
+    #[test]
+    fn deploy_and_invoke() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let epr = c.deploy("/services/Echo", echo_service());
+        let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+        let resp = client
+            .invoke(&epr, "urn:test/Ping", Element::text_element("In", "hello"))
+            .unwrap();
+        assert_eq!(resp.attr_local("action"), Some("Ping"));
+        assert_eq!(resp.text(), "hello");
+    }
+
+    #[test]
+    fn faults_surface_to_clients() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let epr = c.deploy("/services/Echo", echo_service());
+        let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+        let err = client
+            .invoke(&epr, "urn:test/Boom", Element::new("In"))
+            .unwrap_err();
+        match err {
+            InvokeError::Fault(f) => assert_eq!(f.reason, "boom requested"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x509_policy_authenticates_the_client() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::X509Sign);
+        let seen = Arc::new(parking_lot::Mutex::new(None::<String>));
+        let seen2 = seen.clone();
+        let svc = Arc::new(
+            move |op: &Operation, _ctx: &OperationContext| -> Result<Element, Fault> {
+                *seen2.lock() = op.signer_dn.clone();
+                Ok(Element::new("Ok"))
+            },
+        );
+        let epr = c.deploy("/services/Who", svc);
+        let client = tb.client("host-b", "CN=alice,O=VO", SecurityPolicy::X509Sign);
+        client.invoke(&epr, "urn:whoami", Element::new("Q")).unwrap();
+        assert_eq!(seen.lock().as_deref(), Some("CN=alice,O=VO"));
+    }
+
+    #[test]
+    fn unsigned_request_rejected_under_x509_policy() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::X509Sign);
+        let epr = c.deploy("/services/Echo", echo_service());
+        // A client that does not sign.
+        let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+        let err = client
+            .invoke(&epr, "urn:test/Ping", Element::new("In"))
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::Fault(f) if f.reason.contains("security")));
+    }
+
+    #[test]
+    fn https_container_uses_https_addresses() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::Https);
+        let epr = c.deploy("/services/Echo", echo_service());
+        assert!(epr.address.starts_with("https://host-a/"));
+        let client = tb.client("host-b", "CN=alice", SecurityPolicy::Https);
+        client
+            .invoke(&epr, "urn:test/Ping", Element::new("In"))
+            .unwrap();
+    }
+
+    #[test]
+    fn undeploy_makes_endpoint_vanish() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let epr = c.deploy("/services/Echo", echo_service());
+        c.undeploy("/services/Echo");
+        let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+        assert!(matches!(
+            client.invoke(&epr, "urn:x", Element::new("In")),
+            Err(InvokeError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn resource_id_flows_through_the_pipeline() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let svc = Arc::new(
+            |op: &Operation, _ctx: &OperationContext| -> Result<Element, Fault> {
+                Ok(Element::text_element(
+                    "Rid",
+                    op.resource_id().unwrap_or("-").to_owned(),
+                ))
+            },
+        );
+        let service_epr = c.deploy("/services/R", svc);
+        let resource_epr =
+            EndpointReference::resource(service_epr.address.clone(), "res-99");
+        let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+        let resp = client.invoke(&resource_epr, "urn:get", Element::new("G")).unwrap();
+        assert_eq!(resp.text(), "res-99");
+    }
+
+    #[test]
+    fn lifetime_sweep_runs_on_dispatch() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let epr = c.deploy("/services/Echo", echo_service());
+        let destroyed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let d2 = destroyed.clone();
+        c.lifetime().register(
+            "r",
+            Some(tb.clock().now()),
+            Arc::new(move |_| {
+                d2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }),
+        );
+        tb.clock().advance(ogsa_sim::SimDuration::from_micros(1));
+        let client = tb.client("host-b", "CN=a", SecurityPolicy::None);
+        client.invoke(&epr, "urn:test/Ping", Element::new("In")).unwrap();
+        assert_eq!(destroyed.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

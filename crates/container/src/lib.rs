@@ -1,0 +1,37 @@
+//! # ogsa-container
+//!
+//! The resource-aware container of the paper's Figure 1, shared — exactly as
+//! in the paper — by both software stacks:
+//!
+//! ```text
+//!   Client ──request──▶ Dispatch ─▶ Security/Policy Handler ─▶ user code
+//!                          │                │                     │
+//!                          ▼                ▼                     ▼
+//!                   Lifetime Mgmt     (verify/sign)            Storage
+//!                          ▲
+//!                 Notification/Eventing producer/consumer (independent)
+//! ```
+//!
+//! A request enters the container, the dispatch mechanism routes it to the
+//! correct service, the security/policy handler authenticates the client and
+//! verifies signatures (WSE's role in the paper), the service code runs with
+//! its state loaded from storage, the response passes back through the
+//! security handler to be signed, and the lifetime-management component
+//! tracks resources with scheduled termination times.
+//!
+//! [`Testbed`] stands in for the paper's pair of identically-configured
+//! machines: it owns the virtual clock, cost model, simulated network, and
+//! certificate authority, and stamps out [`Container`]s (one per host) and
+//! [`ClientAgent`]s.
+
+pub mod client;
+pub mod host;
+pub mod lifetime;
+pub mod service;
+pub mod testbed;
+
+pub use client::{ClientAgent, InvokeError};
+pub use host::Container;
+pub use lifetime::LifetimeManager;
+pub use service::{Operation, OperationContext, WebService};
+pub use testbed::Testbed;

@@ -1,0 +1,192 @@
+//! The container's lifetime-management component (Figure 1).
+//!
+//! WSRF's WS-ResourceLifetime gives resources a termination time; when it
+//! passes, the container destroys the resource via a registered destructor.
+//! WS-Transfer defines no lifetime management — the paper's WS-Transfer
+//! container simply never registers anything here, and its Grid-in-a-Box
+//! reservations must be cleaned up manually (the source of Figure 6's
+//! "Unreserve Resource" asymmetry).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ogsa_sim::{SimInstant, VirtualClock};
+use parking_lot::Mutex;
+
+/// Destructor invoked when a resource's scheduled termination passes.
+pub type Destructor = Arc<dyn Fn(&str) + Send + Sync>;
+
+#[derive(Clone)]
+struct Entry {
+    termination: Option<SimInstant>,
+    destructor: Destructor,
+}
+
+/// Tracks scheduled termination times for resources, keyed by
+/// `(service path, resource id)` flattened to a single string key by the
+/// caller.
+#[derive(Clone, Default)]
+pub struct LifetimeManager {
+    entries: Arc<Mutex<HashMap<String, Entry>>>,
+}
+
+impl LifetimeManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a resource. `termination == None` means "never terminate"
+    /// (the paper's Grid-in-a-Box sets claimed reservations to infinity).
+    pub fn register(&self, key: &str, termination: Option<SimInstant>, destructor: Destructor) {
+        self.entries.lock().insert(
+            key.to_owned(),
+            Entry {
+                termination,
+                destructor,
+            },
+        );
+    }
+
+    /// Change a resource's scheduled termination time; true if the resource
+    /// is known.
+    pub fn set_termination(&self, key: &str, termination: Option<SimInstant>) -> bool {
+        match self.entries.lock().get_mut(key) {
+            Some(e) => {
+                e.termination = termination;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current termination time for a resource.
+    pub fn termination(&self, key: &str) -> Option<Option<SimInstant>> {
+        self.entries.lock().get(key).map(|e| e.termination)
+    }
+
+    /// Drop a resource from tracking without destroying it (explicit
+    /// Destroy already cleaned up).
+    pub fn deregister(&self, key: &str) -> bool {
+        self.entries.lock().remove(key).is_some()
+    }
+
+    /// Destroy everything whose termination time has passed. Returns the
+    /// keys destroyed. Runs destructors outside the lock.
+    pub fn sweep(&self, now: SimInstant) -> Vec<String> {
+        let expired: Vec<(String, Destructor)> = {
+            let mut entries = self.entries.lock();
+            let keys: Vec<String> = entries
+                .iter()
+                .filter(|(_, e)| matches!(e.termination, Some(t) if t <= now))
+                .map(|(k, _)| k.clone())
+                .collect();
+            keys.into_iter()
+                .filter_map(|k| entries.remove(&k).map(|e| (k, e.destructor)))
+                .collect()
+        };
+        let mut destroyed = Vec::with_capacity(expired.len());
+        for (key, destructor) in expired {
+            destructor(&key);
+            destroyed.push(key);
+        }
+        destroyed.sort();
+        destroyed
+    }
+
+    /// Convenience: sweep at the clock's current time.
+    pub fn sweep_now(&self, clock: &VirtualClock) -> Vec<String> {
+        self.sweep(clock.now())
+    }
+
+    /// Number of tracked resources.
+    pub fn tracked(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ogsa_sim::SimDuration;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counter_destructor(count: &Arc<AtomicUsize>) -> Destructor {
+        let count = count.clone();
+        Arc::new(move |_k| {
+            count.fetch_add(1, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn sweep_destroys_only_expired() {
+        let lm = LifetimeManager::new();
+        let destroyed = Arc::new(AtomicUsize::new(0));
+        lm.register("a", Some(SimInstant(100)), counter_destructor(&destroyed));
+        lm.register("b", Some(SimInstant(200)), counter_destructor(&destroyed));
+        lm.register("c", None, counter_destructor(&destroyed));
+
+        let swept = lm.sweep(SimInstant(150));
+        assert_eq!(swept, ["a"]);
+        assert_eq!(destroyed.load(Ordering::SeqCst), 1);
+        assert_eq!(lm.tracked(), 2);
+
+        let swept = lm.sweep(SimInstant(1_000_000));
+        assert_eq!(swept, ["b"]);
+        // `c` (never terminate) survives any sweep.
+        assert_eq!(lm.tracked(), 1);
+    }
+
+    #[test]
+    fn set_termination_extends_lifetime() {
+        // The Grid-in-a-Box "claim" interaction: the ExecService lengthens
+        // the reservation's lifetime when a job starts.
+        let lm = LifetimeManager::new();
+        let destroyed = Arc::new(AtomicUsize::new(0));
+        lm.register("rsv", Some(SimInstant(100)), counter_destructor(&destroyed));
+        assert!(lm.set_termination("rsv", None)); // claim → infinity
+        assert!(lm.sweep(SimInstant(10_000)).is_empty());
+        assert_eq!(destroyed.load(Ordering::SeqCst), 0);
+        assert_eq!(lm.termination("rsv"), Some(None));
+    }
+
+    #[test]
+    fn set_termination_unknown_key_is_false() {
+        assert!(!LifetimeManager::new().set_termination("ghost", None));
+    }
+
+    #[test]
+    fn deregister_prevents_destruction() {
+        let lm = LifetimeManager::new();
+        let destroyed = Arc::new(AtomicUsize::new(0));
+        lm.register("a", Some(SimInstant(5)), counter_destructor(&destroyed));
+        assert!(lm.deregister("a"));
+        assert!(!lm.deregister("a"));
+        lm.sweep(SimInstant(10));
+        assert_eq!(destroyed.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn sweep_now_uses_the_clock() {
+        let lm = LifetimeManager::new();
+        let clock = VirtualClock::new();
+        let destroyed = Arc::new(AtomicUsize::new(0));
+        lm.register("a", Some(SimInstant(50)), counter_destructor(&destroyed));
+        assert!(lm.sweep_now(&clock).is_empty());
+        clock.advance(SimDuration::from_micros(60));
+        assert_eq!(lm.sweep_now(&clock), ["a"]);
+    }
+
+    #[test]
+    fn destructor_receives_the_key() {
+        let lm = LifetimeManager::new();
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let seen2 = seen.clone();
+        lm.register(
+            "svc/r-1",
+            Some(SimInstant(1)),
+            Arc::new(move |k| seen2.lock().push(k.to_owned())),
+        );
+        lm.sweep(SimInstant(2));
+        assert_eq!(&*seen.lock(), &["svc/r-1"]);
+    }
+}

@@ -1,0 +1,156 @@
+//! The testbed: everything the paper's two identically-configured machines
+//! provided, in one factory object.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ogsa_security::{CertAuthority, CertStore, SecurityPolicy};
+use ogsa_sim::{CostModel, DetRng, VirtualClock};
+use ogsa_transport::Network;
+use ogsa_xmldb::{BackendKind, Database};
+use parking_lot::Mutex;
+
+use crate::client::ClientAgent;
+use crate::host::Container;
+
+/// Owns the virtual clock, cost model, network, PKI, and per-host databases;
+/// stamps out containers and client agents wired to all of them.
+#[derive(Clone)]
+pub struct Testbed {
+    clock: VirtualClock,
+    model: Arc<CostModel>,
+    network: Network,
+    cert_store: CertStore,
+    ca: CertAuthority,
+    rng: DetRng,
+    backend: BackendKind,
+    dbs: Arc<Mutex<HashMap<String, Database>>>,
+}
+
+impl Testbed {
+    /// A testbed with the given cost model and storage backend.
+    pub fn new(model: CostModel, backend: BackendKind) -> Self {
+        let clock = VirtualClock::new();
+        let model = Arc::new(model);
+        let network = Network::new(clock.clone(), model.clone());
+        let cert_store = CertStore::new();
+        let ca = cert_store.authority("CN=UVA-Grid-CA,O=University of Virginia");
+        Testbed {
+            clock,
+            model,
+            network,
+            cert_store,
+            ca,
+            rng: DetRng::default(),
+            backend,
+            dbs: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The configuration all figures are regenerated under: calibrated 2005
+    /// costs, Xindice-like disk storage.
+    pub fn calibrated() -> Self {
+        Testbed::new(CostModel::calibrated_2005(), BackendKind::SimDisk)
+    }
+
+    /// Zero-cost, in-memory testbed for functional tests.
+    pub fn free() -> Self {
+        Testbed::new(CostModel::free(), BackendKind::Memory)
+    }
+
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    pub fn cert_store(&self) -> &CertStore {
+        &self.cert_store
+    }
+
+    pub fn ca(&self) -> &CertAuthority {
+        &self.ca
+    }
+
+    pub fn rng(&self) -> &DetRng {
+        &self.rng
+    }
+
+    /// The database on `host` (one Xindice instance per machine; containers
+    /// on the same host share it).
+    pub fn db(&self, host: &str) -> Database {
+        self.dbs
+            .lock()
+            .entry(host.to_owned())
+            .or_insert_with(|| {
+                Database::new(self.clock.clone(), self.model.clone(), self.backend.clone())
+            })
+            .clone()
+    }
+
+    /// A container on `host` under `policy`, with its own service identity.
+    pub fn container(&self, host: &str, policy: SecurityPolicy) -> Container {
+        let identity = self.ca.issue(&format!("CN=container,O=VO,OU={host}"));
+        Container::new(
+            host.to_owned(),
+            policy,
+            self.network.clone(),
+            self.db(host),
+            self.clock.clone(),
+            self.model.clone(),
+            identity,
+            self.cert_store.clone(),
+        )
+    }
+
+    /// A client agent on `host` with a freshly-issued identity for `dn`.
+    pub fn client(&self, host: &str, dn: &str, policy: SecurityPolicy) -> ClientAgent {
+        let identity = self.ca.issue(dn);
+        ClientAgent::new(
+            self.network.port(host),
+            identity,
+            self.cert_store.clone(),
+            policy,
+            self.clock.clone(),
+            self.model.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_host_shares_a_database() {
+        let tb = Testbed::free();
+        tb.db("host-a")
+            .collection("c")
+            .insert("k", ogsa_xml::Element::new("d"))
+            .unwrap();
+        assert!(tb.db("host-a").collection("c").get("k").is_some());
+        assert!(tb.db("host-b").collection("c").get("k").is_none());
+    }
+
+    #[test]
+    fn containers_share_clock_and_network() {
+        let tb = Testbed::free();
+        let a = tb.container("host-a", SecurityPolicy::None);
+        let b = tb.container("host-b", SecurityPolicy::None);
+        tb.clock().advance(ogsa_sim::SimDuration::from_micros(5));
+        assert_eq!(a.clock().now(), b.clock().now());
+    }
+
+    #[test]
+    fn client_identities_carry_the_requested_dn() {
+        let tb = Testbed::free();
+        let c = tb.client("host-b", "CN=bob,O=VO", SecurityPolicy::None);
+        assert_eq!(c.dn(), "CN=bob,O=VO");
+    }
+}

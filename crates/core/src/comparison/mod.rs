@@ -1,0 +1,28 @@
+//! The comparison harness: scenario runners producing the paper's figures.
+
+pub mod ablation;
+pub mod grid;
+pub mod hello;
+
+/// Which software stack a measurement belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stack {
+    /// WSRF + WS-Notification (the paper's WSRF.NET).
+    Wsrf,
+    /// WS-Transfer + WS-Eventing.
+    Transfer,
+}
+
+impl Stack {
+    /// Label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stack::Wsrf => "WSRF.NET",
+            Stack::Transfer => "WS-Transfer / WS-Eventing",
+        }
+    }
+
+    pub fn all() -> [Stack; 2] {
+        [Stack::Transfer, Stack::Wsrf]
+    }
+}

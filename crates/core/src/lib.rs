@@ -1,0 +1,42 @@
+//! # ogsa-core
+//!
+//! The facade over the whole reproduction, plus the comparison harness that
+//! regenerates every quantitative result in *"Alternative Software Stacks
+//! for OGSA-based Grids"* (SC 2005):
+//!
+//! * [`comparison::hello`] — the "hello world" counter evaluation
+//!   (Figures 2, 3, 4): five operations × two stacks × two deployments,
+//!   under each of the three security policies.
+//! * [`comparison::grid`] — the Grid-in-a-Box evaluation (Figure 6): six
+//!   operations × two stacks on a full VO deployment.
+//! * [`comparison::ablation`] — the mechanism experiments behind the
+//!   paper's explanations: write-through cache, TLS session cache, TCP vs
+//!   HTTP notification delivery, and demand-based broker message
+//!   amplification.
+//! * [`report`] — fixed-width tables shaped like the paper's figures, plus
+//!   machine-checkable "shape" assertions (who wins, by what factor).
+//!
+//! Everything else re-exports the substrate and application crates so a
+//! downstream user needs only this crate (or the `ogsa-grid` umbrella).
+
+pub mod comparison;
+pub mod report;
+
+pub use ogsa_addressing as addressing;
+pub use ogsa_container as container;
+pub use ogsa_counter as counter;
+pub use ogsa_eventing as eventing;
+pub use ogsa_gridbox as gridbox;
+pub use ogsa_security as security;
+pub use ogsa_sim as sim;
+pub use ogsa_soap as soap;
+pub use ogsa_transfer as transfer;
+pub use ogsa_transport as transport;
+pub use ogsa_wsn as wsn;
+pub use ogsa_wsrf as wsrf;
+pub use ogsa_xml as xml;
+pub use ogsa_xmldb as xmldb;
+
+pub use comparison::ablation;
+pub use comparison::grid;
+pub use comparison::hello;

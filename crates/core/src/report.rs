@@ -1,0 +1,147 @@
+//! Paper-shaped report tables.
+//!
+//! Each renderer prints the same rows/series the corresponding figure in
+//! the paper reports, as fixed-width text suitable for a terminal or for
+//! pasting into EXPERIMENTS.md.
+
+use std::fmt::Write;
+
+use ogsa_transport::Deployment;
+
+use crate::comparison::ablation::{Ablation, BrokerAmplification};
+use crate::comparison::grid::{self, GridRow};
+use crate::comparison::hello::{self, HelloRow};
+use crate::comparison::Stack;
+
+/// Render a Figures-2/3/4 style table: operations × the four series.
+pub fn render_hello(title: &str, rows: &[HelloRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "op (ms)", "co/WS-T+WSE", "co/WSRF.NET", "dist/WS-T+WSE", "dist/WSRF.NET"
+    );
+    for op in hello::OPERATIONS {
+        let cell = |stack, dep| {
+            hello::cell(rows, op, stack, dep)
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>14} {:>14} {:>14}",
+            op,
+            cell(Stack::Transfer, Deployment::Colocated),
+            cell(Stack::Wsrf, Deployment::Colocated),
+            cell(Stack::Transfer, Deployment::Distributed),
+            cell(Stack::Wsrf, Deployment::Distributed),
+        );
+    }
+    out
+}
+
+/// Render the Figure-6 style table.
+pub fn render_grid(title: &str, rows: &[GridRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "{:<24} {:>16} {:>12}",
+        "operation (ms)", "WS-T / WSE", "WSRF.NET"
+    );
+    for op in grid::OPERATIONS {
+        let cell = |stack| {
+            grid::cell(rows, op, stack)
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>16} {:>12}",
+            op,
+            cell(Stack::Transfer),
+            cell(Stack::Wsrf),
+        );
+    }
+    out
+}
+
+/// Render an ablation line.
+pub fn render_ablation(a: &Ablation) -> String {
+    format!(
+        "{:<55} with: {:>8.2} ms   without: {:>8.2} ms   speedup: {:.2}x",
+        a.name,
+        a.with_ms,
+        a.without_ms,
+        a.speedup()
+    )
+}
+
+/// Render the broker message-amplification result.
+pub fn render_broker(b: &BrokerAmplification) -> String {
+    format!(
+        "demand-based broker, {} consumer(s): direct={} messages, brokered={} messages ({:.1}x)",
+        b.consumers,
+        b.direct_messages,
+        b.brokered_messages,
+        b.factor()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_table_contains_every_operation() {
+        let rows = vec![HelloRow {
+            operation: "Get",
+            stack: Stack::Wsrf,
+            deployment: Deployment::Colocated,
+            ms: 9.5,
+        }];
+        let table = render_hello("Figure 2", &rows);
+        for op in hello::OPERATIONS {
+            assert!(table.contains(op), "missing {op}");
+        }
+        assert!(table.contains("9.5"));
+        assert!(table.contains("Figure 2"));
+    }
+
+    #[test]
+    fn grid_table_contains_every_operation() {
+        let rows = vec![GridRow {
+            operation: "Instantiate Job",
+            stack: Stack::Transfer,
+            ms: 640.0,
+        }];
+        let table = render_grid("Figure 6", &rows);
+        for op in grid::OPERATIONS {
+            assert!(table.contains(op), "missing {op}");
+        }
+        assert!(table.contains("640"));
+    }
+
+    #[test]
+    fn ablation_line_shows_speedup() {
+        let line = render_ablation(&Ablation {
+            name: "cache",
+            with_ms: 5.0,
+            without_ms: 10.0,
+        });
+        assert!(line.contains("2.00x"));
+    }
+
+    #[test]
+    fn broker_line_shows_factor() {
+        let line = render_broker(&BrokerAmplification {
+            consumers: 2,
+            direct_messages: 10,
+            brokered_messages: 60,
+        });
+        assert!(line.contains("6.0x"));
+    }
+}

@@ -1,0 +1,39 @@
+//! The uniform counter surface both stacks implement — the five operations
+//! Figures 2-4 measure.
+
+use std::time::Duration;
+
+use ogsa_addressing::EndpointReference;
+use ogsa_container::InvokeError;
+
+/// Blocks until the subscribed notification arrives (delivery is genuinely
+/// asynchronous). Returns the new counter value carried by the
+/// notification.
+pub trait NotificationWaiter: Send {
+    fn wait(&self, timeout: Duration) -> Option<i64>;
+}
+
+/// The five measured operations, stack-agnostic.
+pub trait CounterApi: Send + Sync {
+    /// Stack label for reports ("WSRF.NET" / "WS-Transfer / WS-Eventing").
+    fn stack_name(&self) -> &'static str;
+
+    /// Create a new counter (initial value 0); returns its EPR.
+    fn create(&self) -> Result<EndpointReference, InvokeError>;
+
+    /// Read the current value.
+    fn get(&self, counter: &EndpointReference) -> Result<i64, InvokeError>;
+
+    /// Set the value.
+    fn set(&self, counter: &EndpointReference, value: i64) -> Result<(), InvokeError>;
+
+    /// Destroy the counter resource.
+    fn destroy(&self, counter: &EndpointReference) -> Result<(), InvokeError>;
+
+    /// Subscribe to `CounterValueChanged` for this specific counter;
+    /// subsequent `set`s are announced through the returned waiter.
+    fn subscribe(
+        &self,
+        counter: &EndpointReference,
+    ) -> Result<Box<dyn NotificationWaiter>, InvokeError>;
+}

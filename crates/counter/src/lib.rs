@@ -1,0 +1,27 @@
+//! # ogsa-counter
+//!
+//! The paper's "hello world": a counter service that keeps an integer and
+//! optionally delivers an asynchronous notification when the value changes
+//! (§4.1) — "the simplest case of when a client might want to instantiate
+//! an object on the server". Built twice:
+//!
+//! * [`wsrf_counter`] — WSRF/WS-Notification: the resource is a single data
+//!   member `cv`; the author writes one WebMethod (`create`, via
+//!   `ServiceBase.Create()`) and inherits get/set/destroy from the imported
+//!   port types; value changes raise the `counter/valueChanged` topic
+//!   through WS-Notification (delivered over HTTP).
+//! * [`transfer_counter`] — WS-Transfer/WS-Eventing: the counter document
+//!   maps onto Create/Get/Put/Delete; subscriptions are per-service with a
+//!   per-counter XPath filter; events push over raw TCP.
+//!
+//! [`api::CounterApi`] is the uniform five-operation surface (Get, Set,
+//! Create, Destroy, Notify) the comparison harness measures for
+//! Figures 2-4.
+
+pub mod api;
+pub mod transfer_counter;
+pub mod wsrf_counter;
+
+pub use api::{CounterApi, NotificationWaiter};
+pub use transfer_counter::{TransferCounter, TransferCounterClient};
+pub use wsrf_counter::{WsrfCounter, WsrfCounterClient};

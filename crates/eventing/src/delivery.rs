@@ -1,0 +1,54 @@
+//! Delivery modes — WS-Eventing's extension point.
+//!
+//! "These modes are viewed as an extension point by WS-Eventing in which
+//! application-specific ways of sending messages can be defined. Only a
+//! single delivery mode, 'push', is defined by the specification" (§2.2).
+
+use ogsa_container::ClientAgent;
+use ogsa_xml::Element;
+
+use crate::store::EventSubscription;
+
+/// The spec-defined push mode URI.
+pub const PUSH_MODE: &str = "http://schemas.xmlsoap.org/ws/2004/08/eventing/DeliveryModes/Push";
+
+/// Action stamped on pushed event messages (application-level; WS-Eventing
+/// does not define one).
+pub const EVENT_ACTION: &str = "http://virginia.edu/ogsa/eventing/Event";
+
+/// An application-pluggable way of getting an event to a subscriber.
+pub trait DeliveryMode: Send + Sync + 'static {
+    /// The mode URI clients request in `wse:Delivery/@Mode`.
+    fn uri(&self) -> &str;
+    /// Deliver one event body to one subscriber.
+    fn deliver(&self, agent: &ClientAgent, sub: &EventSubscription, event: Element);
+}
+
+/// Push: a one-way SOAP message straight at `NotifyTo`. Plumbwork Orange
+/// "uses a WSE SoapReceiver to handle notifications via TCP" — the
+/// `NotifyTo` EPRs this stack hands out are `tcp://` addresses, so pushes
+/// ride the cheap raw-TCP binding (the Figure 2 Notify advantage).
+pub struct PushDelivery;
+
+impl DeliveryMode for PushDelivery {
+    fn uri(&self) -> &str {
+        PUSH_MODE
+    }
+
+    fn deliver(&self, agent: &ClientAgent, sub: &EventSubscription, event: Element) {
+        // WS-Eventing notifications are plain application messages; the
+        // action URI is the application's own (here a generic event action).
+        agent.send_oneway(&sub.notify_to, EVENT_ACTION, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_uri_is_the_spec_constant() {
+        assert_eq!(PushDelivery.uri(), PUSH_MODE);
+        assert!(PUSH_MODE.contains("DeliveryModes/Push"));
+    }
+}

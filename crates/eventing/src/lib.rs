@@ -1,0 +1,32 @@
+//! # ogsa-eventing
+//!
+//! WS-Eventing, as the paper used it: not a from-scratch design but a
+//! faithful analogue of the **Plumbwork Orange** implementation (§3.2):
+//!
+//! * an **Event Source Service** accepting `Subscribe` with an optional
+//!   XPath filter ("a filter can be used for registering a subscription per
+//!   resource" — unlike WSN, subscriptions attach to the *service*);
+//! * a **Subscription Manager Service** with `Renew`, `GetStatus` and
+//!   `Unsubscribe`, which "maintains the subscription lists in a flat XML
+//!   file" — reproduced by [`store::FlatXmlStore`], including the file I/O
+//!   cost on every access;
+//! * a **Notification Manager**, "not defined in the spec ... a convenient
+//!   tool for an event source to trigger notifications";
+//! * **push** delivery over raw TCP (WSE `SoapReceiver`) — the transport
+//!   that makes WS-Eventing's Notify faster than WS-Notification's HTTP
+//!   path in Figures 2-4. Delivery modes are an extension point
+//!   ([`delivery::DeliveryMode`]), with push the only spec-defined mode.
+
+pub mod consumer;
+pub mod delivery;
+pub mod manager;
+pub mod messages;
+pub mod source;
+pub mod store;
+
+pub use consumer::EventConsumer;
+pub use delivery::{DeliveryMode, PushDelivery, PUSH_MODE};
+pub use manager::EventingSubscriptionManager;
+pub use messages::{actions, SubscribeRequest, SubscriptionStatus};
+pub use source::{EventSourceService, NotificationManager};
+pub use store::{EventSubscription, FlatXmlStore};

@@ -1,0 +1,67 @@
+//! The WS-Eventing Subscription Manager Service: `Renew`, `GetStatus`,
+//! `Unsubscribe` against the flat-XML subscription store.
+
+use ogsa_container::{Operation, OperationContext, WebService};
+use ogsa_sim::SimInstant;
+use ogsa_soap::Fault;
+use ogsa_xml::Element;
+
+use crate::messages::SubscriptionStatus;
+use crate::store::FlatXmlStore;
+
+/// Deployable subscription manager sharing the event source's store.
+pub struct EventingSubscriptionManager {
+    store: FlatXmlStore,
+}
+
+impl EventingSubscriptionManager {
+    pub fn new(store: FlatXmlStore) -> Self {
+        EventingSubscriptionManager { store }
+    }
+
+    fn require_sub(
+        &self,
+        op: &Operation,
+    ) -> Result<crate::store::EventSubscription, Fault> {
+        let id = op.require_resource_id()?;
+        self.store
+            .get(id)
+            .ok_or_else(|| Fault::client(format!("unknown subscription `{id}`")))
+    }
+}
+
+impl WebService for EventingSubscriptionManager {
+    fn handle(&self, op: &Operation, _ctx: &OperationContext) -> Result<Element, Fault> {
+        match op.action_name() {
+            "GetStatus" => {
+                let sub = self.require_sub(op)?;
+                Ok(SubscriptionStatus {
+                    expires: sub.expires,
+                }
+                .to_element("GetStatusResponse"))
+            }
+            "Renew" => {
+                let mut sub = self.require_sub(op)?;
+                let new_expires = op
+                    .body
+                    .child_parse::<u64>("Expires")
+                    .map(SimInstant)
+                    .ok_or_else(|| Fault::client("Renew without Expires"))?;
+                sub.expires = Some(new_expires);
+                self.store.update(&sub);
+                Ok(SubscriptionStatus {
+                    expires: Some(new_expires),
+                }
+                .to_element("RenewResponse"))
+            }
+            "Unsubscribe" => {
+                let sub = self.require_sub(op)?;
+                self.store.remove(&sub.id);
+                Ok(Element::new("UnsubscribeResponse"))
+            }
+            other => Err(Fault::client(format!(
+                "subscription manager does not define `{other}`"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The Event Source Service and the Notification Manager.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ogsa_addressing::EndpointReference;
+use ogsa_container::{ClientAgent, Container, Operation, OperationContext, WebService};
+use ogsa_soap::Fault;
+use ogsa_xml::{Element, XPath, XPathContext};
+
+use crate::delivery::{DeliveryMode, PushDelivery};
+use crate::manager::EventingSubscriptionManager;
+use crate::messages::SubscribeRequest;
+use crate::store::{EventSubscription, FlatXmlStore};
+
+/// The event source: accepts `Subscribe`, hands back the subscription
+/// manager EPR.
+pub struct EventSourceService {
+    store: FlatXmlStore,
+    manager_address: String,
+    modes: Arc<HashMap<String, Arc<dyn DeliveryMode>>>,
+    seq: AtomicU64,
+}
+
+impl EventSourceService {
+    /// Deploy an event source at `path` and its subscription manager at
+    /// `{path}/manager`. Returns (source EPR, notification manager).
+    pub fn deploy(container: &Container, path: &str) -> (EndpointReference, NotificationManager) {
+        Self::deploy_with_modes(container, path, vec![Arc::new(PushDelivery)])
+    }
+
+    /// Deploy with extra delivery modes (the WS-Eventing extension point).
+    pub fn deploy_with_modes(
+        container: &Container,
+        path: &str,
+        modes: Vec<Arc<dyn DeliveryMode>>,
+    ) -> (EndpointReference, NotificationManager) {
+        let store = FlatXmlStore::new(
+            container.clock().clone(),
+            Arc::new(container.model().clone()),
+        );
+        let manager_path = format!("{path}/manager");
+        let manager_epr = container.deploy(
+            &manager_path,
+            Arc::new(EventingSubscriptionManager::new(store.clone())),
+        );
+
+        let mode_map: Arc<HashMap<String, Arc<dyn DeliveryMode>>> = Arc::new(
+            modes
+                .into_iter()
+                .map(|m| (m.uri().to_owned(), m))
+                .collect(),
+        );
+
+        let source = EventSourceService {
+            store: store.clone(),
+            manager_address: manager_epr.address.clone(),
+            modes: mode_map.clone(),
+            seq: AtomicU64::new(0),
+        };
+        let source_epr = container.deploy(path, Arc::new(source));
+
+        let notifier = NotificationManager {
+            store,
+            agent: container.service_agent(),
+            modes: mode_map,
+        };
+        (source_epr, notifier)
+    }
+}
+
+impl WebService for EventSourceService {
+    fn handle(&self, op: &Operation, ctx: &OperationContext) -> Result<Element, Fault> {
+        match op.action_name() {
+            "Subscribe" => {
+                let req = SubscribeRequest::from_element(&op.body)
+                    .ok_or_else(|| Fault::client("malformed Subscribe"))?;
+                if !self.modes.contains_key(&req.mode) {
+                    // Spec fault: DeliveryModeRequestedUnavailable.
+                    return Err(Fault::client(format!(
+                        "DeliveryModeRequestedUnavailable: {}",
+                        req.mode
+                    )));
+                }
+                // Validate the filter eagerly so bad XPath faults at
+                // subscribe time, not delivery time.
+                if let Some(f) = &req.filter {
+                    XPath::compile(f)
+                        .map_err(|e| Fault::client(format!("invalid filter: {e}")))?;
+                }
+                let id = format!("es-{}", self.seq.fetch_add(1, Ordering::Relaxed));
+                self.store.insert(EventSubscription {
+                    id: id.clone(),
+                    notify_to: req.notify_to.clone(),
+                    mode: req.mode.clone(),
+                    filter: req.filter.clone(),
+                    expires: req.expires,
+                    end_to: req.end_to.clone(),
+                });
+                let manager =
+                    EndpointReference::resource(self.manager_address.clone(), id);
+                let _ = ctx;
+                Ok(SubscribeRequest::response(&manager, req.expires))
+            }
+            other => Err(Fault::client(format!(
+                "event source does not define `{other}`"
+            ))),
+        }
+    }
+}
+
+/// "Additionally the implementation includes Notification Manager, which
+/// can be used to trigger a notification to subscribers" (§3.2). Owned by
+/// the service code that produces events.
+#[derive(Clone)]
+pub struct NotificationManager {
+    store: FlatXmlStore,
+    agent: ClientAgent,
+    modes: Arc<HashMap<String, Arc<dyn DeliveryMode>>>,
+}
+
+impl NotificationManager {
+    /// Trigger an event: purge expired subscriptions (notifying their
+    /// `EndTo`), evaluate filters, and deliver through each subscription's
+    /// mode. Returns the number of deliveries.
+    pub fn trigger(&self, event: Element) -> usize {
+        let now = self.agent.clock().now();
+        for dead in self.store.purge_expired(now) {
+            if let Some(end_to) = &dead.end_to {
+                self.agent.send_oneway(
+                    end_to,
+                    crate::messages::actions::SUBSCRIPTION_END,
+                    crate::messages::subscription_end("expired"),
+                );
+            }
+        }
+        let mut delivered = 0;
+        for sub in self.store.load() {
+            let passes = match &sub.filter {
+                None => true,
+                Some(f) => XPath::compile(f)
+                    .and_then(|xp| xp.matches(&event, &XPathContext::new()))
+                    .unwrap_or(false),
+            };
+            if !passes {
+                continue;
+            }
+            if let Some(mode) = self.modes.get(&sub.mode) {
+                mode.deliver(&self.agent, &sub, event.clone());
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// The underlying store (tests and benches inspect it).
+    pub fn store(&self) -> &FlatXmlStore {
+        &self.store
+    }
+}

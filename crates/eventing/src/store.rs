@@ -1,0 +1,241 @@
+//! The flat-XML-file subscription store.
+//!
+//! Plumbwork Orange "maintains the subscription lists in a flat XML file"
+//! (§3.2) — not in the database. Every read re-parses and every write
+//! rewrites the whole file; the simulated file I/O cost scales with the
+//! file's size, so a source with many subscriptions pays for all of them on
+//! each access, exactly as the original would have.
+
+use ogsa_addressing::EndpointReference;
+use ogsa_sim::{CostModel, SimInstant, VirtualClock};
+use ogsa_xml::{parse, Element};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One WS-Eventing subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSubscription {
+    pub id: String,
+    pub notify_to: EndpointReference,
+    pub mode: String,
+    pub filter: Option<String>,
+    pub expires: Option<SimInstant>,
+    pub end_to: Option<EndpointReference>,
+}
+
+impl EventSubscription {
+    fn to_element(&self) -> Element {
+        let mut e = Element::new("Subscription")
+            .with_attr("id", self.id.clone())
+            .with_attr("mode", self.mode.clone());
+        if let Some(t) = self.expires {
+            e.set_attr("expires", t.0.to_string());
+        }
+        e.add_child(self.notify_to.to_element_named("NotifyTo".into()));
+        if let Some(f) = &self.filter {
+            e.add_child(Element::text_element("Filter", f.clone()));
+        }
+        if let Some(end) = &self.end_to {
+            e.add_child(end.to_element_named("EndTo".into()));
+        }
+        e
+    }
+
+    fn from_element(e: &Element) -> Option<Self> {
+        Some(EventSubscription {
+            id: e.attr_local("id")?.to_owned(),
+            notify_to: EndpointReference::from_element(e.child_local("NotifyTo")?).ok()?,
+            mode: e.attr_local("mode").unwrap_or("").to_owned(),
+            filter: e.child_text("Filter").map(str::to_owned),
+            expires: e
+                .attr_local("expires")
+                .and_then(|t| t.parse().ok())
+                .map(SimInstant),
+            end_to: e
+                .child_local("EndTo")
+                .and_then(|x| EndpointReference::from_element(x).ok()),
+        })
+    }
+}
+
+/// The flat file: serialised XML text guarded by a mutex, with clock
+/// charging on every access.
+#[derive(Clone)]
+pub struct FlatXmlStore {
+    file: Arc<Mutex<String>>,
+    clock: VirtualClock,
+    model: Arc<CostModel>,
+}
+
+impl FlatXmlStore {
+    pub fn new(clock: VirtualClock, model: Arc<CostModel>) -> Self {
+        FlatXmlStore {
+            file: Arc::new(Mutex::new(
+                Element::new("Subscriptions").into_document_string(),
+            )),
+            clock,
+            model,
+        }
+    }
+
+    /// Read + parse the file (charged).
+    pub fn load(&self) -> Vec<EventSubscription> {
+        let text = self.file.lock().clone();
+        self.clock.advance(self.model.file_time(text.len()));
+        let Ok(root) = parse(&text) else {
+            return Vec::new();
+        };
+        root.child_elements()
+            .filter_map(EventSubscription::from_element)
+            .collect()
+    }
+
+    /// Serialise + rewrite the whole file (charged).
+    pub fn save(&self, subs: &[EventSubscription]) {
+        let mut root = Element::new("Subscriptions");
+        for s in subs {
+            root.add_child(s.to_element());
+        }
+        let text = root.into_document_string();
+        self.clock.advance(self.model.file_time(text.len()));
+        *self.file.lock() = text;
+    }
+
+    /// Insert one subscription (load + append + save).
+    pub fn insert(&self, sub: EventSubscription) {
+        let mut subs = self.load();
+        subs.push(sub);
+        self.save(&subs);
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: &str) -> Option<EventSubscription> {
+        self.load().into_iter().find(|s| s.id == id)
+    }
+
+    /// Update a subscription in place; false if absent.
+    pub fn update(&self, sub: &EventSubscription) -> bool {
+        let mut subs = self.load();
+        match subs.iter_mut().find(|s| s.id == sub.id) {
+            Some(slot) => {
+                *slot = sub.clone();
+                self.save(&subs);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove by id; false if absent.
+    pub fn remove(&self, id: &str) -> bool {
+        let mut subs = self.load();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        let removed = subs.len() != before;
+        if removed {
+            self.save(&subs);
+        }
+        removed
+    }
+
+    /// Drop expired subscriptions, returning them (so the source can send
+    /// `SubscriptionEnd` to their `EndTo`).
+    pub fn purge_expired(&self, now: SimInstant) -> Vec<EventSubscription> {
+        let subs = self.load();
+        let (expired, live): (Vec<_>, Vec<_>) = subs
+            .into_iter()
+            .partition(|s| matches!(s.expires, Some(t) if t <= now));
+        if !expired.is_empty() {
+            self.save(&live);
+        }
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> FlatXmlStore {
+        FlatXmlStore::new(VirtualClock::new(), Arc::new(CostModel::free()))
+    }
+
+    fn sub(id: &str, expires: Option<u64>) -> EventSubscription {
+        EventSubscription {
+            id: id.into(),
+            notify_to: EndpointReference::service("tcp://c/events"),
+            mode: crate::delivery::PUSH_MODE.into(),
+            filter: Some("/E[v>1]".into()),
+            expires: expires.map(SimInstant),
+            end_to: None,
+        }
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let s = store();
+        s.insert(sub("a", None));
+        s.insert(sub("b", Some(100)));
+        assert_eq!(s.load().len(), 2);
+        assert_eq!(s.get("a").unwrap().filter.as_deref(), Some("/E[v>1]"));
+
+        let mut b = s.get("b").unwrap();
+        b.expires = Some(SimInstant(500));
+        assert!(s.update(&b));
+        assert_eq!(s.get("b").unwrap().expires, Some(SimInstant(500)));
+
+        assert!(s.remove("a"));
+        assert!(!s.remove("a"));
+        assert_eq!(s.load().len(), 1);
+    }
+
+    #[test]
+    fn update_unknown_is_false() {
+        assert!(!store().update(&sub("ghost", None)));
+    }
+
+    #[test]
+    fn purge_expired_partitions() {
+        let s = store();
+        s.insert(sub("old", Some(10)));
+        s.insert(sub("new", Some(1000)));
+        s.insert(sub("forever", None));
+        let expired = s.purge_expired(SimInstant(100));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, "old");
+        assert_eq!(s.load().len(), 2);
+    }
+
+    #[test]
+    fn file_io_cost_scales_with_subscription_count() {
+        let clock = VirtualClock::new();
+        let model = Arc::new(CostModel::calibrated_2005());
+        let s = FlatXmlStore::new(clock.clone(), model);
+        for i in 0..50 {
+            s.insert(sub(&format!("s{i}"), None));
+        }
+        let t0 = clock.now();
+        s.load();
+        let cost_50 = clock.now().since(t0);
+
+        let t1 = clock.now();
+        FlatXmlStore::new(clock.clone(), Arc::new(CostModel::calibrated_2005())).load();
+        let cost_0 = clock.now().since(t1);
+        assert!(cost_50 > cost_0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let s = store();
+        let full = EventSubscription {
+            id: "x".into(),
+            notify_to: EndpointReference::resource("tcp://c/events", "r1"),
+            mode: "urn:custom-mode".into(),
+            filter: None,
+            expires: Some(SimInstant(42)),
+            end_to: Some(EndpointReference::service("http://c/end")),
+        };
+        s.insert(full.clone());
+        assert_eq!(s.get("x").unwrap(), full);
+    }
+}

@@ -1,0 +1,72 @@
+//! The uniform Grid-in-a-Box scenario surface the Figure-6 harness drives.
+
+use std::time::Duration;
+
+use ogsa_container::InvokeError;
+use ogsa_sim::SimDuration;
+
+/// Errors surfaced by scenario steps.
+#[derive(Debug)]
+pub enum ScenarioError {
+    Invoke(InvokeError),
+    /// A step ran out of order or a precondition is missing.
+    State(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Invoke(e) => write!(f, "{e}"),
+            ScenarioError::State(s) => write!(f, "scenario state error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<InvokeError> for ScenarioError {
+    fn from(e: InvokeError) -> Self {
+        ScenarioError::Invoke(e)
+    }
+}
+
+/// One grid user's session against a deployed VO — the operations of
+/// Figure 6, in their natural order. Implementations keep the scenario
+/// state (chosen site, reservation, data directory, running job) so each
+/// step can be timed in isolation by the harness.
+pub trait GridScenario {
+    /// Stack label for reports.
+    fn stack_name(&self) -> &'static str;
+
+    /// "What resources are available for my application?" Picks (and
+    /// remembers) a site offering `application`. Errors if none.
+    fn get_available_resource(&mut self, application: &str) -> Result<(), ScenarioError>;
+
+    /// Reserve the chosen site under the user's DN.
+    fn make_reservation(&mut self) -> Result<(), ScenarioError>;
+
+    /// Stage a file into the user's data space on the chosen site.
+    fn upload_file(&mut self, name: &str, size_bytes: usize) -> Result<(), ScenarioError>;
+
+    /// Start the job (runtime/exit scripted by `runtime`): verifies the
+    /// reservation, claims it, subscribes for completion, spawns.
+    fn instantiate_job(&mut self, runtime: SimDuration) -> Result<(), ScenarioError>;
+
+    /// Delete a previously staged file.
+    fn delete_file(&mut self, name: &str) -> Result<(), ScenarioError>;
+
+    /// Release the reservation. In the WSRF version this is automatic
+    /// (the ExecService destroys the reservation when the job completes),
+    /// so the implementation performs no client work and reports so via
+    /// [`GridScenario::unreserve_is_automatic`].
+    fn unreserve_resource(&mut self) -> Result<(), ScenarioError>;
+
+    /// True if unreserve costs the client nothing (reported as 0 in
+    /// Figure 6).
+    fn unreserve_is_automatic(&self) -> bool;
+
+    /// Drive the job to completion: advance virtual time past the job's
+    /// runtime, pump the exec service's completion monitor, and wait for
+    /// the asynchronous job-exited notification. Returns the exit code.
+    fn finish_job(&mut self, wait: Duration) -> Result<i32, ScenarioError>;
+}

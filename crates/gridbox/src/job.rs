@@ -1,0 +1,84 @@
+//! Job descriptions and status documents, shared by both stacks.
+
+use ogsa_sim::SimDuration;
+use ogsa_xml::Element;
+
+/// What a grid user submits: the application, its arguments, and the
+/// scripted behaviour of the simulated process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    pub application: String,
+    pub arguments: Vec<String>,
+    /// Virtual runtime of the simulated process.
+    pub runtime: SimDuration,
+    /// Scripted exit code.
+    pub exit_code: i32,
+}
+
+impl JobSpec {
+    pub fn new(application: &str, runtime: SimDuration) -> Self {
+        JobSpec {
+            application: application.to_owned(),
+            arguments: Vec::new(),
+            runtime,
+            exit_code: 0,
+        }
+    }
+
+    pub fn with_args(mut self, args: &[&str]) -> Self {
+        self.arguments = args.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn with_exit_code(mut self, code: i32) -> Self {
+        self.exit_code = code;
+        self
+    }
+
+    /// XML form (the representation submitted to either stack).
+    pub fn to_element(&self) -> Element {
+        let mut e = Element::new("job");
+        e.add_child(Element::text_element("application", self.application.clone()));
+        for a in &self.arguments {
+            e.add_child(Element::text_element("argument", a.clone()));
+        }
+        e.add_child(Element::text_element(
+            "runtimeMicros",
+            self.runtime.as_micros().to_string(),
+        ));
+        e.add_child(Element::text_element("exitCode", self.exit_code.to_string()));
+        e
+    }
+
+    pub fn from_element(e: &Element) -> Option<Self> {
+        Some(JobSpec {
+            application: e.child_text("application")?.to_owned(),
+            arguments: e
+                .child_elements()
+                .filter(|c| &*c.name.local == "argument")
+                .map(|c| c.text())
+                .collect(),
+            runtime: SimDuration::from_micros(e.child_parse("runtimeMicros")?),
+            exit_code: e.child_parse("exitCode")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip() {
+        let spec = JobSpec::new("blast", SimDuration::from_millis(250.0))
+            .with_args(&["-i", "seq.fa"])
+            .with_exit_code(3);
+        let back = JobSpec::from_element(&spec.to_element()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn missing_fields_are_none() {
+        assert!(JobSpec::from_element(&Element::new("job")).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! The simulated process spawner ("Proc Spawn Win Service" in Figure 5).
+//!
+//! A spawned job runs for a fixed span of *virtual* time and then exits
+//! with its scripted exit code. Status is computed lazily against the
+//! virtual clock, so "the job finished" becomes true as soon as enough
+//! simulated time has been charged by anything in the testbed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ogsa_sim::{CostModel, SimDuration, SimInstant, VirtualClock};
+use parking_lot::Mutex;
+
+/// Observable state of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcStatus {
+    Running,
+    Exited { code: i32 },
+    Killed,
+}
+
+#[derive(Debug, Clone)]
+struct Proc {
+    started: SimInstant,
+    duration: SimDuration,
+    exit_code: i32,
+    killed: bool,
+}
+
+/// Per-host process table.
+#[derive(Clone)]
+pub struct ProcessTable {
+    clock: VirtualClock,
+    model: Arc<CostModel>,
+    procs: Arc<Mutex<HashMap<u64, Proc>>>,
+    next_pid: Arc<AtomicU64>,
+}
+
+impl ProcessTable {
+    pub fn new(clock: VirtualClock, model: Arc<CostModel>) -> Self {
+        ProcessTable {
+            clock,
+            model,
+            procs: Arc::new(Mutex::new(HashMap::new())),
+            next_pid: Arc::new(AtomicU64::new(1000)),
+        }
+    }
+
+    /// Spawn a process that will exit with `exit_code` after `duration` of
+    /// virtual time. Charges the Win32 CreateProcess-class cost.
+    pub fn spawn(&self, duration: SimDuration, exit_code: i32) -> u64 {
+        self.clock
+            .advance(SimDuration::from_micros(self.model.process_spawn_us));
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
+        self.procs.lock().insert(
+            pid,
+            Proc {
+                started: self.clock.now(),
+                duration,
+                exit_code,
+                killed: false,
+            },
+        );
+        pid
+    }
+
+    /// Current status, computed against the virtual clock.
+    pub fn status(&self, pid: u64) -> Option<ProcStatus> {
+        let procs = self.procs.lock();
+        let p = procs.get(&pid)?;
+        Some(if p.killed {
+            ProcStatus::Killed
+        } else if self.clock.now() >= p.started.plus(p.duration) {
+            ProcStatus::Exited { code: p.exit_code }
+        } else {
+            ProcStatus::Running
+        })
+    }
+
+    /// Kill a running process; returns false if it already exited (or never
+    /// existed).
+    pub fn kill(&self, pid: u64) -> bool {
+        let now = self.clock.now();
+        let mut procs = self.procs.lock();
+        match procs.get_mut(&pid) {
+            Some(p) if !p.killed && now < p.started.plus(p.duration) => {
+                p.killed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// How long the process has been running (or ran).
+    pub fn elapsed(&self, pid: u64) -> Option<SimDuration> {
+        let procs = self.procs.lock();
+        let p = procs.get(&pid)?;
+        let end = self.clock.now().min(p.started.plus(p.duration));
+        Some(end.since(p.started))
+    }
+
+    /// Drop the table entry (job cleanup).
+    pub fn reap(&self, pid: u64) -> bool {
+        self.procs.lock().remove(&pid).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (VirtualClock, ProcessTable) {
+        let clock = VirtualClock::new();
+        let t = ProcessTable::new(clock.clone(), Arc::new(CostModel::free()));
+        (clock, t)
+    }
+
+    #[test]
+    fn process_runs_then_exits() {
+        let (clock, t) = table();
+        let pid = t.spawn(SimDuration::from_millis(10.0), 0);
+        assert_eq!(t.status(pid), Some(ProcStatus::Running));
+        clock.advance(SimDuration::from_millis(5.0));
+        assert_eq!(t.status(pid), Some(ProcStatus::Running));
+        clock.advance(SimDuration::from_millis(6.0));
+        assert_eq!(t.status(pid), Some(ProcStatus::Exited { code: 0 }));
+    }
+
+    #[test]
+    fn exit_codes_are_scripted() {
+        let (clock, t) = table();
+        let pid = t.spawn(SimDuration::ZERO, 42);
+        clock.advance(SimDuration::from_micros(1));
+        assert_eq!(t.status(pid), Some(ProcStatus::Exited { code: 42 }));
+    }
+
+    #[test]
+    fn kill_only_works_while_running() {
+        let (clock, t) = table();
+        let pid = t.spawn(SimDuration::from_millis(10.0), 0);
+        assert!(t.kill(pid));
+        assert_eq!(t.status(pid), Some(ProcStatus::Killed));
+        // Killing again or after exit fails.
+        assert!(!t.kill(pid));
+        let pid2 = t.spawn(SimDuration::from_millis(1.0), 0);
+        clock.advance(SimDuration::from_millis(2.0));
+        assert!(!t.kill(pid2));
+    }
+
+    #[test]
+    fn spawn_charges_the_clock() {
+        let clock = VirtualClock::new();
+        let model = Arc::new(CostModel::calibrated_2005());
+        let t = ProcessTable::new(clock.clone(), model.clone());
+        let t0 = clock.now();
+        t.spawn(SimDuration::ZERO, 0);
+        assert_eq!(
+            clock.now().since(t0),
+            SimDuration::from_micros(model.process_spawn_us)
+        );
+    }
+
+    #[test]
+    fn elapsed_saturates_at_duration() {
+        let (clock, t) = table();
+        let pid = t.spawn(SimDuration::from_millis(3.0), 0);
+        clock.advance(SimDuration::from_millis(100.0));
+        assert_eq!(t.elapsed(pid), Some(SimDuration::from_millis(3.0)));
+    }
+
+    #[test]
+    fn reap_removes() {
+        let (_clock, t) = table();
+        let pid = t.spawn(SimDuration::ZERO, 0);
+        assert!(t.reap(pid));
+        assert!(!t.reap(pid));
+        assert_eq!(t.status(pid), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Admin-client tests: VO administration on both stacks, including the
+//! authorisation boundary ("can be called only from the administrative
+//! client").
+
+use ogsa_container::Testbed;
+use ogsa_gridbox::{
+    GridScenario, TransferAdminClient, TransferGrid, WsrfAdminClient, WsrfGrid,
+};
+use ogsa_security::SecurityPolicy;
+
+const ADMIN: &str = "CN=admin,O=UVA-VO";
+const ALICE: &str = "CN=alice,O=UVA-VO";
+
+#[test]
+fn wsrf_admin_manages_accounts() {
+    let tb = Testbed::free();
+    let grid = WsrfGrid::deploy(&tb, SecurityPolicy::None, &["site-a"], &["blast"], &[]);
+    let admin = WsrfAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
+
+    assert!(!admin.account_exists(ALICE).unwrap());
+    admin.add_account(ALICE, &["submit"]).unwrap();
+    assert!(admin.account_exists(ALICE).unwrap());
+
+    // With an account, Alice can now reserve.
+    let mut s = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::None));
+    s.get_available_resource("blast").unwrap();
+    s.make_reservation().unwrap();
+
+    admin.remove_account(ALICE).unwrap();
+    assert!(!admin.account_exists(ALICE).unwrap());
+}
+
+#[test]
+fn wsrf_admin_registers_additional_sites() {
+    let tb = Testbed::free();
+    let grid = WsrfGrid::deploy(&tb, SecurityPolicy::None, &["site-a"], &["blast"], &[ALICE]);
+    let admin = WsrfAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
+
+    // Register a second (fictional) site offering a new application.
+    admin
+        .register_site(
+            "site-x",
+            "site-x-host",
+            &["render"],
+            &grid.sites[0].exec_epr,
+            &grid.sites[0].data_epr,
+        )
+        .unwrap();
+    let mut s = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::None));
+    assert!(s.get_available_resource("render").is_ok());
+}
+
+#[test]
+fn transfer_admin_manages_accounts_via_crud() {
+    let tb = Testbed::free();
+    let grid = TransferGrid::deploy(&tb, SecurityPolicy::None, &["site-a"], &["blast"], &[]);
+    let admin =
+        TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
+
+    assert!(!admin.account_exists(ALICE));
+    let epr = admin.add_account(ALICE, &["submit", "stage"]).unwrap();
+    // "the EPR containing the X509 DN of the user."
+    assert_eq!(epr.resource_id(), Some(ALICE));
+    assert!(admin.account_exists(ALICE));
+    assert_eq!(admin.privileges(ALICE).unwrap(), ["submit", "stage"]);
+
+    admin.remove_account(ALICE).unwrap();
+    assert!(!admin.account_exists(ALICE));
+}
+
+#[test]
+fn transfer_non_admin_cannot_administrate() {
+    let tb = Testbed::free();
+    let grid = TransferGrid::deploy(&tb, SecurityPolicy::None, &["site-a"], &["blast"], &[ALICE]);
+    // Alice impersonates an admin client object but carries her own DN.
+    let not_admin =
+        TransferAdminClient::new(&grid, tb.client("client-1", ALICE, SecurityPolicy::None));
+    assert!(not_admin.add_account("CN=eve", &["submit"]).is_err());
+    assert!(not_admin.remove_account(ALICE).is_err());
+    assert!(not_admin
+        .register_site("rogue", "h", &["blast"], "http://h/e", "http://h/d")
+        .is_err());
+}
+
+#[test]
+fn transfer_admin_site_lifecycle() {
+    let tb = Testbed::free();
+    let grid = TransferGrid::deploy(&tb, SecurityPolicy::None, &["site-a"], &["blast"], &[ALICE]);
+    let admin =
+        TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
+
+    // Add a site offering a new application...
+    admin
+        .register_site(
+            "site-x",
+            "site-a",
+            &["render"],
+            &grid.sites[0].exec_epr.address,
+            &grid.sites[0].data_epr.address,
+        )
+        .unwrap();
+    let mut s = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::None));
+    assert!(s.get_available_resource("render").is_ok());
+
+    // ...then permanently remove it ("Delete() permanently removes a
+    // computing site from the database").
+    admin.unregister_site("site-x").unwrap();
+    let mut s2 = grid.scenario(tb.client("client-1", ALICE, SecurityPolicy::None));
+    assert!(s2.get_available_resource("render").is_err());
+}
+
+#[test]
+fn signed_admin_identity_is_authenticated_not_asserted() {
+    // Under X.509 the service trusts the signature, not the body: a client
+    // claiming admin in the body but signing as alice is refused.
+    let tb = Testbed::free();
+    let grid = TransferGrid::deploy(
+        &tb,
+        SecurityPolicy::X509Sign,
+        &["site-a"],
+        &["blast"],
+        &[ALICE],
+    );
+    let masquerader =
+        TransferAdminClient::new(&grid, tb.client("client-1", ALICE, SecurityPolicy::X509Sign));
+    // add_account writes `owner = agent DN` into the body, but even a
+    // hand-crafted body cannot help: the signer DN wins.
+    assert!(masquerader.add_account("CN=eve", &["submit"]).is_err());
+
+    let real_admin =
+        TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::X509Sign));
+    assert!(real_admin.add_account("CN=eve,O=UVA-VO", &["submit"]).is_ok());
+}

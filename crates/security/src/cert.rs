@@ -1,0 +1,187 @@
+//! X.509 certificates, identities, and the certificate store.
+//!
+//! Certificates carry the fields the Grid-in-a-Box services actually consume
+//! (the subject distinguished name above all — accounts, data directories
+//! and reservations are all keyed by DN in the paper) plus a key identifier.
+//! The [`CertStore`] doubles as the simulation's PKI oracle: it maps key ids
+//! to verification secrets, standing in for real RSA public-key operations.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use ogsa_xml::Element;
+use parking_lot::RwLock;
+
+use crate::sha256::{hex, sha256};
+
+/// A simulated X.509 certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Subject distinguished name, e.g. `CN=alice,O=UVA-VO`.
+    pub subject_dn: String,
+    /// Issuer DN.
+    pub issuer_dn: String,
+    /// Serial number, unique per issuer.
+    pub serial: u64,
+    /// Key identifier (hash of the simulated key material).
+    pub key_id: String,
+}
+
+impl Certificate {
+    /// XML form carried in `wsse:BinarySecurityToken`.
+    pub fn to_element(&self) -> Element {
+        Element::new("X509Certificate")
+            .with_child(Element::text_element("Subject", self.subject_dn.clone()))
+            .with_child(Element::text_element("Issuer", self.issuer_dn.clone()))
+            .with_child(Element::text_element("Serial", self.serial.to_string()))
+            .with_child(Element::text_element("KeyId", self.key_id.clone()))
+    }
+
+    pub fn from_element(e: &Element) -> Option<Self> {
+        Some(Certificate {
+            subject_dn: e.child_text("Subject")?.to_owned(),
+            issuer_dn: e.child_text("Issuer")?.to_owned(),
+            serial: e.child_parse("Serial")?,
+            key_id: e.child_text("KeyId")?.to_owned(),
+        })
+    }
+}
+
+/// A certificate plus its private key material — what a client or service
+/// holds locally.
+#[derive(Debug, Clone)]
+pub struct Identity {
+    pub cert: Certificate,
+    pub(crate) secret: [u8; 32],
+}
+
+impl Identity {
+    /// The subject DN — the "user identity" the AccountService maps to VO
+    /// privileges.
+    pub fn dn(&self) -> &str {
+        &self.cert.subject_dn
+    }
+
+    pub(crate) fn secret(&self) -> &[u8; 32] {
+        &self.secret
+    }
+}
+
+/// A certificate authority: issues identities registered in a store.
+#[derive(Debug, Clone)]
+pub struct CertAuthority {
+    issuer_dn: String,
+    store: CertStore,
+}
+
+impl CertAuthority {
+    /// Issue an identity for `subject_dn` and register its verification
+    /// material in the store.
+    pub fn issue(&self, subject_dn: &str) -> Identity {
+        let mut inner = self.store.inner.write();
+        inner.next_serial += 1;
+        let serial = inner.next_serial;
+        // Deterministic key material: derived from issuer/subject/serial.
+        let secret = sha256(format!("{}|{}|{}", self.issuer_dn, subject_dn, serial).as_bytes());
+        let key_id = hex(&sha256(&secret)[..8]);
+        let cert = Certificate {
+            subject_dn: subject_dn.to_owned(),
+            issuer_dn: self.issuer_dn.clone(),
+            serial,
+            key_id: key_id.clone(),
+        };
+        inner.keys.insert(key_id, secret);
+        Identity { cert, secret }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    trusted_issuers: HashSet<String>,
+    /// key id → verification secret (the simulated public-key oracle).
+    keys: HashMap<String, [u8; 32]>,
+    next_serial: u64,
+}
+
+/// Shared certificate store: trusted issuers plus the key oracle.
+#[derive(Debug, Clone, Default)]
+pub struct CertStore {
+    inner: Arc<RwLock<StoreInner>>,
+}
+
+impl CertStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an authority whose issued certificates this store trusts.
+    pub fn authority(&self, issuer_dn: &str) -> CertAuthority {
+        self.inner
+            .write()
+            .trusted_issuers
+            .insert(issuer_dn.to_owned());
+        CertAuthority {
+            issuer_dn: issuer_dn.to_owned(),
+            store: self.clone(),
+        }
+    }
+
+    /// Is the certificate's issuer trusted here?
+    pub fn trusts(&self, cert: &Certificate) -> bool {
+        self.inner.read().trusted_issuers.contains(&cert.issuer_dn)
+    }
+
+    /// Look up verification material for a key id (simulated public key).
+    pub(crate) fn verification_secret(&self, key_id: &str) -> Option<[u8; 32]> {
+        self.inner.read().keys.get(key_id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_registers_and_trusts() {
+        let store = CertStore::new();
+        let ca = store.authority("CN=UVA-CA");
+        let alice = ca.issue("CN=alice,O=UVA-VO");
+        assert!(store.trusts(&alice.cert));
+        assert_eq!(alice.dn(), "CN=alice,O=UVA-VO");
+        assert!(store.verification_secret(&alice.cert.key_id).is_some());
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let store = CertStore::new();
+        let other_store = CertStore::new();
+        let rogue_ca = other_store.authority("CN=Rogue-CA");
+        let mallory = rogue_ca.issue("CN=mallory");
+        assert!(!store.trusts(&mallory.cert));
+        assert!(store.verification_secret(&mallory.cert.key_id).is_none());
+    }
+
+    #[test]
+    fn serials_are_unique_and_keys_distinct() {
+        let store = CertStore::new();
+        let ca = store.authority("CN=CA");
+        let a = ca.issue("CN=a");
+        let b = ca.issue("CN=b");
+        assert_ne!(a.cert.serial, b.cert.serial);
+        assert_ne!(a.cert.key_id, b.cert.key_id);
+        assert_ne!(a.secret, b.secret);
+    }
+
+    #[test]
+    fn certificate_xml_roundtrip() {
+        let store = CertStore::new();
+        let cert = store.authority("CN=CA").issue("CN=svc,O=VO").cert;
+        let back = Certificate::from_element(&cert.to_element()).unwrap();
+        assert_eq!(cert, back);
+    }
+
+    #[test]
+    fn malformed_certificate_element_is_none() {
+        assert!(Certificate::from_element(&Element::new("X509Certificate")).is_none());
+    }
+}

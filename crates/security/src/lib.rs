@@ -1,0 +1,31 @@
+//! # ogsa-security
+//!
+//! The WS-Security slice of the paper's testbed (provided there by
+//! Microsoft's Web Services Enhancements): X.509-based signing of request
+//! and response envelopes, plus the security policies the evaluation sweeps
+//! over (none / HTTPS / X.509 signing — the paper's six "hello world"
+//! scenarios are these three policies × two deployments).
+//!
+//! ## What is real and what is simulated
+//!
+//! * **Real:** the digest pipeline. Envelopes are canonicalised
+//!   ([`ogsa_xml::canonicalize`]) and hashed with a from-scratch SHA-256;
+//!   any tampering with a signed body or header is detected, and all the
+//!   header plumbing (`wsse:Security`, `wsu:Timestamp`,
+//!   `BinarySecurityToken`, `ds:Signature`) is built and parsed as real XML.
+//! * **Simulated:** the public-key mathematics. RSA is replaced by a keyed
+//!   MAC whose verification key is looked up in the [`CertStore`] (acting as
+//!   the PKI oracle), and the *cost* of 2005-era WSE signing/verification is
+//!   charged to the virtual clock via [`ogsa_sim::CostModel`]. The paper's
+//!   quantitative claim — X.509 processing dominates everything else — is
+//!   carried by those calibrated costs.
+
+pub mod cert;
+pub mod policy;
+pub mod sha256;
+pub mod sig;
+
+pub use cert::{CertAuthority, CertStore, Certificate, Identity};
+pub use policy::SecurityPolicy;
+pub use sha256::{sha256, sha256_hex};
+pub use sig::{sign_envelope, verify_envelope, SecurityError, SignerInfo};

@@ -1,0 +1,68 @@
+//! The three security policies the paper's evaluation sweeps.
+
+/// Security configuration for a client/service exchange — the first axis of
+/// the paper's six "hello world" scenarios (§4.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SecurityPolicy {
+    /// No security processing at all (scenarios 1 and 4).
+    #[default]
+    None,
+    /// HTTPS transport security; messages themselves are unsigned
+    /// (scenarios 3 and 6). Fast in the paper due to socket/session caching.
+    Https,
+    /// X.509 message-level signing of request and response via WS-Security
+    /// (scenarios 2 and 5). Dominates every other cost in the paper.
+    X509Sign,
+}
+
+impl SecurityPolicy {
+    /// True if the transport should run over TLS.
+    pub fn uses_tls(self) -> bool {
+        matches!(self, SecurityPolicy::Https)
+    }
+
+    /// True if envelopes must be signed and verified.
+    pub fn signs_messages(self) -> bool {
+        matches!(self, SecurityPolicy::X509Sign)
+    }
+
+    /// Label used in reports, matching the paper's figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            SecurityPolicy::None => "no security",
+            SecurityPolicy::Https => "HTTPS",
+            SecurityPolicy::X509Sign => "X.509 signing",
+        }
+    }
+
+    /// All policies, in the order the paper presents them (Figures 2-4).
+    pub fn all() -> [SecurityPolicy; 3] {
+        [
+            SecurityPolicy::None,
+            SecurityPolicy::Https,
+            SecurityPolicy::X509Sign,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_partition_the_policies() {
+        assert!(!SecurityPolicy::None.uses_tls());
+        assert!(!SecurityPolicy::None.signs_messages());
+        assert!(SecurityPolicy::Https.uses_tls());
+        assert!(!SecurityPolicy::Https.signs_messages());
+        assert!(!SecurityPolicy::X509Sign.uses_tls());
+        assert!(SecurityPolicy::X509Sign.signs_messages());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            SecurityPolicy::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

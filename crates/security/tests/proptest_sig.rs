@@ -1,0 +1,81 @@
+//! Property tests for the signing pipeline: arbitrary envelopes
+//! sign-verify cleanly, and *any* body mutation is detected.
+
+use ogsa_security::{sign_envelope, verify_envelope, CertStore, SecurityError};
+use ogsa_sim::{CostModel, VirtualClock};
+use ogsa_soap::Envelope;
+use ogsa_xml::{ns, Element, QName};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,32}").unwrap()
+}
+
+fn arb_body() -> impl Strategy<Value = Element> {
+    (
+        proptest::string::string_regex("[A-Za-z][A-Za-z0-9]{0,8}").unwrap(),
+        proptest::collection::vec(
+            (
+                proptest::string::string_regex("[A-Za-z][A-Za-z0-9]{0,8}").unwrap(),
+                arb_text(),
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(|(root, kids)| {
+            let mut e = Element::new(root.as_str());
+            for (k, v) in kids {
+                e.add_child(Element::text_element(k.as_str(), v));
+            }
+            e
+        })
+}
+
+fn setup() -> (CertStore, ogsa_security::Identity, VirtualClock, CostModel) {
+    let store = CertStore::new();
+    let ca = store.authority("CN=CA");
+    let id = ca.issue("CN=prop,O=VO");
+    (store, id, VirtualClock::new(), CostModel::free())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sign_verify_roundtrip_any_body(body in arb_body(), to in "[a-z]{1,10}", action in "[a-z]{1,10}") {
+        let (store, id, clock, model) = setup();
+        let mut env = Envelope::new(body)
+            .with_header(Element::text_element(QName::new(ns::WSA, "To"), to))
+            .with_header(Element::text_element(QName::new(ns::WSA, "Action"), action));
+        sign_envelope(&mut env, &id, &clock, &model);
+        // Including after a wire round trip.
+        let back = Envelope::from_wire(&env.to_wire()).unwrap();
+        prop_assert!(verify_envelope(&back, &store, &clock, &model).is_ok());
+    }
+
+    #[test]
+    fn any_body_text_mutation_is_detected(body in arb_body(), extra in "[a-z]{1,10}") {
+        let (store, id, clock, model) = setup();
+        let mut env = Envelope::new(body)
+            .with_header(Element::text_element(QName::new(ns::WSA, "To"), "t"));
+        sign_envelope(&mut env, &id, &clock, &model);
+        // Mutate: append a child to the signed body.
+        env.body.add_child(Element::text_element("injected", extra));
+        let err = verify_envelope(&env, &store, &clock, &model).unwrap_err();
+        let tampered = matches!(err, SecurityError::DigestMismatch { .. });
+        prop_assert!(tampered);
+    }
+
+    #[test]
+    fn header_injection_is_detected(body in arb_body(), name in "[A-Za-z]{1,10}") {
+        let (store, id, clock, model) = setup();
+        let mut env = Envelope::new(body)
+            .with_header(Element::text_element(QName::new(ns::WSA, "To"), "t"));
+        sign_envelope(&mut env, &id, &clock, &model);
+        // Insert a forged (non-security) header before the security header.
+        env.headers.insert(0, Element::text_element(name.as_str(), "forged"));
+        let err = verify_envelope(&env, &store, &clock, &model).unwrap_err();
+        let tampered = matches!(err, SecurityError::DigestMismatch { .. });
+        prop_assert!(tampered);
+    }
+}

@@ -1,0 +1,185 @@
+//! The virtual clock: a process-wide monotonic counter of simulated
+//! microseconds, advanced explicitly by whichever component performs
+//! simulated work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A span of simulated time. Stored in microseconds; the paper reports
+/// milliseconds, so helpers convert both ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    pub fn from_millis(ms: f64) -> Self {
+        SimDuration((ms * 1000.0).round() as u64)
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// A point on the virtual timeline (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant(pub u64);
+
+impl SimInstant {
+    /// Time elapsed since `earlier` (saturating: concurrent advancement can
+    /// make instants race, and a negative elapsed reads as zero).
+    pub fn since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    pub fn plus(self, d: SimDuration) -> SimInstant {
+        SimInstant(self.0 + d.0)
+    }
+}
+
+/// The shared monotonic virtual clock.
+///
+/// Cloning shares the underlying counter (`Arc`). All mutation is a single
+/// atomic fetch-add, so concurrent delivery threads can charge costs without
+/// a lock (Relaxed suffices: readers only need monotonicity of the counter
+/// itself, never ordering against other memory).
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        SimInstant(self.micros.load(Ordering::Relaxed))
+    }
+
+    /// Charge `d` of simulated work; returns the new now.
+    pub fn advance(&self, d: SimDuration) -> SimInstant {
+        SimInstant(self.micros.fetch_add(d.0, Ordering::Relaxed) + d.0)
+    }
+
+    /// Convenience: time a closure in virtual time.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> (T, SimDuration) {
+        let start = self.now();
+        let out = f();
+        (out, self.now().since(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_is_monotonic() {
+        let c = VirtualClock::new();
+        let t0 = c.now();
+        let t1 = c.advance(SimDuration::from_millis(1.5));
+        assert_eq!(t1.since(t0), SimDuration::from_micros(1500));
+        assert_eq!(c.now(), t1);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_micros(10));
+        assert_eq!(b.now(), SimInstant(10));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(2.0) + SimDuration::from_micros(500);
+        assert_eq!(d.as_micros(), 2500);
+        assert!((d.as_millis() - 2.5).abs() < 1e-9);
+        assert_eq!(d * 4, SimDuration::from_micros(10_000));
+        assert_eq!(
+            SimDuration::from_micros(5).saturating_sub(SimDuration::from_micros(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn instant_since_saturates() {
+        assert_eq!(SimInstant(5).since(SimInstant(9)), SimDuration::ZERO);
+        assert_eq!(SimInstant(9).since(SimInstant(5)), SimDuration(4));
+    }
+
+    #[test]
+    fn concurrent_advances_all_land() {
+        let c = VirtualClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(SimDuration(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), SimInstant(8000));
+    }
+
+    #[test]
+    fn time_closure_measures_inner_charges() {
+        let c = VirtualClock::new();
+        let (v, d) = c.time(|| {
+            c.advance(SimDuration::from_millis(3.0));
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(d, SimDuration::from_millis(3.0));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total, SimDuration(10));
+    }
+}

@@ -1,0 +1,184 @@
+//! The SOAP envelope: header blocks plus exactly one body element.
+
+use ogsa_xml::{ns, parse, Element, QName, XmlError, XmlResult};
+
+use crate::fault::Fault;
+
+/// A SOAP message: zero or more header blocks and one body payload element.
+///
+/// The body holds a single element (doc/literal style); an empty-response
+/// convention uses an empty element named by the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    pub headers: Vec<Element>,
+    pub body: Element,
+}
+
+impl Envelope {
+    /// An envelope wrapping `body` with no headers.
+    pub fn new(body: Element) -> Self {
+        Envelope {
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Add a header block (builder style).
+    pub fn with_header(mut self, header: Element) -> Self {
+        self.headers.push(header);
+        self
+    }
+
+    /// First header with the given qualified name.
+    pub fn header(&self, name: &QName) -> Option<&Element> {
+        self.headers.iter().find(|h| h.name == *name)
+    }
+
+    /// Mutable access to the first header with the given name.
+    pub fn header_mut(&mut self, name: &QName) -> Option<&mut Element> {
+        self.headers.iter_mut().find(|h| h.name == *name)
+    }
+
+    /// Remove all headers with the given name, returning the first removed.
+    pub fn take_header(&mut self, name: &QName) -> Option<Element> {
+        let idx = self.headers.iter().position(|h| h.name == *name)?;
+        Some(self.headers.remove(idx))
+    }
+
+    /// True if the body is a SOAP fault.
+    pub fn is_fault(&self) -> bool {
+        self.body.name == QName::new(ns::SOAP, "Fault")
+    }
+
+    /// Decode the body as a [`Fault`], if it is one.
+    pub fn fault(&self) -> Option<Fault> {
+        if self.is_fault() {
+            Fault::from_element(&self.body).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Build the full `<soap:Envelope>` element tree.
+    pub fn to_element(&self) -> Element {
+        let mut env = Element::new(QName::new(ns::SOAP, "Envelope"));
+        if !self.headers.is_empty() {
+            let mut header = Element::new(QName::new(ns::SOAP, "Header"));
+            for h in &self.headers {
+                header.add_child(h.clone());
+            }
+            env.add_child(header);
+        }
+        env.add_child(Element::new(QName::new(ns::SOAP, "Body")).with_child(self.body.clone()));
+        env
+    }
+
+    /// Serialise to the wire (document string).
+    pub fn to_wire(&self) -> String {
+        self.to_element().into_document_string()
+    }
+
+    /// Parse an envelope off the wire.
+    pub fn from_wire(wire: &str) -> XmlResult<Self> {
+        let root = parse(wire)?;
+        Self::from_element(&root)
+    }
+
+    /// Interpret an already-parsed element as an envelope.
+    pub fn from_element(root: &Element) -> XmlResult<Self> {
+        if root.name != QName::new(ns::SOAP, "Envelope") {
+            return Err(XmlError::Schema(format!(
+                "expected soap:Envelope, found {:?}",
+                root.name
+            )));
+        }
+        let headers = root
+            .child(&QName::new(ns::SOAP, "Header"))
+            .map(|h| h.child_elements().cloned().collect())
+            .unwrap_or_default();
+        let body_elem = root
+            .child(&QName::new(ns::SOAP, "Body"))
+            .ok_or_else(|| XmlError::Schema("envelope has no soap:Body".into()))?;
+        let body = body_elem
+            .child_elements()
+            .next()
+            .cloned()
+            .ok_or_else(|| XmlError::Schema("soap:Body is empty".into()))?;
+        Ok(Envelope { headers, body })
+    }
+
+    /// Wire size in bytes — the quantity the transport's bandwidth and
+    /// signing cost models consume.
+    pub fn wire_size(&self) -> usize {
+        self.to_wire().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ogsa_xml::Element;
+
+    fn sample() -> Envelope {
+        Envelope::new(Element::text_element("Ping", "hello"))
+            .with_header(Element::new(QName::new(ns::WSA, "Action")).with_text("urn:ping"))
+            .with_header(Element::new(QName::new(ns::WSA, "To")).with_text("http://host/svc"))
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let env = sample();
+        let back = Envelope::from_wire(&env.to_wire()).unwrap();
+        assert_eq!(env, back);
+    }
+
+    #[test]
+    fn header_lookup() {
+        let env = sample();
+        let action = QName::new(ns::WSA, "Action");
+        assert_eq!(env.header(&action).unwrap().text(), "urn:ping");
+        assert!(env.header(&QName::new(ns::WSA, "ReplyTo")).is_none());
+    }
+
+    #[test]
+    fn take_header_removes() {
+        let mut env = sample();
+        let action = QName::new(ns::WSA, "Action");
+        assert!(env.take_header(&action).is_some());
+        assert!(env.header(&action).is_none());
+        assert_eq!(env.headers.len(), 1);
+    }
+
+    #[test]
+    fn headerless_envelope_omits_header_element() {
+        let env = Envelope::new(Element::new("X"));
+        let wire = env.to_wire();
+        assert!(!wire.contains("Header"));
+        assert_eq!(Envelope::from_wire(&wire).unwrap(), env);
+    }
+
+    #[test]
+    fn from_wire_rejects_non_envelopes() {
+        assert!(Envelope::from_wire("<NotSoap/>").is_err());
+        let no_body = format!("<s:Envelope xmlns:s=\"{}\"/>", ns::SOAP);
+        assert!(Envelope::from_wire(&no_body).is_err());
+        let empty_body = format!("<s:Envelope xmlns:s=\"{0}\"><s:Body/></s:Envelope>", ns::SOAP);
+        assert!(Envelope::from_wire(&empty_body).is_err());
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = Envelope::new(Element::text_element("A", "x"));
+        let big = Envelope::new(Element::text_element("A", "x".repeat(1000)));
+        assert!(big.wire_size() > small.wire_size() + 900);
+    }
+
+    #[test]
+    fn fault_detection() {
+        let f = Fault::client("bad request");
+        let env = Envelope::new(f.to_element());
+        assert!(env.is_fault());
+        assert_eq!(env.fault().unwrap().reason, "bad request");
+        assert!(sample().fault().is_none());
+    }
+}

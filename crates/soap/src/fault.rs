@@ -1,0 +1,162 @@
+//! SOAP 1.1 faults, plus the detail slot WS-BaseFaults fills in.
+
+use ogsa_xml::{ns, Element, QName, XmlError, XmlResult};
+
+/// SOAP 1.1 fault code classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCode {
+    /// Malformed / unauthorised request (`soap:Client`).
+    Client,
+    /// Service-side failure (`soap:Server`).
+    Server,
+    /// A mustUnderstand header was not understood.
+    MustUnderstand,
+    /// Version mismatch.
+    VersionMismatch,
+}
+
+impl FaultCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultCode::Client => "Client",
+            FaultCode::Server => "Server",
+            FaultCode::MustUnderstand => "MustUnderstand",
+            FaultCode::VersionMismatch => "VersionMismatch",
+        }
+    }
+
+    fn parse(s: &str) -> Self {
+        // The code may arrive prefixed (`soap:Client`).
+        match s.rsplit(':').next().unwrap_or(s) {
+            "Client" => FaultCode::Client,
+            "MustUnderstand" => FaultCode::MustUnderstand,
+            "VersionMismatch" => FaultCode::VersionMismatch,
+            _ => FaultCode::Server,
+        }
+    }
+}
+
+/// A SOAP fault: code, human-readable reason, optional detail payload
+/// (WS-BaseFaults puts its structured fault document here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    pub code: FaultCode,
+    pub reason: String,
+    pub detail: Option<Element>,
+}
+
+impl Fault {
+    pub fn new(code: FaultCode, reason: impl Into<String>) -> Self {
+        Fault {
+            code,
+            reason: reason.into(),
+            detail: None,
+        }
+    }
+
+    /// Client-class fault.
+    pub fn client(reason: impl Into<String>) -> Self {
+        Fault::new(FaultCode::Client, reason)
+    }
+
+    /// Server-class fault.
+    pub fn server(reason: impl Into<String>) -> Self {
+        Fault::new(FaultCode::Server, reason)
+    }
+
+    /// Attach a detail payload (builder style).
+    pub fn with_detail(mut self, detail: Element) -> Self {
+        self.detail = Some(detail);
+        self
+    }
+
+    /// Build the `<soap:Fault>` element.
+    pub fn to_element(&self) -> Element {
+        let mut f = Element::new(QName::new(ns::SOAP, "Fault"));
+        // faultcode/faultstring are unqualified in SOAP 1.1.
+        f.add_child(Element::text_element(
+            "faultcode",
+            format!("soap:{}", self.code.as_str()),
+        ));
+        f.add_child(Element::text_element("faultstring", self.reason.clone()));
+        if let Some(d) = &self.detail {
+            f.add_child(Element::new("detail").with_child(d.clone()));
+        }
+        f
+    }
+
+    /// Decode a `<soap:Fault>` element.
+    pub fn from_element(e: &Element) -> XmlResult<Self> {
+        if e.name != QName::new(ns::SOAP, "Fault") {
+            return Err(XmlError::Schema(format!(
+                "expected soap:Fault, found {:?}",
+                e.name
+            )));
+        }
+        let code = e
+            .child_text("faultcode")
+            .map(FaultCode::parse)
+            .unwrap_or(FaultCode::Server);
+        let reason = e.child_text("faultstring").unwrap_or_default().to_owned();
+        let detail = e
+            .child_local("detail")
+            .and_then(|d| d.child_elements().next().cloned());
+        Ok(Fault {
+            code,
+            reason,
+            detail,
+        })
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "soap:{} fault: {}", self.code.as_str(), self.reason)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_detail() {
+        let f = Fault::server("backend down")
+            .with_detail(Element::text_element("retry-after", "30"));
+        let back = Fault::from_element(&f.to_element()).unwrap();
+        assert_eq!(f, back);
+        assert_eq!(back.detail.unwrap().text(), "30");
+    }
+
+    #[test]
+    fn roundtrip_without_detail() {
+        let f = Fault::client("who are you");
+        let back = Fault::from_element(&f.to_element()).unwrap();
+        assert_eq!(back.code, FaultCode::Client);
+        assert_eq!(back.reason, "who are you");
+        assert!(back.detail.is_none());
+    }
+
+    #[test]
+    fn code_parsing_tolerates_prefixes() {
+        assert_eq!(FaultCode::parse("soap:Client"), FaultCode::Client);
+        assert_eq!(FaultCode::parse("Client"), FaultCode::Client);
+        assert_eq!(FaultCode::parse("env:Unknown"), FaultCode::Server);
+        assert_eq!(FaultCode::parse("MustUnderstand"), FaultCode::MustUnderstand);
+        assert_eq!(FaultCode::parse("VersionMismatch"), FaultCode::VersionMismatch);
+    }
+
+    #[test]
+    fn rejects_non_fault_elements() {
+        assert!(Fault::from_element(&Element::new("NotAFault")).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Fault::client("nope").to_string();
+        assert!(s.contains("Client"));
+        assert!(s.contains("nope"));
+    }
+}

@@ -1,0 +1,17 @@
+//! # ogsa-soap
+//!
+//! SOAP 1.1-style envelopes over [`ogsa_xml`]: typed [`Envelope`] with
+//! header blocks and a body, [`Fault`]s (including the mapping WS-BaseFaults
+//! layers on top), and (de)serialisation to the wire form every hop of the
+//! simulated testbed exchanges.
+//!
+//! Both software stacks in the paper speak document/literal SOAP under
+//! WS-I Basic Profile; the envelope layer is therefore shared, exactly as it
+//! was shared between WSRF.NET and the WS-Transfer implementation through
+//! ASP.NET/WSE.
+
+pub mod envelope;
+pub mod fault;
+
+pub use envelope::Envelope;
+pub use fault::{Fault, FaultCode};

@@ -1,0 +1,34 @@
+//! # ogsa-transfer
+//!
+//! WS-Transfer (§2.2, §3.2): four operations — Create, Get, Put, Delete —
+//! over resources addressed by EPR, with best-effort semantics and no
+//! lifetime management ("there is no lifetime management functionality
+//! since it is not defined in the spec").
+//!
+//! Faithful to the paper's implementation choices:
+//!
+//! * resources are XML documents in the Xindice-analogue database, named by
+//!   a GUID minted at Create (overridable — the Grid-in-a-Box services name
+//!   resources by user DN and filename);
+//! * `Put` re-reads the old representation before storing the new one —
+//!   the unoptimised path that makes WS-Transfer `Set` slower than
+//!   WSRF.NET's cached `Set` in Figure 2;
+//! * services may distinguish the *resource* from its *representation*
+//!   (a running process vs its XML description) via [`TransferLogic`]
+//!   hooks, including out-of-band resources that were never `Create`d
+//!   through the service;
+//! * there is no input/output schema: bodies are `xsd:any`, so clients
+//!   hard-code expected shapes and drift is a runtime surprise, not a
+//!   compile-time error (§3.2's third issue — exercised in the tests).
+
+pub mod logic;
+pub mod messages;
+pub mod metadata;
+pub mod proxy;
+pub mod service;
+
+pub use logic::{CreateOutcome, DefaultTransferLogic, TransferLogic};
+pub use messages::actions;
+pub use metadata::ResourceSchema;
+pub use proxy::TransferProxy;
+pub use service::TransferService;

@@ -1,0 +1,126 @@
+//! The service-side semantics hooks.
+//!
+//! WS-Transfer deliberately leaves semantics to the service: "The service
+//! may or may not modify the XML-based resource representation (parameter)
+//! sent by the client" and "Depending on the semantic of Get(), it may run
+//! query on database or pull out an overall document" (§3.2). The
+//! [`TransferLogic`] trait is that extension surface; the
+//! [`DefaultTransferLogic`] is the paper's default behaviour where "the
+//! resource and its representation are equivalent".
+
+use std::sync::Arc;
+
+use ogsa_container::{Operation, OperationContext};
+use ogsa_sim::DetRng;
+use ogsa_soap::Fault;
+use ogsa_xml::Element;
+use ogsa_xmldb::Collection;
+
+/// Result of a `Create`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateOutcome {
+    /// The minted resource id (embedded into the returned EPR as a
+    /// reference property).
+    pub id: String,
+    /// What to store.
+    pub stored: Element,
+    /// The representation to return, if modified from the client's input.
+    pub modified: Option<Element>,
+}
+
+/// Per-service semantics for the four operations. All methods have
+/// defaults implementing resource == representation over the store.
+pub trait TransferLogic: Send + Sync + 'static {
+    /// Mint an id for a new resource. Default: GUID ("by default, GUID",
+    /// §3.2).
+    fn mint_id(&self, _representation: &Element, rng: &DetRng) -> String {
+        rng.guid()
+    }
+
+    /// Create semantics. Default: store the representation unmodified.
+    fn create(
+        &self,
+        representation: Element,
+        _op: &Operation,
+        _ctx: &OperationContext,
+        store: &Arc<Collection>,
+        rng: &DetRng,
+    ) -> Result<CreateOutcome, Fault> {
+        let id = self.mint_id(&representation, rng);
+        store
+            .insert(&id, representation.clone())
+            .map_err(|e| Fault::server(e.to_string()))?;
+        Ok(CreateOutcome {
+            id,
+            stored: representation,
+            modified: None,
+        })
+    }
+
+    /// Supply a representation for a resource that was never `Create`d
+    /// through this service ("a resource ... created by an out of band
+    /// mechanism. It can still be identified by EPR in Get(), Set(), and
+    /// Delete()"). Default: none.
+    fn out_of_band(&self, _id: &str, _ctx: &OperationContext) -> Option<Element> {
+        None
+    }
+
+    /// Get semantics. Default: return the stored document verbatim.
+    fn get(
+        &self,
+        id: &str,
+        _op: &Operation,
+        ctx: &OperationContext,
+        store: &Arc<Collection>,
+    ) -> Result<Element, Fault> {
+        match store.get(id) {
+            Some(doc) => Ok(doc),
+            None => self
+                .out_of_band(id, ctx)
+                .ok_or_else(|| Fault::client(format!("no resource `{id}`"))),
+        }
+    }
+
+    /// Put semantics. The default reproduces the paper's unoptimised path:
+    /// read the old representation from the database, then store the
+    /// replacement — the extra read WSRF.NET's cache avoids.
+    fn put(
+        &self,
+        id: &str,
+        replacement: Element,
+        _op: &Operation,
+        ctx: &OperationContext,
+        store: &Arc<Collection>,
+    ) -> Result<Option<Element>, Fault> {
+        let _old = match store.get(id) {
+            Some(doc) => doc,
+            None => self
+                .out_of_band(id, ctx)
+                .ok_or_else(|| Fault::client(format!("no resource `{id}`")))?,
+        };
+        store
+            .upsert(id, replacement);
+        Ok(None)
+    }
+
+    /// Delete semantics. Default: remove the document. Services managing
+    /// active entities decide here whether deleting the representation also
+    /// terminates the entity (§3.2's Delete ambiguity).
+    fn delete(
+        &self,
+        id: &str,
+        _op: &Operation,
+        _ctx: &OperationContext,
+        store: &Arc<Collection>,
+    ) -> Result<(), Fault> {
+        store
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| Fault::client(format!("no resource `{id}`")))
+    }
+}
+
+/// Resource == representation, GUID naming — the paper's default.
+pub struct DefaultTransferLogic;
+
+impl TransferLogic for DefaultTransferLogic {}

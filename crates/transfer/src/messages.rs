@@ -1,0 +1,122 @@
+//! WS-Transfer message formats.
+
+use ogsa_addressing::EndpointReference;
+use ogsa_xml::{ns, Element, QName};
+
+fn q(local: &str) -> QName {
+    QName::new(ns::WXF, local)
+}
+
+/// WS-Addressing actions for the four operations.
+pub mod actions {
+    pub const GET: &str = "http://schemas.xmlsoap.org/ws/2004/09/transfer/Get";
+    pub const PUT: &str = "http://schemas.xmlsoap.org/ws/2004/09/transfer/Put";
+    pub const DELETE: &str = "http://schemas.xmlsoap.org/ws/2004/09/transfer/Delete";
+    pub const CREATE: &str = "http://schemas.xmlsoap.org/ws/2004/09/transfer/Create";
+}
+
+/// `Get` has an empty body — the resource is named entirely by the EPR.
+pub fn get_request() -> Element {
+    Element::new(q("Get"))
+}
+
+/// `Put` carries the replacement representation.
+pub fn put_request(representation: Element) -> Element {
+    Element::new(q("Put")).with_child(representation)
+}
+
+/// `Delete` has an empty body.
+pub fn delete_request() -> Element {
+    Element::new(q("Delete"))
+}
+
+/// `Create` carries the initial representation (to the resource factory).
+pub fn create_request(representation: Element) -> Element {
+    Element::new(q("Create")).with_child(representation)
+}
+
+/// `CreateResponse`: the new resource's EPR, plus the representation if the
+/// service modified it ("Create() returns a new resource representation to
+/// the client if the resource representation is modified from the user's
+/// input", §3.2).
+pub fn create_response(epr: &EndpointReference, modified: Option<Element>) -> Element {
+    let mut e = Element::new(q("CreateResponse"))
+        .with_child(epr.to_element_named(q("ResourceCreated")));
+    if let Some(rep) = modified {
+        e.add_child(Element::new(q("Representation")).with_child(rep));
+    }
+    e
+}
+
+/// Parse a `CreateResponse` into (EPR, optional modified representation).
+pub fn parse_create_response(e: &Element) -> Option<(EndpointReference, Option<Element>)> {
+    let epr = EndpointReference::from_element(e.child_local("ResourceCreated")?).ok()?;
+    let rep = e
+        .child_local("Representation")
+        .and_then(|r| r.child_elements().next().cloned());
+    Some((epr, rep))
+}
+
+/// Wrap a representation in a `GetResponse`.
+pub fn get_response(representation: Element) -> Element {
+    Element::new(q("GetResponse")).with_child(representation)
+}
+
+/// Unwrap a `GetResponse` (the representation is the single child).
+pub fn parse_get_response(e: &Element) -> Option<Element> {
+    e.child_elements().next().cloned()
+}
+
+/// `PutResponse`, optionally carrying the (possibly service-modified) new
+/// representation.
+pub fn put_response(modified: Option<Element>) -> Element {
+    let mut e = Element::new(q("PutResponse"));
+    if let Some(rep) = modified {
+        e.add_child(rep);
+    }
+    e
+}
+
+/// `DeleteResponse` (empty).
+pub fn delete_response() -> Element {
+    Element::new(q("DeleteResponse"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_response_roundtrip_with_modification() {
+        let epr = EndpointReference::resource("http://h/s", "r-1");
+        let rep = Element::text_element("counter", "0");
+        let resp = create_response(&epr, Some(rep.clone()));
+        let (back_epr, back_rep) = parse_create_response(&resp).unwrap();
+        assert_eq!(back_epr, epr);
+        assert_eq!(back_rep, Some(rep));
+    }
+
+    #[test]
+    fn create_response_roundtrip_unmodified() {
+        let epr = EndpointReference::resource("http://h/s", "r-2");
+        let resp = create_response(&epr, None);
+        let (back_epr, back_rep) = parse_create_response(&resp).unwrap();
+        assert_eq!(back_epr, epr);
+        assert!(back_rep.is_none());
+    }
+
+    #[test]
+    fn get_response_unwraps() {
+        let rep = Element::text_element("doc", "x");
+        assert_eq!(parse_get_response(&get_response(rep.clone())), Some(rep));
+    }
+
+    #[test]
+    fn request_bodies_have_spec_names() {
+        assert_eq!(&*get_request().name.local, "Get");
+        assert!(get_request().name.in_ns(ns::WXF));
+        assert_eq!(&*put_request(Element::new("r")).name.local, "Put");
+        assert_eq!(&*create_request(Element::new("r")).name.local, "Create");
+        assert_eq!(&*delete_request().name.local, "Delete");
+    }
+}

@@ -1,0 +1,198 @@
+//! WS-MetadataExchange for WS-Transfer services — the paper's own
+//! suggestion (§3.2): "We determined no elegant mechanism by which the
+//! client could easily discover the schemas (although emerging
+//! specifications like WS-MetadataExchange do seem promising)."
+//!
+//! A transfer service deployed with [`ResourceSchema`] metadata answers
+//! `GetMetadata` with a declarative description of the representations it
+//! understands; clients can fetch it once and [`ResourceSchema::validate`]
+//! representations before (or after) the wire, turning §3.2's silent
+//! schema drift into an explicit error.
+
+use ogsa_xml::Element;
+
+/// The WS-MetadataExchange (September 2004) namespace.
+pub const MEX_NS: &str = "http://schemas.xmlsoap.org/ws/2004/09/mex";
+
+/// The `GetMetadata` action URI.
+pub const GET_METADATA_ACTION: &str =
+    "http://schemas.xmlsoap.org/ws/2004/09/mex/GetMetadata/Request";
+
+/// A field of a resource representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaField {
+    /// Child element local name.
+    pub name: String,
+    /// `"string"` | `"integer"` | `"boolean"` — enough for the paper's
+    /// payloads.
+    pub datatype: String,
+    pub required: bool,
+}
+
+/// A declarative schema for one resource type: root element name plus its
+/// expected children. Deliberately much simpler than XSD — the point is
+/// *discoverability*, not type-system completeness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSchema {
+    pub root: String,
+    pub fields: Vec<SchemaField>,
+}
+
+impl ResourceSchema {
+    pub fn new(root: &str) -> Self {
+        ResourceSchema {
+            root: root.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Add a required field (builder style).
+    pub fn with_field(mut self, name: &str, datatype: &str) -> Self {
+        self.fields.push(SchemaField {
+            name: name.to_owned(),
+            datatype: datatype.to_owned(),
+            required: true,
+        });
+        self
+    }
+
+    /// Add an optional field (builder style).
+    pub fn with_optional(mut self, name: &str, datatype: &str) -> Self {
+        self.fields.push(SchemaField {
+            name: name.to_owned(),
+            datatype: datatype.to_owned(),
+            required: false,
+        });
+        self
+    }
+
+    /// Check a representation against this schema.
+    pub fn validate(&self, representation: &Element) -> Result<(), String> {
+        if &*representation.name.local != self.root.as_str() {
+            return Err(format!(
+                "expected root <{}>, found <{}>",
+                self.root, representation.name.local
+            ));
+        }
+        for f in &self.fields {
+            match representation.child_text(&f.name) {
+                None if f.required => {
+                    return Err(format!("missing required element <{}>", f.name))
+                }
+                None => {}
+                Some(text) => {
+                    let ok = match f.datatype.as_str() {
+                        "integer" => text.trim().parse::<i64>().is_ok(),
+                        "boolean" => text.trim().parse::<bool>().is_ok(),
+                        _ => true,
+                    };
+                    if !ok {
+                        return Err(format!(
+                            "element <{}> is not a valid {}: `{text}`",
+                            f.name, f.datatype
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialise into the mex `Metadata` envelope body.
+    pub fn to_element(&self) -> Element {
+        let mut schema = Element::new("ResourceSchema").with_attr("root", self.root.clone());
+        for f in &self.fields {
+            schema.add_child(
+                Element::new("Field")
+                    .with_attr("name", f.name.clone())
+                    .with_attr("type", f.datatype.clone())
+                    .with_attr("required", f.required.to_string()),
+            );
+        }
+        schema
+    }
+
+    pub fn from_element(e: &Element) -> Option<Self> {
+        let root = e.attr_local("root")?.to_owned();
+        let mut fields = Vec::new();
+        for f in e.child_elements().filter(|c| &*c.name.local == "Field") {
+            fields.push(SchemaField {
+                name: f.attr_local("name")?.to_owned(),
+                datatype: f.attr_local("type").unwrap_or("string").to_owned(),
+                required: f.attr_local("required").unwrap_or("true") == "true",
+            });
+        }
+        Some(ResourceSchema { root, fields })
+    }
+}
+
+/// Build the `mex:Metadata` response body from a set of schemas.
+pub fn metadata_response(schemas: &[ResourceSchema]) -> Element {
+    let mut out = Element::new(ogsa_xml::QName::new(MEX_NS, "Metadata"));
+    for s in schemas {
+        out.add_child(
+            Element::new(ogsa_xml::QName::new(MEX_NS, "MetadataSection"))
+                .with_attr("Dialect", "urn:ogsa-grid:resource-schema")
+                .with_child(s.to_element()),
+        );
+    }
+    out
+}
+
+/// Parse schemas back out of a `mex:Metadata` body.
+pub fn parse_metadata_response(e: &Element) -> Vec<ResourceSchema> {
+    e.child_elements()
+        .filter(|s| &*s.name.local == "MetadataSection")
+        .filter_map(|s| s.child_elements().next())
+        .filter_map(ResourceSchema::from_element)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_schema() -> ResourceSchema {
+        ResourceSchema::new("counter")
+            .with_field("value", "integer")
+            .with_optional("label", "string")
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let s = counter_schema();
+        let back = ResourceSchema::from_element(&s.to_element()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn validation_accepts_conforming_documents() {
+        let s = counter_schema();
+        let ok = Element::new("counter").with_child(Element::text_element("value", "42"));
+        assert!(s.validate(&ok).is_ok());
+        let with_opt = Element::new("counter")
+            .with_child(Element::text_element("value", "0"))
+            .with_child(Element::text_element("label", "mine"));
+        assert!(s.validate(&with_opt).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_drift() {
+        let s = counter_schema();
+        // §3.2's drift scenarios, now loud instead of silent:
+        let wrong_root = Element::new("acct").with_child(Element::text_element("value", "1"));
+        assert!(s.validate(&wrong_root).unwrap_err().contains("root"));
+        let missing = Element::new("counter");
+        assert!(s.validate(&missing).unwrap_err().contains("value"));
+        let wrong_type =
+            Element::new("counter").with_child(Element::text_element("value", "lots"));
+        assert!(s.validate(&wrong_type).unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn metadata_response_roundtrip() {
+        let schemas = vec![counter_schema(), ResourceSchema::new("job").with_field("application", "string")];
+        let body = metadata_response(&schemas);
+        assert_eq!(parse_metadata_response(&body), schemas);
+    }
+}

@@ -1,0 +1,84 @@
+//! Client-side WS-Transfer proxy.
+//!
+//! "Since WS-Transfer deals in terms of raw XML, the arguments and return
+//! values for the WS-Transfer proxy methods are arrays of XML elements"
+//! (§4.1.3) — so, unlike the WSRF proxy, nothing here
+//! deserialises into typed values: callers get [`Element`]s and must know
+//! the schema out-of-band.
+
+use ogsa_addressing::EndpointReference;
+use ogsa_container::{ClientAgent, InvokeError};
+use ogsa_soap::Fault;
+use ogsa_xml::Element;
+
+use crate::messages::{self, actions};
+
+/// A WS-Transfer proxy bound to one client agent.
+pub struct TransferProxy<'a> {
+    agent: &'a ClientAgent,
+}
+
+impl<'a> TransferProxy<'a> {
+    pub fn new(agent: &'a ClientAgent) -> Self {
+        TransferProxy { agent }
+    }
+
+    /// `Create` against a resource factory; returns the new resource's EPR
+    /// and the representation if the service modified it.
+    pub fn create(
+        &self,
+        factory: &EndpointReference,
+        representation: Element,
+    ) -> Result<(EndpointReference, Option<Element>), InvokeError> {
+        let resp = self.agent.invoke(
+            factory,
+            actions::CREATE,
+            messages::create_request(representation),
+        )?;
+        messages::parse_create_response(&resp)
+            .ok_or_else(|| InvokeError::Fault(Fault::server("malformed CreateResponse")))
+    }
+
+    /// `Get` a one-time snapshot of the representation.
+    pub fn get(&self, resource: &EndpointReference) -> Result<Element, InvokeError> {
+        let resp = self
+            .agent
+            .invoke(resource, actions::GET, messages::get_request())?;
+        messages::parse_get_response(&resp)
+            .ok_or_else(|| InvokeError::Fault(Fault::server("empty GetResponse")))
+    }
+
+    /// `Put` a replacement representation.
+    pub fn put(
+        &self,
+        resource: &EndpointReference,
+        replacement: Element,
+    ) -> Result<Option<Element>, InvokeError> {
+        let resp = self
+            .agent
+            .invoke(resource, actions::PUT, messages::put_request(replacement))?;
+        let modified = resp.child_elements().next().cloned();
+        Ok(modified)
+    }
+
+    /// `Delete` the resource.
+    pub fn delete(&self, resource: &EndpointReference) -> Result<(), InvokeError> {
+        self.agent
+            .invoke(resource, actions::DELETE, messages::delete_request())?;
+        Ok(())
+    }
+
+    /// WS-MetadataExchange `GetMetadata`: discover the service's resource
+    /// schemas (empty if the service does not advertise any).
+    pub fn get_metadata(
+        &self,
+        service: &EndpointReference,
+    ) -> Result<Vec<crate::metadata::ResourceSchema>, InvokeError> {
+        let resp = self.agent.invoke(
+            service,
+            crate::metadata::GET_METADATA_ACTION,
+            Element::new(ogsa_xml::QName::new(crate::metadata::MEX_NS, "GetMetadata")),
+        )?;
+        Ok(crate::metadata::parse_metadata_response(&resp))
+    }
+}

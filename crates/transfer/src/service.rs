@@ -1,0 +1,107 @@
+//! The deployable WS-Transfer service.
+
+use std::sync::Arc;
+
+use ogsa_addressing::EndpointReference;
+use ogsa_container::{Container, Operation, OperationContext, WebService};
+use ogsa_sim::DetRng;
+use ogsa_soap::Fault;
+use ogsa_xml::Element;
+use ogsa_xmldb::Collection;
+
+use crate::logic::TransferLogic;
+use crate::messages;
+
+/// A WS-Transfer service: the four operations dispatched onto a
+/// [`TransferLogic`]. Unlike the WSRF host there is no resource cache and no
+/// lifetime management — matching the paper's implementation. Optionally
+/// answers WS-MetadataExchange `GetMetadata` with its resource schemas
+/// (the §3.2 discoverability extension).
+pub struct TransferService<L: TransferLogic> {
+    logic: Arc<L>,
+    store: Arc<Collection>,
+    rng: DetRng,
+    schemas: Vec<crate::metadata::ResourceSchema>,
+}
+
+impl<L: TransferLogic> TransferService<L> {
+    /// Deploy at `path` in `container`; resources live in the collection
+    /// `wxf:{path}`. Returns (service EPR, resource collection).
+    pub fn deploy(
+        container: &Container,
+        path: &str,
+        logic: Arc<L>,
+    ) -> (EndpointReference, Arc<Collection>) {
+        Self::deploy_with_metadata(container, path, logic, Vec::new())
+    }
+
+    /// Deploy with WS-MetadataExchange schemas advertised via `GetMetadata`.
+    pub fn deploy_with_metadata(
+        container: &Container,
+        path: &str,
+        logic: Arc<L>,
+        schemas: Vec<crate::metadata::ResourceSchema>,
+    ) -> (EndpointReference, Arc<Collection>) {
+        let store = container.db().collection(&format!("wxf:{path}"));
+        let service = TransferService {
+            logic,
+            store: store.clone(),
+            rng: DetRng::seeded(0x7746 ^ path.len() as u64),
+            schemas,
+        };
+        let epr = container.deploy(path, Arc::new(service));
+        (epr, store)
+    }
+}
+
+impl<L: TransferLogic> WebService for TransferService<L> {
+    fn handle(&self, op: &Operation, ctx: &OperationContext) -> Result<Element, Fault> {
+        match op.action_name() {
+            "Create" => {
+                // The factory receives the initial representation as the
+                // single child of the Create body.
+                let representation = op
+                    .body
+                    .child_elements()
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| Fault::client("Create without a representation"))?;
+                let outcome = self
+                    .logic
+                    .create(representation, op, ctx, &self.store, &self.rng)?;
+                let epr = ctx.own_resource_epr(&outcome.id);
+                Ok(messages::create_response(&epr, outcome.modified))
+            }
+            "Get" => {
+                let id = op.require_resource_id()?;
+                let rep = self.logic.get(id, op, ctx, &self.store)?;
+                Ok(messages::get_response(rep))
+            }
+            "Put" => {
+                let id = op.require_resource_id()?;
+                let replacement = op
+                    .body
+                    .child_elements()
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| Fault::client("Put without a replacement representation"))?;
+                let modified = self.logic.put(id, replacement, op, ctx, &self.store)?;
+                Ok(messages::put_response(modified))
+            }
+            "Delete" => {
+                let id = op.require_resource_id()?;
+                self.logic.delete(id, op, ctx, &self.store)?;
+                Ok(messages::delete_response())
+            }
+            // WS-MetadataExchange: only when the deployment advertised
+            // schemas; a bare WS-Transfer service keeps the paper's
+            // "no elegant mechanism" behaviour.
+            "Request" | "GetMetadata" if !self.schemas.is_empty() => {
+                Ok(crate::metadata::metadata_response(&self.schemas))
+            }
+            other => Err(Fault::client(format!(
+                "WS-Transfer service does not define `{other}`"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end WS-Transfer tests over the simulated wire.
+
+use std::sync::Arc;
+
+use ogsa_container::{InvokeError, Operation, OperationContext, Testbed};
+use ogsa_security::SecurityPolicy;
+use ogsa_sim::DetRng;
+use ogsa_soap::Fault;
+use ogsa_transfer::{CreateOutcome, DefaultTransferLogic, TransferLogic, TransferProxy, TransferService};
+use ogsa_xml::Element;
+use ogsa_xmldb::Collection;
+use ogsa_addressing::EndpointReference;
+
+fn default_setup() -> (Testbed, EndpointReference) {
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (epr, _store) =
+        TransferService::deploy(&container, "/services/Store", Arc::new(DefaultTransferLogic));
+    (tb, epr)
+}
+
+#[test]
+fn crud_lifecycle_over_the_wire() {
+    let (tb, factory) = default_setup();
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+
+    let (resource, modified) = proxy
+        .create(&factory, Element::text_element("counter", "0"))
+        .unwrap();
+    // Default logic stores the representation unmodified.
+    assert!(modified.is_none());
+    // The minted name is a GUID embedded in the EPR.
+    let id = resource.resource_id().unwrap();
+    assert_eq!(id.len(), 36);
+
+    let rep = proxy.get(&resource).unwrap();
+    assert_eq!(rep.text(), "0");
+
+    proxy.put(&resource, Element::text_element("counter", "41")).unwrap();
+    assert_eq!(proxy.get(&resource).unwrap().text(), "41");
+
+    proxy.delete(&resource).unwrap();
+    assert!(matches!(proxy.get(&resource), Err(InvokeError::Fault(_))));
+    // Delete of a deleted resource faults too.
+    assert!(matches!(proxy.delete(&resource), Err(InvokeError::Fault(_))));
+}
+
+#[test]
+fn put_performs_the_extra_read() {
+    // The paper: "setting the counter's value, causes the old representation
+    // ... to be read from the database and updated ... before being stored."
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (factory, _) =
+        TransferService::deploy(&container, "/services/Store", Arc::new(DefaultTransferLogic));
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+    let (resource, _) = proxy.create(&factory, Element::text_element("c", "0")).unwrap();
+
+    let reads_before = tb.db("host-a").stats().reads();
+    let updates_before = tb.db("host-a").stats().updates();
+    proxy.put(&resource, Element::text_element("c", "1")).unwrap();
+    assert_eq!(tb.db("host-a").stats().reads(), reads_before + 1);
+    assert_eq!(tb.db("host-a").stats().updates(), updates_before + 1);
+}
+
+#[test]
+fn fifth_operation_is_undefined() {
+    let (tb, factory) = default_setup();
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let err = client
+        .invoke(&factory, "urn:custom/Rename", Element::new("Rename"))
+        .unwrap_err();
+    assert!(matches!(err, InvokeError::Fault(f) if f.reason.contains("does not define")));
+}
+
+/// Logic whose Create modifies the representation (assigns a server-side
+/// serial) and that serves an out-of-band resource.
+struct CustomLogic;
+
+impl TransferLogic for CustomLogic {
+    fn create(
+        &self,
+        representation: Element,
+        _op: &Operation,
+        _ctx: &OperationContext,
+        store: &Arc<Collection>,
+        rng: &DetRng,
+    ) -> Result<CreateOutcome, Fault> {
+        let id = rng.guid();
+        let stored = representation.with_attr("serial", "srv-1");
+        store
+            .insert(&id, stored.clone())
+            .map_err(|e| Fault::server(e.to_string()))?;
+        Ok(CreateOutcome {
+            id,
+            stored: stored.clone(),
+            modified: Some(stored),
+        })
+    }
+
+    fn out_of_band(&self, id: &str, _ctx: &OperationContext) -> Option<Element> {
+        (id == "legacy-7").then(|| Element::text_element("legacy", "out-of-band"))
+    }
+}
+
+#[test]
+fn create_may_modify_the_representation() {
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (factory, _) = TransferService::deploy(&container, "/services/Custom", Arc::new(CustomLogic));
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+
+    let (_resource, modified) = proxy.create(&factory, Element::new("thing")).unwrap();
+    // The service returned the modified representation, per §3.2.
+    assert_eq!(modified.unwrap().attr_local("serial"), Some("srv-1"));
+}
+
+#[test]
+fn out_of_band_resources_are_gettable() {
+    // "Our service-side implementation had to be a little more sophisticated
+    // to deal with legitimate operations on resources ... for which a
+    // corresponding Create() had not been previously issued" (§3.2).
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (factory, _) = TransferService::deploy(&container, "/services/Custom", Arc::new(CustomLogic));
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+
+    // Never Created through the service, yet addressable by EPR.
+    let epr = EndpointReference::resource(factory.address.clone(), "legacy-7");
+    assert_eq!(proxy.get(&epr).unwrap().text(), "out-of-band");
+    // But unknown ids still fault.
+    let ghost = EndpointReference::resource(factory.address.clone(), "legacy-8");
+    assert!(proxy.get(&ghost).is_err());
+}
+
+#[test]
+fn no_schema_means_drift_is_a_runtime_surprise() {
+    // §3.2: clients hard-code schemas; a service that changes the element
+    // names breaks clients only when they try to read the content.
+    let (tb, factory) = default_setup();
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+
+    // Client A writes a representation with one schema...
+    let (resource, _) = proxy
+        .create(
+            &factory,
+            Element::new("account").with_child(Element::text_element("balance", "10")),
+        )
+        .unwrap();
+    // ...client B (another team) replaces it with a different shape; the
+    // service (xsd:any) happily accepts.
+    proxy
+        .put(
+            &resource,
+            Element::new("acct").with_child(Element::text_element("bal", "10")),
+        )
+        .unwrap();
+    // Client A's hard-coded accessor now silently returns nothing.
+    let rep = proxy.get(&resource).unwrap();
+    assert_eq!(rep.child_text("balance"), None);
+}
+
+#[test]
+fn works_under_https_and_x509() {
+    for policy in [SecurityPolicy::Https, SecurityPolicy::X509Sign] {
+        let tb = Testbed::free();
+        let container = tb.container("host-a", policy);
+        let (factory, _) =
+            TransferService::deploy(&container, "/services/Store", Arc::new(DefaultTransferLogic));
+        let client = tb.client("host-b", "CN=alice", policy);
+        let proxy = TransferProxy::new(&client);
+        let (resource, _) = proxy.create(&factory, Element::text_element("c", "5")).unwrap();
+        assert_eq!(proxy.get(&resource).unwrap().text(), "5");
+        proxy.delete(&resource).unwrap();
+    }
+}
+
+#[test]
+fn multiple_resource_types_can_coexist_in_one_service() {
+    // "WS-Transfer is silent on this issue, potentially allowing multiple
+    // types of resources to be associated with a single service" (§2.3).
+    let (tb, factory) = default_setup();
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+
+    let (counter, _) = proxy.create(&factory, Element::text_element("counter", "1")).unwrap();
+    let (job, _) = proxy
+        .create(
+            &factory,
+            Element::new("job").with_child(Element::text_element("app", "blast")),
+        )
+        .unwrap();
+    assert_eq!(&*proxy.get(&counter).unwrap().name.local, "counter");
+    assert_eq!(&*proxy.get(&job).unwrap().name.local, "job");
+}

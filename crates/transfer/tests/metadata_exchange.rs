@@ -1,0 +1,101 @@
+//! WS-MetadataExchange over WS-Transfer: the §3.2 schema-discovery fix,
+//! end to end.
+
+use std::sync::Arc;
+
+use ogsa_container::{InvokeError, Testbed};
+use ogsa_security::SecurityPolicy;
+use ogsa_transfer::{DefaultTransferLogic, ResourceSchema, TransferProxy, TransferService};
+use ogsa_xml::Element;
+
+fn counter_schema() -> ResourceSchema {
+    ResourceSchema::new("counter").with_field("value", "integer")
+}
+
+#[test]
+fn client_discovers_schema_instead_of_hardcoding() {
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (factory, _) = TransferService::deploy_with_metadata(
+        &container,
+        "/services/Counter",
+        Arc::new(DefaultTransferLogic),
+        vec![counter_schema()],
+    );
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+
+    // Discovery replaces the paper's "hard-coding of common schemas within
+    // the client and service".
+    let schemas = proxy.get_metadata(&factory).unwrap();
+    assert_eq!(schemas.len(), 1);
+    let schema = &schemas[0];
+    assert_eq!(schema.root, "counter");
+
+    // Build a conforming representation *from the discovered schema*.
+    let rep = Element::new(schema.root.as_str())
+        .with_child(Element::text_element("value", "7"));
+    schema.validate(&rep).expect("conforms");
+    let (resource, _) = proxy.create(&factory, rep).unwrap();
+
+    // And validate what comes back.
+    let fetched = proxy.get(&resource).unwrap();
+    schema.validate(&fetched).expect("server representation conforms");
+}
+
+#[test]
+fn drift_is_detected_before_it_corrupts_state() {
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (factory, _) = TransferService::deploy_with_metadata(
+        &container,
+        "/services/Counter",
+        Arc::new(DefaultTransferLogic),
+        vec![counter_schema()],
+    );
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let proxy = TransferProxy::new(&client);
+    let schema = &proxy.get_metadata(&factory).unwrap()[0];
+
+    // The drifted representation from `crud_flow.rs`'s silent-drift test is
+    // now caught *client-side, before the wire*.
+    let drifted = Element::new("acct").with_child(Element::text_element("bal", "10"));
+    assert!(schema.validate(&drifted).is_err());
+}
+
+#[test]
+fn services_without_metadata_keep_the_papers_behaviour() {
+    // A bare WS-Transfer service still has "no elegant mechanism".
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (factory, _) = TransferService::deploy(
+        &container,
+        "/services/Plain",
+        Arc::new(DefaultTransferLogic),
+    );
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let err = TransferProxy::new(&client).get_metadata(&factory).unwrap_err();
+    assert!(matches!(err, InvokeError::Fault(f) if f.reason.contains("does not define")));
+}
+
+#[test]
+fn multiple_resource_types_advertise_multiple_schemas() {
+    // The unified-service style (§2.3) with one schema per resource type.
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (factory, _) = TransferService::deploy_with_metadata(
+        &container,
+        "/services/Unified",
+        Arc::new(DefaultTransferLogic),
+        vec![
+            counter_schema(),
+            ResourceSchema::new("job")
+                .with_field("application", "string")
+                .with_optional("priority", "integer"),
+        ],
+    );
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let schemas = TransferProxy::new(&client).get_metadata(&factory).unwrap();
+    let roots: Vec<_> = schemas.iter().map(|s| s.root.as_str()).collect();
+    assert_eq!(roots, ["counter", "job"]);
+}

@@ -1,0 +1,44 @@
+//! Transport-level failures.
+
+use std::fmt;
+
+/// Failures below the SOAP layer (faults travel *inside* envelopes and are
+/// not transport errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// Nothing is bound at the target address.
+    NoEndpoint { address: String },
+    /// The peer produced bytes that do not parse as a SOAP envelope.
+    WireGarbage { detail: String },
+    /// The network has been shut down.
+    Closed,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NoEndpoint { address } => {
+                write!(f, "no endpoint bound at `{address}`")
+            }
+            TransportError::WireGarbage { detail } => {
+                write!(f, "unparseable message on the wire: {detail}")
+            }
+            TransportError::Closed => write!(f, "network is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_address() {
+        let e = TransportError::NoEndpoint {
+            address: "http://h/x".into(),
+        };
+        assert!(e.to_string().contains("http://h/x"));
+    }
+}

@@ -1,0 +1,581 @@
+//! The network: endpoint registry, ports, and the three bindings.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use ogsa_sim::{CostModel, SimDuration, VirtualClock};
+use ogsa_soap::Envelope;
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::TransportError;
+use crate::stats::NetStats;
+use crate::Deployment;
+
+/// A service-side message handler. Receives the parsed request envelope and
+/// produces the response envelope (which may carry a SOAP fault).
+pub type Handler = Arc<dyn Fn(Envelope) -> Envelope + Send + Sync>;
+
+/// A one-way consumer (notification receiver). No response.
+pub type OnewayHandler = Arc<dyn Fn(Envelope) + Send + Sync>;
+
+enum Endpoint {
+    RequestResponse(Handler),
+    Oneway(OnewayHandler),
+}
+
+struct OnewayJob {
+    to: String,
+    wire: String,
+    from_host: String,
+}
+
+struct NetInner {
+    clock: VirtualClock,
+    model: Arc<CostModel>,
+    endpoints: RwLock<HashMap<String, Endpoint>>,
+    /// Established TLS sessions, keyed by (client host, server host).
+    tls_sessions: Mutex<HashSet<(String, String)>>,
+    /// Pooled transport connections, keyed by (client host, server host, scheme).
+    connections: Mutex<HashSet<(String, String, String)>>,
+    /// Toggle for the HTTPS socket/session cache (ablation).
+    tls_session_cache: RwLock<bool>,
+    stats: NetStats,
+    oneway_tx: Mutex<Option<Sender<OnewayJob>>>,
+}
+
+/// The simulated network. Cloning shares the wire.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetInner>,
+}
+
+impl Network {
+    pub fn new(clock: VirtualClock, model: Arc<CostModel>) -> Self {
+        let inner = Arc::new(NetInner {
+            clock,
+            model,
+            endpoints: RwLock::new(HashMap::new()),
+            tls_sessions: Mutex::new(HashSet::new()),
+            connections: Mutex::new(HashSet::new()),
+            tls_session_cache: RwLock::new(true),
+            stats: NetStats::new(),
+            oneway_tx: Mutex::new(None),
+        });
+        let net = Network { inner };
+        net.start_oneway_worker();
+        net
+    }
+
+    /// A free network for functional tests.
+    pub fn free() -> Self {
+        Network::new(VirtualClock::new(), Arc::new(CostModel::free()))
+    }
+
+    fn start_oneway_worker(&self) {
+        let (tx, rx) = unbounded::<OnewayJob>();
+        *self.inner.oneway_tx.lock() = Some(tx);
+        // Weak reference: the worker must not keep the network alive.
+        let weak = Arc::downgrade(&self.inner);
+        std::thread::Builder::new()
+            .name("ogsa-oneway-delivery".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let Some(inner) = weak.upgrade() else { break };
+                    Network { inner }.deliver_oneway(job);
+                }
+            })
+            .expect("spawn one-way delivery worker");
+    }
+
+    /// Bind a request/response handler at `address`
+    /// (e.g. `http://host-a/services/Counter`).
+    pub fn bind(&self, address: &str, handler: Handler) {
+        self.inner
+            .endpoints
+            .write()
+            .insert(address.to_owned(), Endpoint::RequestResponse(handler));
+    }
+
+    /// Bind a one-way consumer at `address`
+    /// (e.g. `tcp://client-1/notifications`).
+    pub fn bind_oneway(&self, address: &str, handler: OnewayHandler) {
+        self.inner
+            .endpoints
+            .write()
+            .insert(address.to_owned(), Endpoint::Oneway(handler));
+    }
+
+    /// Remove a binding.
+    pub fn unbind(&self, address: &str) {
+        self.inner.endpoints.write().remove(address);
+    }
+
+    /// A client port stationed on `host`.
+    pub fn port(&self, host: &str) -> Port {
+        Port {
+            net: self.clone(),
+            host: host.to_owned(),
+        }
+    }
+
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+
+    pub fn model(&self) -> &CostModel {
+        &self.inner.model
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Enable/disable the HTTPS session cache (the paper's "socket caching").
+    pub fn set_tls_session_cache(&self, enabled: bool) {
+        *self.inner.tls_session_cache.write() = enabled;
+        if !enabled {
+            self.inner.tls_sessions.lock().clear();
+        }
+    }
+
+    /// Forget all pooled connections and TLS sessions (cold start).
+    pub fn reset_connections(&self) {
+        self.inner.connections.lock().clear();
+        self.inner.tls_sessions.lock().clear();
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn scheme_and_host(address: &str) -> (&str, &str) {
+        let (scheme, rest) = address.split_once("://").unwrap_or(("http", address));
+        let host = rest.split('/').next().unwrap_or(rest);
+        (scheme, host)
+    }
+
+    /// Charge connection-establishment costs for `from → to` over `scheme`,
+    /// honouring the connection pool and the TLS session cache.
+    fn charge_connection(&self, from: &str, to: &str, scheme: &str) {
+        let m = &self.inner.model;
+        let key = (from.to_owned(), to.to_owned(), scheme.to_owned());
+        let mut pool = self.inner.connections.lock();
+        if !pool.contains(&key) {
+            self.inner.clock.advance(SimDuration::from_micros(m.tcp_connect_us));
+            self.inner.stats.record_connect();
+            pool.insert(key);
+        }
+        drop(pool);
+        if scheme == "https" {
+            let session_key = (from.to_owned(), to.to_owned());
+            let cache_enabled = *self.inner.tls_session_cache.read();
+            let mut sessions = self.inner.tls_sessions.lock();
+            if cache_enabled && sessions.contains(&session_key) {
+                self.inner
+                    .clock
+                    .advance(SimDuration::from_micros(m.tls_resume_us));
+                self.inner.stats.record_tls_resumption();
+            } else {
+                self.inner
+                    .clock
+                    .advance(SimDuration::from_micros(m.tls_handshake_us));
+                self.inner.stats.record_tls_handshake();
+                if cache_enabled {
+                    sessions.insert(session_key);
+                }
+            }
+        }
+    }
+
+    /// Charge the one-way wire cost for a message of `bytes` from `from` to
+    /// `to_host` over `scheme`.
+    fn charge_wire(&self, bytes: usize, from: &str, to_host: &str, scheme: &str) {
+        let m = &self.inner.model;
+        let distributed = from != to_host;
+        self.inner.clock.advance(m.wire_time(bytes, distributed));
+        if scheme == "https" {
+            self.inner.clock.advance(m.tls_record_time(bytes));
+        }
+    }
+
+    fn deliver_oneway(&self, job: OnewayJob) {
+        let m = self.inner.model.clone();
+        let (scheme, to_host) = {
+            let (s, h) = Self::scheme_and_host(&job.to);
+            (s.to_owned(), h.to_owned())
+        };
+        // Connection + per-send overhead: raw TCP (the WSE SoapReceiver
+        // path) keeps a persistent socket; HTTP delivery targets the
+        // client's embedded custom HTTP server, which does not keep
+        // connections alive — every notification reconnects (the paper's
+        // "TCP vs. HTTP issue").
+        if scheme == "tcp" {
+            self.charge_connection(&job.from_host, &to_host, &scheme);
+        } else {
+            self.inner
+                .clock
+                .advance(SimDuration::from_micros(m.tcp_connect_us));
+            self.inner.stats.record_connect();
+        }
+        let overhead = if scheme == "tcp" {
+            m.tcp_send_overhead_us
+        } else {
+            m.http_request_overhead_us
+        };
+        self.inner
+            .clock
+            .advance(SimDuration::from_micros(overhead));
+        self.charge_wire(job.wire.len(), &job.from_host, &to_host, &scheme);
+        self.inner.stats.record_oneway(job.wire.len());
+
+        // Receiver-side parse.
+        let env = match Envelope::from_wire(&job.wire) {
+            Ok(env) => env,
+            Err(_) => return, // one-way garbage is dropped silently, like UDP-ish fire-and-forget
+        };
+        self.inner.clock.advance(m.soap_time(job.wire.len()));
+        let handler = {
+            let endpoints = self.inner.endpoints.read();
+            match endpoints.get(&job.to) {
+                Some(Endpoint::Oneway(h)) => Some(h.clone()),
+                _ => None,
+            }
+        };
+        if let Some(h) = handler {
+            h(env);
+        }
+    }
+}
+
+/// A client-side port: the pair (network, host the client runs on).
+#[derive(Clone)]
+pub struct Port {
+    net: Network,
+    host: String,
+}
+
+impl Port {
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Deployment relative to the service at `address`.
+    pub fn deployment_to(&self, address: &str) -> Deployment {
+        let (_, to_host) = Network::scheme_and_host(address);
+        if to_host == self.host {
+            Deployment::Colocated
+        } else {
+            Deployment::Distributed
+        }
+    }
+
+    /// Synchronous request/response call: serialise, charge the wire both
+    /// ways, run the service handler inline (its own costs land on the same
+    /// clock), parse the response.
+    pub fn call(&self, address: &str, request: Envelope) -> Result<Envelope, TransportError> {
+        let inner = &self.net.inner;
+        let m = inner.model.clone();
+        let (scheme, to_host) = {
+            let (s, h) = Network::scheme_and_host(address);
+            (s.to_owned(), h.to_owned())
+        };
+
+        // Client-side serialisation.
+        let wire = request.to_wire();
+        inner.clock.advance(m.soap_time(wire.len()));
+
+        // Connection + HTTP round-trip overhead.
+        self.net.charge_connection(&self.host, &to_host, &scheme);
+        inner
+            .clock
+            .advance(SimDuration::from_micros(m.http_request_overhead_us));
+
+        // Request over the wire.
+        self.net.charge_wire(wire.len(), &self.host, &to_host, &scheme);
+        inner.stats.record_request(wire.len());
+
+        // Server-side parse.
+        let parsed = Envelope::from_wire(&wire).map_err(|e| TransportError::WireGarbage {
+            detail: e.to_string(),
+        })?;
+        inner.clock.advance(m.soap_time(wire.len()));
+
+        // Locate and invoke the handler without holding the registry lock
+        // (handlers make nested outcalls).
+        let handler = {
+            let endpoints = inner.endpoints.read();
+            match endpoints.get(address) {
+                Some(Endpoint::RequestResponse(h)) => h.clone(),
+                Some(Endpoint::Oneway(_)) | None => {
+                    return Err(TransportError::NoEndpoint {
+                        address: address.to_owned(),
+                    })
+                }
+            }
+        };
+        let response = handler(parsed);
+
+        // Server-side serialisation, response wire, client-side parse.
+        let resp_wire = response.to_wire();
+        inner.clock.advance(m.soap_time(resp_wire.len()));
+        self.net
+            .charge_wire(resp_wire.len(), &to_host, &self.host, &scheme);
+        inner.stats.record_response(resp_wire.len());
+        let resp = Envelope::from_wire(&resp_wire).map_err(|e| TransportError::WireGarbage {
+            detail: e.to_string(),
+        })?;
+        inner.clock.advance(m.soap_time(resp_wire.len()));
+        Ok(resp)
+    }
+
+    /// Asynchronous one-way send (notification delivery). Returns
+    /// immediately; a background worker charges the wire and invokes the
+    /// consumer.
+    pub fn send_oneway(&self, address: &str, message: Envelope) {
+        let wire = message.to_wire();
+        // Sender-side serialisation happens on the caller's thread.
+        self.net.inner.clock.advance(self.net.inner.model.soap_time(wire.len()));
+        let job = OnewayJob {
+            to: address.to_owned(),
+            wire,
+            from_host: self.host.clone(),
+        };
+        if let Some(tx) = self.net.inner.oneway_tx.lock().as_ref() {
+            let _ = tx.send(job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ogsa_xml::Element;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: Envelope| {
+            let mut body = req.body.clone();
+            body.set_attr("echoed", "true");
+            Envelope::new(body)
+        })
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let net = Network::free();
+        net.bind("http://host-a/svc", echo_handler());
+        let port = net.port("host-a");
+        let resp = port
+            .call("http://host-a/svc", Envelope::new(Element::text_element("Hi", "x")))
+            .unwrap();
+        assert_eq!(resp.body.attr_local("echoed"), Some("true"));
+        assert_eq!(resp.body.text(), "x");
+    }
+
+    #[test]
+    fn missing_endpoint_errors() {
+        let net = Network::free();
+        let err = net
+            .port("h")
+            .call("http://h/ghost", Envelope::new(Element::new("X")))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::NoEndpoint { .. }));
+    }
+
+    #[test]
+    fn unbind_removes_endpoint() {
+        let net = Network::free();
+        net.bind("http://h/svc", echo_handler());
+        net.unbind("http://h/svc");
+        assert!(net
+            .port("h")
+            .call("http://h/svc", Envelope::new(Element::new("X")))
+            .is_err());
+    }
+
+    #[test]
+    fn distributed_costs_more_than_colocated() {
+        let model = Arc::new(CostModel::calibrated_2005());
+        let net = Network::new(VirtualClock::new(), model);
+        net.bind("http://host-a/svc", echo_handler());
+
+        // Warm both connections first so we compare steady-state.
+        net.port("host-a")
+            .call("http://host-a/svc", Envelope::new(Element::new("W")))
+            .unwrap();
+        net.port("host-b")
+            .call("http://host-a/svc", Envelope::new(Element::new("W")))
+            .unwrap();
+
+        let co = net.port("host-a");
+        let t0 = net.clock().now();
+        co.call("http://host-a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        let co_cost = net.clock().now().since(t0);
+
+        let dist = net.port("host-b");
+        let t1 = net.clock().now();
+        dist.call("http://host-a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        let dist_cost = net.clock().now().since(t1);
+
+        assert!(dist_cost > co_cost, "{dist_cost:?} vs {co_cost:?}");
+    }
+
+    #[test]
+    fn https_first_call_pays_handshake_then_resumes() {
+        let model = Arc::new(CostModel::calibrated_2005());
+        let net = Network::new(VirtualClock::new(), model.clone());
+        net.bind("https://host-a/svc", echo_handler());
+        let port = net.port("host-b");
+
+        let t0 = net.clock().now();
+        port.call("https://host-a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        let first = net.clock().now().since(t0);
+
+        let t1 = net.clock().now();
+        port.call("https://host-a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        let second = net.clock().now().since(t1);
+
+        assert!(first.as_micros() > second.as_micros() + model.tls_handshake_us / 2);
+        assert_eq!(net.stats().tls_handshakes(), 1);
+        assert_eq!(net.stats().tls_resumptions(), 1);
+    }
+
+    #[test]
+    fn disabling_session_cache_pays_handshake_every_time() {
+        let model = Arc::new(CostModel::calibrated_2005());
+        let net = Network::new(VirtualClock::new(), model);
+        net.set_tls_session_cache(false);
+        net.bind("https://host-a/svc", echo_handler());
+        let port = net.port("host-b");
+        for _ in 0..3 {
+            port.call("https://host-a/svc", Envelope::new(Element::new("X")))
+                .unwrap();
+        }
+        assert_eq!(net.stats().tls_handshakes(), 3);
+        assert_eq!(net.stats().tls_resumptions(), 0);
+    }
+
+    #[test]
+    fn oneway_delivery_reaches_consumer() {
+        let net = Network::free();
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = hits.clone();
+        net.bind_oneway(
+            "tcp://client-1/notify",
+            Arc::new(move |env: Envelope| {
+                assert_eq!(env.body.text(), "ding");
+                hits2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        net.port("host-a")
+            .send_oneway("tcp://client-1/notify", Envelope::new(Element::text_element("N", "ding")));
+        // Wait for the background worker.
+        for _ in 0..200 {
+            if hits.load(Ordering::SeqCst) == 1 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!("one-way message never delivered");
+    }
+
+    #[test]
+    fn tcp_oneway_is_cheaper_than_http_oneway() {
+        let model = Arc::new(CostModel::calibrated_2005());
+        let net = Network::new(VirtualClock::new(), model);
+        let done = Arc::new(AtomicU64::new(0));
+        for addr in ["tcp://c/notify", "http://c/notify"] {
+            let done = done.clone();
+            net.bind_oneway(
+                addr,
+                Arc::new(move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        let port = net.port("host-a");
+        // Warm connections.
+        port.send_oneway("tcp://c/notify", Envelope::new(Element::new("W")));
+        port.send_oneway("http://c/notify", Envelope::new(Element::new("W")));
+        while done.load(Ordering::SeqCst) < 2 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+
+        let t0 = net.clock().now();
+        port.send_oneway("tcp://c/notify", Envelope::new(Element::new("X")));
+        while done.load(Ordering::SeqCst) < 3 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let tcp_cost = net.clock().now().since(t0);
+
+        let t1 = net.clock().now();
+        port.send_oneway("http://c/notify", Envelope::new(Element::new("X")));
+        while done.load(Ordering::SeqCst) < 4 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let http_cost = net.clock().now().since(t1);
+
+        assert!(tcp_cost < http_cost, "{tcp_cost:?} vs {http_cost:?}");
+    }
+
+    #[test]
+    fn nested_outcalls_do_not_deadlock() {
+        let net = Network::free();
+        let net2 = net.clone();
+        // Service A calls service B during its handler.
+        net.bind("http://host-a/b", echo_handler());
+        net.bind(
+            "http://host-a/a",
+            Arc::new(move |req: Envelope| {
+                let inner = net2
+                    .port("host-a")
+                    .call("http://host-a/b", req)
+                    .expect("nested call");
+                let mut body = inner.body;
+                body.set_attr("outer", "yes");
+                Envelope::new(body)
+            }),
+        );
+        let resp = net
+            .port("host-a")
+            .call("http://host-a/a", Envelope::new(Element::new("X")))
+            .unwrap();
+        assert_eq!(resp.body.attr_local("outer"), Some("yes"));
+        assert_eq!(resp.body.attr_local("echoed"), Some("true"));
+        assert_eq!(net.stats().requests(), 2);
+        assert_eq!(net.stats().responses(), 2);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let net = Network::free();
+        net.bind("http://h/svc", echo_handler());
+        net.port("h")
+            .call("http://h/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        assert_eq!(net.stats().requests(), 1);
+        assert_eq!(net.stats().responses(), 1);
+        assert!(net.stats().bytes() > 0);
+    }
+
+    #[test]
+    fn reset_connections_forces_reconnect() {
+        let model = Arc::new(CostModel::calibrated_2005());
+        let net = Network::new(VirtualClock::new(), model);
+        net.bind("http://a/svc", echo_handler());
+        let p = net.port("b");
+        p.call("http://a/svc", Envelope::new(Element::new("X"))).unwrap();
+        p.call("http://a/svc", Envelope::new(Element::new("X"))).unwrap();
+        assert_eq!(net.stats().connects(), 1);
+        net.reset_connections();
+        p.call("http://a/svc", Envelope::new(Element::new("X"))).unwrap();
+        assert_eq!(net.stats().connects(), 2);
+    }
+}

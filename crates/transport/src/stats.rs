@@ -1,0 +1,116 @@
+//! Message counters — the instrument behind the paper's §3.1 claim that
+//! demand-based brokered publishing generates "an order of magnitude" more
+//! messages than any other interaction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for everything that crosses the simulated wire.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    oneways: AtomicU64,
+    bytes: AtomicU64,
+    tls_handshakes: AtomicU64,
+    tls_resumptions: AtomicU64,
+    connects: AtomicU64,
+}
+
+impl NetStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_request(&self, bytes: usize) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_response(&self, bytes: usize) {
+        self.inner.responses.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_oneway(&self, bytes: usize) {
+        self.inner.oneways.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tls_handshake(&self) {
+        self.inner.tls_handshakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tls_resumption(&self) {
+        self.inner.tls_resumptions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_connect(&self) {
+        self.inner.connects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn requests(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    pub fn responses(&self) -> u64 {
+        self.inner.responses.load(Ordering::Relaxed)
+    }
+
+    pub fn oneways(&self) -> u64 {
+        self.inner.oneways.load(Ordering::Relaxed)
+    }
+
+    /// Total SOAP messages on the wire (requests + responses + one-ways).
+    pub fn messages(&self) -> u64 {
+        self.requests() + self.responses() + self.oneways()
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn tls_handshakes(&self) -> u64 {
+        self.inner.tls_handshakes.load(Ordering::Relaxed)
+    }
+
+    pub fn tls_resumptions(&self) -> u64 {
+        self.inner.tls_resumptions.load(Ordering::Relaxed)
+    }
+
+    pub fn connects(&self) -> u64 {
+        self.inner.connects.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_is_the_sum() {
+        let s = NetStats::new();
+        s.record_request(10);
+        s.record_response(20);
+        s.record_oneway(5);
+        s.record_oneway(5);
+        assert_eq!(s.messages(), 4);
+        assert_eq!(s.bytes(), 40);
+    }
+
+    #[test]
+    fn clones_share() {
+        let s = NetStats::new();
+        s.clone().record_tls_handshake();
+        s.clone().record_tls_resumption();
+        s.clone().record_connect();
+        assert_eq!(s.tls_handshakes(), 1);
+        assert_eq!(s.tls_resumptions(), 1);
+        assert_eq!(s.connects(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ogsa-wsn
+//!
+//! WS-Notification, the asynchronous half of the WSRF stack (§2.1, §3.1):
+//!
+//! * [`topics`] — **WS-Topics**: the three topic-expression dialects
+//!   (Simple, Concrete, Full with `*` and `//` wildcards) and topic
+//!   namespaces.
+//! * [`base`] — **WS-BaseNotification**: `Subscribe`/`Notify` messages,
+//!   subscription resources, message selectors, wrapped vs "raw" delivery.
+//! * [`manager`] — the Subscription Manager Service: subscriptions are
+//!   WS-Resources (unsubscribe = `Destroy`, lifetime = scheduled
+//!   termination, plus `PauseSubscription`/`ResumeSubscription`). The
+//!   paper's §3.1 complaint — "the lack of a standardized 'create' ...
+//!   All notification producers and brokers must be implemented with a
+//!   specific, non-standard way of creating and retrieving subscriptions"
+//!   — is visible in the code: subscriptions are created by the producer's
+//!   idiosyncratic `Subscribe` handler, not by any spec-defined factory.
+//! * [`producer`] — the container's notification-producer component:
+//!   matches emitted messages against the (database-backed) subscription
+//!   set and delivers them over HTTP one-ways (WSRF.NET's custom HTTP
+//!   server on the client side).
+//! * [`consumer`] — the client-side notification consumer.
+//! * [`broker`] — **WS-BrokeredNotification** with demand-based publishing,
+//!   including the pause/resume cascade the paper estimates generates "an
+//!   order of magnitude at a minimum" more messages than anything else.
+//!
+//! Omitted as out of scope (and called "optional" complexity by the paper):
+//! subscription preconditions over producer resource properties, and topic
+//! set hierarchies beyond namespace validation.
+
+pub mod base;
+pub mod broker;
+pub mod consumer;
+pub mod manager;
+pub mod producer;
+pub mod topics;
+
+pub use base::{NotificationMessage, Subscription, SubscribeRequest};
+pub use broker::BrokerService;
+pub use consumer::NotificationConsumer;
+pub use manager::{SubscriptionManagerService, SubscriptionStore};
+pub use producer::NotificationProducer;
+pub use topics::{TopicDialect, TopicExpression, TopicNamespace, TopicPath};

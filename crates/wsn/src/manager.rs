@@ -1,0 +1,186 @@
+//! The Subscription Manager Service and the shared subscription store.
+//!
+//! Subscriptions are WS-Resources: they live in the XML database, clients
+//! delete them with WS-ResourceLifetime `Destroy`, extend them with
+//! `SetTerminationTime`, and pause/resume them with the WSN operations. The
+//! *creation* of a subscription, though, has no spec-defined factory — the
+//! producer's `Subscribe` handler calls [`SubscriptionStore::subscribe`]
+//! directly, the "specific, non-standard way of creating and retrieving
+//! subscriptions" the paper's §3.1 complains about.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ogsa_addressing::EndpointReference;
+use ogsa_container::{Container, Operation, OperationContext};
+use ogsa_soap::Fault;
+use ogsa_wsrf::service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHost};
+use ogsa_wsrf::TerminationTime;
+use ogsa_xml::Element;
+
+use crate::base::{actions, Subscription, SubscribeRequest};
+use crate::topics::TopicPath;
+
+/// Shared, database-backed subscription state: used by the producer (to
+/// match and deliver) and by the manager service (to manipulate).
+#[derive(Clone)]
+pub struct SubscriptionStore {
+    base: ServiceBase,
+    manager_address: String,
+    seq: Arc<AtomicU64>,
+}
+
+impl SubscriptionStore {
+    /// Create a subscription from a parsed request; returns its EPR (on the
+    /// manager service).
+    pub fn subscribe(
+        &self,
+        ctx: &OperationContext,
+        req: &SubscribeRequest,
+    ) -> Result<EndpointReference, Fault> {
+        let id = format!("sub-{}", self.seq.fetch_add(1, Ordering::Relaxed));
+        let sub = Subscription {
+            id: id.clone(),
+            consumer: req.consumer.clone(),
+            topic: req.topic.clone(),
+            selector: req.selector.clone(),
+            paused: false,
+            use_notify: req.use_notify,
+        };
+        self.base.create_with_id(ctx, &id, sub.to_document())?;
+        // Clients can request an initial lifetime; the manager controls it
+        // thereafter (§2.1).
+        self.base.schedule_termination(
+            ctx,
+            &id,
+            match req.initial_termination {
+                Some(t) => TerminationTime::At(t),
+                None => TerminationTime::Never,
+            },
+        );
+        Ok(EndpointReference::resource(
+            self.manager_address.clone(),
+            id,
+        ))
+    }
+
+    /// All unpaused subscriptions whose filters pass for (topic, message).
+    /// One database query, as WSRF.NET's database-resident subscriptions
+    /// imply.
+    pub fn active_matching(&self, topic: &TopicPath, message: &Element) -> Vec<Subscription> {
+        let collection = self.base.store().collection();
+        let xp = ogsa_xml::XPath::compile("/SubscriptionResource").expect("static xpath");
+        let Ok(docs) = collection.query(&xp, &ogsa_xml::XPathContext::new()) else {
+            return Vec::new();
+        };
+        docs.iter()
+            .filter_map(|(id, doc)| Subscription::from_document(id, doc))
+            .filter(|s| s.accepts(topic, message))
+            .collect()
+    }
+
+    /// All subscriptions, paused or not (broker demand bookkeeping).
+    pub fn all(&self) -> Vec<Subscription> {
+        let collection = self.base.store().collection();
+        let xp = ogsa_xml::XPath::compile("/SubscriptionResource").expect("static xpath");
+        let Ok(docs) = collection.query(&xp, &ogsa_xml::XPathContext::new()) else {
+            return Vec::new();
+        };
+        docs.iter()
+            .filter_map(|(id, doc)| Subscription::from_document(id, doc))
+            .collect()
+    }
+
+    /// The manager service address subscription EPRs point at.
+    pub fn manager_address(&self) -> &str {
+        &self.manager_address
+    }
+}
+
+/// The deployable Subscription Manager Service.
+pub struct SubscriptionManagerService;
+
+impl SubscriptionManagerService {
+    /// Deploy at `path`; returns (manager service EPR, shared store).
+    pub fn deploy(container: &Container, path: &str) -> (EndpointReference, SubscriptionStore) {
+        let (epr, base) = WsrfServiceHost::deploy(
+            container,
+            path,
+            Arc::new(SubscriptionManagerService),
+            PortType::all(),
+            true,
+        );
+        let store = SubscriptionStore {
+            base,
+            manager_address: epr.address.clone(),
+            seq: Arc::new(AtomicU64::new(0)),
+        };
+        (epr, store)
+    }
+}
+
+impl WsrfService for SubscriptionManagerService {
+    fn handle_custom(
+        &self,
+        op: &Operation,
+        ctx: &OperationContext,
+        base: &ServiceBase,
+    ) -> Result<Element, Fault> {
+        let set_paused = |paused: bool| -> Result<Element, Fault> {
+            let id = op.require_resource_id()?;
+            let mut res = base.load(ctx, id)?;
+            res.set_member("Paused", paused.to_string());
+            base.save(ctx, &res)?;
+            Ok(Element::new(if paused {
+                "PauseSubscriptionResponse"
+            } else {
+                "ResumeSubscriptionResponse"
+            }))
+        };
+        match op.action_name() {
+            "PauseSubscription" => set_paused(true),
+            "ResumeSubscription" => set_paused(false),
+            other => Err(Fault::client(format!(
+                "unknown operation `{other}` on SubscriptionManager"
+            ))),
+        }
+    }
+}
+
+/// Client-side helpers for manipulating subscriptions.
+pub struct SubscriptionProxy<'a> {
+    agent: &'a ogsa_container::ClientAgent,
+}
+
+impl<'a> SubscriptionProxy<'a> {
+    pub fn new(agent: &'a ogsa_container::ClientAgent) -> Self {
+        SubscriptionProxy { agent }
+    }
+
+    /// Unsubscribe = Destroy the subscription resource (§2.1: "they delete
+    /// their subscription through the Subscription Manager service").
+    pub fn unsubscribe(
+        &self,
+        subscription: &EndpointReference,
+    ) -> Result<(), ogsa_container::InvokeError> {
+        ogsa_wsrf::WsrfProxy::new(self.agent).destroy(subscription)
+    }
+
+    pub fn pause(
+        &self,
+        subscription: &EndpointReference,
+    ) -> Result<(), ogsa_container::InvokeError> {
+        self.agent
+            .invoke(subscription, actions::PAUSE, Element::new("PauseSubscription"))?;
+        Ok(())
+    }
+
+    pub fn resume(
+        &self,
+        subscription: &EndpointReference,
+    ) -> Result<(), ogsa_container::InvokeError> {
+        self.agent
+            .invoke(subscription, actions::RESUME, Element::new("ResumeSubscription"))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,98 @@
+//! The notification-producer component of the container (Figure 1's
+//! "Notification/Eventing Producer/Consumer ... an independent activity
+//! within the container").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ogsa_addressing::EndpointReference;
+use ogsa_container::ClientAgent;
+use ogsa_xml::Element;
+use parking_lot::Mutex;
+
+use crate::base::{actions, NotificationMessage};
+use crate::manager::SubscriptionStore;
+use crate::topics::TopicPath;
+
+/// Matches emitted messages against the subscription store and delivers
+/// them. Deliveries go over HTTP one-ways (the consumer side is WSRF.NET's
+/// "custom HTTP server that clients include") — the very transport choice
+/// that makes WSN Notify slower than WS-Eventing's TCP path in Figure 2.
+///
+/// Also retains the last message per topic, backing WS-BaseNotification's
+/// optional `GetCurrentMessage` operation (a late subscriber can ask for
+/// the most recent message on a topic instead of waiting for the next one).
+#[derive(Clone)]
+pub struct NotificationProducer {
+    store: SubscriptionStore,
+    producer: Option<EndpointReference>,
+    agent: ClientAgent,
+    last_messages: Arc<Mutex<HashMap<String, NotificationMessage>>>,
+}
+
+impl NotificationProducer {
+    pub fn new(store: SubscriptionStore, agent: ClientAgent) -> Self {
+        NotificationProducer {
+            store,
+            producer: None,
+            agent,
+            last_messages: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Stamp a producer EPR into outgoing notifications (builder style) —
+    /// Grid-in-a-Box puts the job EPR here so clients know *which* job ended.
+    pub fn with_producer(mut self, epr: EndpointReference) -> Self {
+        self.producer = Some(epr);
+        self
+    }
+
+    /// Emit a message on a topic; returns the number of deliveries fanned
+    /// out.
+    pub fn notify(&self, topic: &TopicPath, message: Element) -> usize {
+        self.notify_from(topic, message, self.producer.clone())
+    }
+
+    /// Emit with an explicit per-message producer reference.
+    pub fn notify_from(
+        &self,
+        topic: &TopicPath,
+        message: Element,
+        producer: Option<EndpointReference>,
+    ) -> usize {
+        let notification = NotificationMessage {
+            topic: topic.clone(),
+            producer: producer.clone(),
+            message: message.clone(),
+        };
+        self.last_messages
+            .lock()
+            .insert(topic.to_string(), notification.clone());
+
+        let matching = self.store.active_matching(topic, &message);
+        let mut delivered = 0;
+        for sub in &matching {
+            let body = if sub.use_notify {
+                notification.to_notify_element()
+            } else {
+                // Raw delivery: the bare message, schema known only by
+                // out-of-band agreement (the interop hazard of §3.1).
+                message.clone()
+            };
+            self.agent.send_oneway(&sub.consumer, actions::NOTIFY, body);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// WS-BaseNotification `GetCurrentMessage`: the last message emitted on
+    /// exactly this topic, if any. Producer services expose this as an
+    /// operation; here is the component-level implementation.
+    pub fn current_message(&self, topic: &TopicPath) -> Option<NotificationMessage> {
+        self.last_messages.lock().get(&topic.to_string()).cloned()
+    }
+
+    pub fn store(&self) -> &SubscriptionStore {
+        &self.store
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for WS-Topics matching invariants.
+
+use ogsa_wsn::{TopicDialect, TopicExpression, TopicPath};
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9]{0,5}").unwrap()
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_segment(), 1..5)
+}
+
+fn path(segments: &[String]) -> TopicPath {
+    TopicPath::parse(&segments.join("/")).expect("valid concrete path")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn concrete_matches_exactly_itself(a in arb_path(), b in arb_path()) {
+        let expr = TopicExpression::concrete(&a.join("/"));
+        prop_assert!(expr.matches(&path(&a)));
+        prop_assert_eq!(expr.matches(&path(&b)), a == b);
+    }
+
+    #[test]
+    fn simple_matches_iff_same_root(a in arb_path(), root in arb_segment()) {
+        let expr = TopicExpression::simple(&root);
+        prop_assert_eq!(expr.matches(&path(&a)), a[0] == root);
+    }
+
+    #[test]
+    fn full_without_wildcards_equals_concrete(a in arb_path(), b in arb_path()) {
+        let full = TopicExpression::full(&a.join("/"));
+        let concrete = TopicExpression::concrete(&a.join("/"));
+        prop_assert_eq!(full.matches(&path(&b)), concrete.matches(&path(&b)));
+    }
+
+    #[test]
+    fn star_substitution_still_matches(a in arb_path(), idx in 0usize..5) {
+        // Replacing any one segment of a path with `*` keeps it matching.
+        let idx = idx % a.len();
+        let mut pattern: Vec<String> = a.clone();
+        pattern[idx] = "*".into();
+        let expr = TopicExpression::full(&pattern.join("/"));
+        prop_assert!(expr.matches(&path(&a)), "{expr:?} vs {a:?}");
+    }
+
+    #[test]
+    fn doubleslash_prefix_is_a_superset(a in arb_path(), prefix in arb_path()) {
+        // `//tail` matches any path ending with `tail`.
+        let tail = a.last().unwrap().clone();
+        let expr = TopicExpression::full(&format!("//{tail}"));
+        prop_assert!(expr.matches(&path(&a)));
+        // And with an arbitrary prefix prepended, still matches.
+        let mut longer = prefix.clone();
+        longer.extend(a.iter().cloned());
+        prop_assert!(expr.matches(&path(&longer)));
+    }
+
+    #[test]
+    fn dialect_uri_roundtrip(d in 0usize..3) {
+        let dialect = [TopicDialect::Simple, TopicDialect::Concrete, TopicDialect::Full][d];
+        prop_assert_eq!(TopicDialect::from_uri(dialect.uri()), Some(dialect));
+    }
+
+    #[test]
+    fn matching_never_panics_on_weird_patterns(pattern in "[a-z*/]{0,20}", a in arb_path()) {
+        let expr = TopicExpression::full(&pattern);
+        let _ = expr.matches(&path(&a));
+    }
+}

@@ -1,0 +1,176 @@
+//! WS-BaseFaults: "a standard exception reporting format" (§2.1).
+//!
+//! Every WSRF-defined failure travels as a structured `wsbf:BaseFault`
+//! document in the SOAP fault detail: timestamp, optional originator EPR,
+//! error code, and description. Named subfaults (like
+//! `wsrp:ResourceUnknownFault`) reuse the same body under their own root
+//! element name.
+
+use ogsa_addressing::EndpointReference;
+use ogsa_sim::SimInstant;
+use ogsa_soap::Fault;
+use ogsa_xml::{ns, Element, QName};
+
+/// A structured WS-BaseFaults document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseFault {
+    /// Root element name; `wsbf:BaseFault` or a named subfault.
+    pub name: QName,
+    /// Virtual-time timestamp.
+    pub timestamp: SimInstant,
+    /// The service that originated the fault.
+    pub originator: Option<EndpointReference>,
+    /// Dialect-scoped error code.
+    pub error_code: Option<String>,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl BaseFault {
+    /// A generic `wsbf:BaseFault`.
+    pub fn new(timestamp: SimInstant, description: impl Into<String>) -> Self {
+        BaseFault {
+            name: QName::new(ns::WSRF_BF, "BaseFault"),
+            timestamp,
+            originator: None,
+            error_code: None,
+            description: description.into(),
+        }
+    }
+
+    /// The `wsrp:ResourceUnknownFault` every resource-addressed operation
+    /// raises when the EPR names nothing.
+    pub fn resource_unknown(timestamp: SimInstant, resource_id: &str) -> Self {
+        BaseFault {
+            name: QName::new(ns::WSRF_RP, "ResourceUnknownFault"),
+            timestamp,
+            originator: None,
+            error_code: Some("ResourceUnknown".into()),
+            description: format!("no WS-Resource with id `{resource_id}`"),
+        }
+    }
+
+    /// `wsrp:InvalidResourcePropertyQNameFault`.
+    pub fn invalid_property(timestamp: SimInstant, property: &str) -> Self {
+        BaseFault {
+            name: QName::new(ns::WSRF_RP, "InvalidResourcePropertyQNameFault"),
+            timestamp,
+            originator: None,
+            error_code: Some("InvalidResourcePropertyQName".into()),
+            description: format!("no resource property named `{property}`"),
+        }
+    }
+
+    /// `wsrl:TerminationTimeChangeRejectedFault`.
+    pub fn termination_rejected(timestamp: SimInstant, why: &str) -> Self {
+        BaseFault {
+            name: QName::new(ns::WSRF_RL, "TerminationTimeChangeRejectedFault"),
+            timestamp,
+            originator: None,
+            error_code: Some("TerminationTimeChangeRejected".into()),
+            description: why.to_owned(),
+        }
+    }
+
+    /// Attach the originating service's EPR (builder style).
+    pub fn with_originator(mut self, epr: EndpointReference) -> Self {
+        self.originator = Some(epr);
+        self
+    }
+
+    /// Serialise to the structured fault document.
+    pub fn to_element(&self) -> Element {
+        let mut e = Element::new(self.name.clone());
+        e.add_child(Element::text_element(
+            QName::new(ns::WSRF_BF, "Timestamp"),
+            self.timestamp.0.to_string(),
+        ));
+        if let Some(o) = &self.originator {
+            e.add_child(o.to_element_named(QName::new(ns::WSRF_BF, "OriginatorReference")));
+        }
+        if let Some(c) = &self.error_code {
+            e.add_child(Element::text_element(
+                QName::new(ns::WSRF_BF, "ErrorCode"),
+                c.clone(),
+            ));
+        }
+        e.add_child(Element::text_element(
+            QName::new(ns::WSRF_BF, "Description"),
+            self.description.clone(),
+        ));
+        e
+    }
+
+    /// Parse from a fault detail document.
+    pub fn from_element(e: &Element) -> Option<Self> {
+        let timestamp = SimInstant(e.child_parse::<u64>("Timestamp")?);
+        let originator = e
+            .child_local("OriginatorReference")
+            .and_then(|o| EndpointReference::from_element(o).ok());
+        Some(BaseFault {
+            name: e.name.clone(),
+            timestamp,
+            originator,
+            error_code: e.child_text("ErrorCode").map(str::to_owned),
+            description: e.child_text("Description").unwrap_or_default().to_owned(),
+        })
+    }
+
+    /// Wrap into a SOAP fault (the detail carries the structured document).
+    pub fn to_soap_fault(&self) -> Fault {
+        Fault::client(self.description.clone()).with_detail(self.to_element())
+    }
+
+    /// Extract from a SOAP fault's detail, if it carries one.
+    pub fn from_soap_fault(f: &Fault) -> Option<Self> {
+        f.detail.as_ref().and_then(Self::from_element)
+    }
+
+    /// True if this fault is the named subfault.
+    pub fn is(&self, ns_uri: &str, local: &str) -> bool {
+        self.name == QName::new(ns_uri, local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_fault_roundtrip() {
+        let f = BaseFault::new(SimInstant(123), "it broke")
+            .with_originator(EndpointReference::service("http://h/s"));
+        let back = BaseFault::from_element(&f.to_element()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn subfault_names_survive() {
+        let f = BaseFault::resource_unknown(SimInstant(1), "r-1");
+        assert!(f.is(ns::WSRF_RP, "ResourceUnknownFault"));
+        let back = BaseFault::from_element(&f.to_element()).unwrap();
+        assert!(back.is(ns::WSRF_RP, "ResourceUnknownFault"));
+        assert!(back.description.contains("r-1"));
+        assert_eq!(back.error_code.as_deref(), Some("ResourceUnknown"));
+    }
+
+    #[test]
+    fn soap_fault_carries_the_structure() {
+        let f = BaseFault::invalid_property(SimInstant(9), "cv");
+        let soap = f.to_soap_fault();
+        let back = BaseFault::from_soap_fault(&soap).unwrap();
+        assert_eq!(back, f);
+        assert!(soap.reason.contains("cv"));
+    }
+
+    #[test]
+    fn plain_soap_fault_has_no_base_fault() {
+        assert!(BaseFault::from_soap_fault(&Fault::server("plain")).is_none());
+    }
+
+    #[test]
+    fn termination_rejected_shape() {
+        let f = BaseFault::termination_rejected(SimInstant(2), "in the past");
+        assert!(f.is(ns::WSRF_RL, "TerminationTimeChangeRejectedFault"));
+    }
+}

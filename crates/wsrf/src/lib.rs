@@ -1,0 +1,37 @@
+//! # ogsa-wsrf
+//!
+//! The WS-Resource Framework half of the paper's comparison, mirroring
+//! WSRF.NET's architecture (§3.1):
+//!
+//! * [`properties`] — **WS-ResourceProperties**: resources are XML documents
+//!   whose child elements are resource properties, queryable and modifiable
+//!   through `GetResourceProperty`, `GetMultipleResourceProperties`,
+//!   `SetResourceProperties` (Insert/Update/Delete) and
+//!   `QueryResourceProperties` (XPath dialect).
+//! * [`lifetime`] — **WS-ResourceLifetime**: `Destroy` and
+//!   `SetTerminationTime` (scheduled termination), plus the `CurrentTime` /
+//!   `TerminationTime` properties. ("Create" is *not* defined — the
+//!   spec-level gap the paper calls out repeatedly.)
+//! * [`servicegroup`] — **WS-ServiceGroup**: groups of member services /
+//!   WS-Resources with membership content rules.
+//! * [`faults`] — **WS-BaseFaults**: the standard structured fault format.
+//! * [`service_base`] — the WSRF.NET "wrapper service" and programming
+//!   model: a [`service_base::ServiceBase`] loads the WS-Resource named by
+//!   the request EPR before user code runs and stores it back afterwards,
+//!   exposes the library-level `Create()` the spec lacks, and aggregates
+//!   imported port types like the PortTypeAggregator tool.
+
+pub mod faults;
+pub mod lifetime;
+pub mod properties;
+pub mod proxy;
+pub mod resource;
+pub mod service_base;
+pub mod servicegroup;
+
+pub use faults::BaseFault;
+pub use lifetime::TerminationTime;
+pub use proxy::WsrfProxy;
+pub use resource::ResourceDocument;
+pub use service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHost};
+pub use servicegroup::ServiceGroupService;

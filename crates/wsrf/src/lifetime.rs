@@ -1,0 +1,148 @@
+//! WS-ResourceLifetime: Destroy, SetTerminationTime, and the lifetime
+//! resource properties.
+
+use ogsa_sim::{SimDuration, SimInstant};
+use ogsa_xml::{ns, Element, QName};
+
+fn q(local: &str) -> QName {
+    QName::new(ns::WSRF_RL, local)
+}
+
+/// A requested or current termination time: a point on the virtual
+/// timeline, or "never" (nilled, which the Grid-in-a-Box reservation claim
+/// uses: "sets the termination time to infinity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationTime {
+    At(SimInstant),
+    Never,
+}
+
+impl TerminationTime {
+    /// As an `Option<SimInstant>` for the container's lifetime manager.
+    pub fn as_option(self) -> Option<SimInstant> {
+        match self {
+            TerminationTime::At(t) => Some(t),
+            TerminationTime::Never => None,
+        }
+    }
+
+    fn to_text(self) -> String {
+        match self {
+            TerminationTime::At(t) => t.0.to_string(),
+            TerminationTime::Never => "infinity".to_owned(),
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("infinity") {
+            return Some(TerminationTime::Never);
+        }
+        s.parse::<u64>().ok().map(|v| TerminationTime::At(SimInstant(v)))
+    }
+}
+
+/// `wsrl:Destroy` request body.
+pub fn destroy_request() -> Element {
+    Element::new(q("Destroy"))
+}
+
+/// `wsrl:DestroyResponse` body.
+pub fn destroy_response() -> Element {
+    Element::new(q("DestroyResponse"))
+}
+
+/// `wsrl:SetTerminationTime` request body.
+pub fn set_termination_request(requested: TerminationTime) -> Element {
+    Element::new(q("SetTerminationTime")).with_child(Element::text_element(
+        q("RequestedTerminationTime"),
+        requested.to_text(),
+    ))
+}
+
+/// Parse the requested termination time out of a `SetTerminationTime` body.
+pub fn parse_set_termination(body: &Element) -> Option<TerminationTime> {
+    TerminationTime::parse(body.child_text("RequestedTerminationTime")?)
+}
+
+/// `wsrl:SetTerminationTimeResponse` body.
+pub fn set_termination_response(new: TerminationTime, current: SimInstant) -> Element {
+    Element::new(q("SetTerminationTimeResponse"))
+        .with_child(Element::text_element(q("NewTerminationTime"), new.to_text()))
+        .with_child(Element::text_element(q("CurrentTime"), current.0.to_string()))
+}
+
+/// Parse the response.
+pub fn parse_set_termination_response(body: &Element) -> Option<(TerminationTime, SimInstant)> {
+    Some((
+        TerminationTime::parse(body.child_text("NewTerminationTime")?)?,
+        SimInstant(body.child_parse::<u64>("CurrentTime")?),
+    ))
+}
+
+/// The lifetime resource properties appended to every scheduled-destroy
+/// resource's RP document.
+pub fn lifetime_properties(current: SimInstant, termination: TerminationTime) -> [Element; 2] {
+    [
+        Element::text_element(q("CurrentTime"), current.0.to_string()),
+        Element::text_element(q("TerminationTime"), termination.to_text()),
+    ]
+}
+
+/// Initial termination = now + administrator delta (the Grid-in-a-Box
+/// reservation default, "current time plus an administrator specified
+/// delta (e.g. 4 hours)").
+pub fn initial_termination(now: SimInstant, delta: SimDuration) -> TerminationTime {
+    TerminationTime::At(now.plus(delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn termination_time_text_roundtrip() {
+        for t in [TerminationTime::At(SimInstant(420)), TerminationTime::Never] {
+            assert_eq!(TerminationTime::parse(&t.to_text()), Some(t));
+        }
+        assert_eq!(TerminationTime::parse("Infinity"), Some(TerminationTime::Never));
+        assert_eq!(TerminationTime::parse("junk"), None);
+    }
+
+    #[test]
+    fn set_termination_roundtrip() {
+        let body = set_termination_request(TerminationTime::At(SimInstant(99)));
+        assert_eq!(
+            parse_set_termination(&body),
+            Some(TerminationTime::At(SimInstant(99)))
+        );
+        let resp = set_termination_response(TerminationTime::Never, SimInstant(7));
+        assert_eq!(
+            parse_set_termination_response(&resp),
+            Some((TerminationTime::Never, SimInstant(7)))
+        );
+    }
+
+    #[test]
+    fn lifetime_properties_shape() {
+        let [cur, term] = lifetime_properties(SimInstant(5), TerminationTime::Never);
+        assert_eq!(cur.text(), "5");
+        assert_eq!(term.text(), "infinity");
+        assert!(cur.name.in_ns(ns::WSRF_RL));
+    }
+
+    #[test]
+    fn initial_termination_adds_delta() {
+        let t = initial_termination(SimInstant(100), SimDuration::from_micros(50));
+        assert_eq!(t, TerminationTime::At(SimInstant(150)));
+    }
+
+    #[test]
+    fn as_option_maps_never_to_none() {
+        assert_eq!(TerminationTime::Never.as_option(), None);
+        assert_eq!(
+            TerminationTime::At(SimInstant(3)).as_option(),
+            Some(SimInstant(3))
+        );
+    }
+}

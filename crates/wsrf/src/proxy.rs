@@ -1,0 +1,140 @@
+//! Client-side WSRF proxy: typed wrappers over the spec operations, the
+//! analogue of the WSE-generated proxy classes the paper's clients used.
+//! "Since WSRF does define the schemas for its method parameters, the
+//! WSRF.NET proxies are able to automatically deserialize the XML" (§4.1.3)
+//! — these helpers do that deserialisation.
+
+use ogsa_addressing::EndpointReference;
+use ogsa_container::{ClientAgent, InvokeError};
+use ogsa_sim::SimInstant;
+use ogsa_soap::Fault;
+use ogsa_xml::Element;
+
+use crate::lifetime::{self, TerminationTime};
+use crate::properties::{self, SetComponent};
+
+/// WS-Addressing action URIs for the WSRF operations.
+pub mod actions {
+    pub const GET_RP: &str = "http://docs.oasis-open.org/wsrf/rp/GetResourceProperty";
+    pub const GET_MULTI_RP: &str =
+        "http://docs.oasis-open.org/wsrf/rp/GetMultipleResourceProperties";
+    pub const SET_RP: &str = "http://docs.oasis-open.org/wsrf/rp/SetResourceProperties";
+    pub const QUERY_RP: &str = "http://docs.oasis-open.org/wsrf/rp/QueryResourceProperties";
+    pub const DESTROY: &str = "http://docs.oasis-open.org/wsrf/rl/Destroy";
+    pub const SET_TERMINATION: &str = "http://docs.oasis-open.org/wsrf/rl/SetTerminationTime";
+}
+
+/// A WSRF proxy bound to one client agent.
+pub struct WsrfProxy<'a> {
+    agent: &'a ClientAgent,
+}
+
+impl<'a> WsrfProxy<'a> {
+    pub fn new(agent: &'a ClientAgent) -> Self {
+        WsrfProxy { agent }
+    }
+
+    /// `GetResourceProperty`: fetch all values of one property.
+    pub fn get_property(
+        &self,
+        resource: &EndpointReference,
+        property: &str,
+    ) -> Result<Vec<Element>, InvokeError> {
+        let resp = self.agent.invoke(
+            resource,
+            actions::GET_RP,
+            properties::get_property_request(property),
+        )?;
+        Ok(resp.child_elements().cloned().collect())
+    }
+
+    /// Single-valued property as text; faults if absent.
+    pub fn get_property_text(
+        &self,
+        resource: &EndpointReference,
+        property: &str,
+    ) -> Result<String, InvokeError> {
+        let values = self.get_property(resource, property)?;
+        values
+            .first()
+            .map(|e| e.text())
+            .ok_or_else(|| InvokeError::Fault(Fault::server("empty property response")))
+    }
+
+    /// `GetMultipleResourceProperties`.
+    pub fn get_properties(
+        &self,
+        resource: &EndpointReference,
+        names: &[&str],
+    ) -> Result<Vec<Element>, InvokeError> {
+        let resp = self.agent.invoke(
+            resource,
+            actions::GET_MULTI_RP,
+            properties::get_multiple_request(names),
+        )?;
+        Ok(resp.child_elements().cloned().collect())
+    }
+
+    /// `SetResourceProperties` with arbitrary components.
+    pub fn set_properties(
+        &self,
+        resource: &EndpointReference,
+        components: &[SetComponent],
+    ) -> Result<(), InvokeError> {
+        self.agent.invoke(
+            resource,
+            actions::SET_RP,
+            properties::set_properties_request(components),
+        )?;
+        Ok(())
+    }
+
+    /// Convenience: update a single text-valued property.
+    pub fn set_property_text(
+        &self,
+        resource: &EndpointReference,
+        name: &str,
+        value: &str,
+    ) -> Result<(), InvokeError> {
+        self.set_properties(
+            resource,
+            &[SetComponent::Update(vec![Element::text_element(name, value)])],
+        )
+    }
+
+    /// `QueryResourceProperties` (XPath dialect).
+    pub fn query(
+        &self,
+        resource: &EndpointReference,
+        expression: &str,
+    ) -> Result<Vec<Element>, InvokeError> {
+        let resp = self.agent.invoke(
+            resource,
+            actions::QUERY_RP,
+            properties::query_request(expression),
+        )?;
+        Ok(resp.child_elements().cloned().collect())
+    }
+
+    /// `Destroy` the resource.
+    pub fn destroy(&self, resource: &EndpointReference) -> Result<(), InvokeError> {
+        self.agent
+            .invoke(resource, actions::DESTROY, lifetime::destroy_request())?;
+        Ok(())
+    }
+
+    /// `SetTerminationTime`; returns (new termination, service current time).
+    pub fn set_termination_time(
+        &self,
+        resource: &EndpointReference,
+        requested: TerminationTime,
+    ) -> Result<(TerminationTime, SimInstant), InvokeError> {
+        let resp = self.agent.invoke(
+            resource,
+            actions::SET_TERMINATION,
+            lifetime::set_termination_request(requested),
+        )?;
+        lifetime::parse_set_termination_response(&resp)
+            .ok_or_else(|| InvokeError::Fault(Fault::server("malformed SetTerminationTime response")))
+    }
+}

@@ -1,0 +1,87 @@
+//! The WS-Resource document model.
+//!
+//! "Internally, WSRF.NET models Resources as XML documents that can be
+//! persisted to various backend stores" (§3.1). A [`ResourceDocument`] is
+//! that document plus its id; child elements of the root are the resource's
+//! data members, and the resource-properties document is a *view* of them
+//! ("typically not equivalent to the state", §2.1) assembled by the owning
+//! service.
+
+use ogsa_xml::{Element, QName};
+
+/// One WS-Resource: id plus state document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceDocument {
+    pub id: String,
+    pub doc: Element,
+}
+
+impl ResourceDocument {
+    pub fn new(id: impl Into<String>, doc: Element) -> Self {
+        ResourceDocument { id: id.into(), doc }
+    }
+
+    /// Read a data member (`[Resource]`-annotated field, in WSRF.NET's
+    /// attribute model): the text of the named child element.
+    pub fn member(&self, name: &str) -> Option<&str> {
+        self.doc.child_text(name)
+    }
+
+    /// Typed read of a data member.
+    pub fn member_parse<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.doc.child_parse(name)
+    }
+
+    /// Write a data member, replacing any existing element of that name.
+    pub fn set_member(&mut self, name: &str, value: impl Into<String>) {
+        let qname = QName::local(name);
+        self.doc.remove_children(&qname);
+        self.doc
+            .add_child(Element::text_element(name, value.into()));
+    }
+
+    /// All property elements with the given local name (for multi-valued
+    /// properties like a directory's file list).
+    pub fn members_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.doc
+            .child_elements()
+            .filter(move |e| &*e.name.local == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> ResourceDocument {
+        ResourceDocument::new(
+            "c-1",
+            Element::new("CounterResource").with_child(Element::text_element("cv", "0")),
+        )
+    }
+
+    #[test]
+    fn member_read_write() {
+        let mut r = counter();
+        assert_eq!(r.member_parse::<i64>("cv"), Some(0));
+        r.set_member("cv", "41");
+        assert_eq!(r.member_parse::<i64>("cv"), Some(41));
+        assert_eq!(r.doc.children_named(&QName::local("cv")).count(), 1);
+    }
+
+    #[test]
+    fn set_member_adds_when_absent() {
+        let mut r = counter();
+        r.set_member("owner", "alice");
+        assert_eq!(r.member("owner"), Some("alice"));
+    }
+
+    #[test]
+    fn multi_valued_members() {
+        let mut r = counter();
+        r.doc.add_child(Element::text_element("file", "a.dat"));
+        r.doc.add_child(Element::text_element("file", "b.dat"));
+        let files: Vec<_> = r.members_named("file").map(|e| e.text()).collect();
+        assert_eq!(files, ["a.dat", "b.dat"]);
+    }
+}

@@ -1,0 +1,293 @@
+//! End-to-end WSRF tests: a small stateful service deployed in a container,
+//! exercised over the simulated wire through the client proxy.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use ogsa_container::{InvokeError, Operation, OperationContext, Testbed};
+use ogsa_security::SecurityPolicy;
+use ogsa_soap::Fault;
+use ogsa_wsrf::lifetime::TerminationTime;
+use ogsa_wsrf::properties::SetComponent;
+use ogsa_wsrf::service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHost};
+use ogsa_wsrf::{BaseFault, ResourceDocument, WsrfProxy};
+use ogsa_xml::{Element, ns};
+use ogsa_addressing::EndpointReference;
+
+/// A toy stateful service: resources hold `v`; exposes a custom `create`
+/// WebMethod (as the paper's counter does) and a computed `DoubleValue`
+/// resource property (the WSRF.NET `[ResourceProperty]` example in §3.1).
+struct ToyService;
+
+impl WsrfService for ToyService {
+    fn handle_custom(
+        &self,
+        op: &Operation,
+        ctx: &OperationContext,
+        base: &ServiceBase,
+    ) -> Result<Element, Fault> {
+        match op.action_name() {
+            "create" => {
+                let initial = op.body.child_parse::<i64>("initial").unwrap_or(0);
+                let doc = Element::new("ToyResource")
+                    .with_child(Element::text_element("v", initial.to_string()));
+                let res = base.create(ctx, doc)?;
+                base.schedule_termination(
+                    ctx,
+                    &res.id,
+                    TerminationTime::Never,
+                );
+                let epr = base.resource_epr(ctx, &res.id);
+                Ok(Element::new("createResponse").with_child(epr.to_element()))
+            }
+            other => Err(Fault::client(format!("no such method {other}"))),
+        }
+    }
+
+    fn resource_properties(&self, res: &ResourceDocument, _ctx: &OperationContext) -> Element {
+        let mut doc = res.doc.clone();
+        if let Some(v) = res.member_parse::<i64>("v") {
+            doc.add_child(Element::text_element("DoubleValue", (v * 2).to_string()));
+        }
+        doc
+    }
+}
+
+fn deploy(tb: &Testbed, imported: HashSet<PortType>) -> EndpointReference {
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (epr, _base) =
+        WsrfServiceHost::deploy(&container, "/services/Toy", Arc::new(ToyService), imported, true);
+    epr
+}
+
+fn create_resource(
+    tb: &Testbed,
+    svc: &EndpointReference,
+) -> (ogsa_container::ClientAgent, EndpointReference) {
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    let resp = client
+        .invoke(
+            svc,
+            "urn:toy/create",
+            Element::new("create").with_child(Element::text_element("initial", "21")),
+        )
+        .unwrap();
+    let epr = EndpointReference::from_element(resp.child_elements().next().unwrap()).unwrap();
+    (client, epr)
+}
+
+#[test]
+fn full_resource_lifecycle_over_the_wire() {
+    let tb = Testbed::free();
+    let svc = deploy(&tb, PortType::all());
+    let (client, resource) = create_resource(&tb, &svc);
+    let proxy = WsrfProxy::new(&client);
+
+    // Stored member.
+    assert_eq!(proxy.get_property_text(&resource, "v").unwrap(), "21");
+    // Computed [ResourceProperty] (v * 2).
+    assert_eq!(proxy.get_property_text(&resource, "DoubleValue").unwrap(), "42");
+
+    // Set and re-read.
+    proxy.set_property_text(&resource, "v", "50").unwrap();
+    assert_eq!(proxy.get_property_text(&resource, "DoubleValue").unwrap(), "100");
+
+    // Query.
+    let hits = proxy.query(&resource, "/ToyResource[v > 40]").unwrap();
+    assert_eq!(hits.len(), 1);
+
+    // Destroy, then further access raises ResourceUnknownFault.
+    proxy.destroy(&resource).unwrap();
+    let err = proxy.get_property(&resource, "v").unwrap_err();
+    match err {
+        InvokeError::Fault(f) => {
+            let bf = BaseFault::from_soap_fault(&f).expect("structured base fault");
+            assert!(bf.is(ns::WSRF_RP, "ResourceUnknownFault"));
+        }
+        other => panic!("expected fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn get_multiple_properties() {
+    let tb = Testbed::free();
+    let svc = deploy(&tb, PortType::all());
+    let (client, resource) = create_resource(&tb, &svc);
+    let proxy = WsrfProxy::new(&client);
+    let props = proxy.get_properties(&resource, &["v", "DoubleValue"]).unwrap();
+    let texts: Vec<_> = props.iter().map(|e| e.text()).collect();
+    assert_eq!(texts, ["21", "42"]);
+}
+
+#[test]
+fn scheduled_termination_destroys_resources() {
+    let tb = Testbed::free();
+    let svc = deploy(&tb, PortType::all());
+    let (client, resource) = create_resource(&tb, &svc);
+    let proxy = WsrfProxy::new(&client);
+
+    // Schedule termination shortly in the virtual future.
+    let when = tb.clock().now().plus(ogsa_sim::SimDuration::from_millis(10.0));
+    let (new_tt, _now) = proxy
+        .set_termination_time(&resource, TerminationTime::At(when))
+        .unwrap();
+    assert_eq!(new_tt, TerminationTime::At(when));
+
+    // Lifetime resource properties appear in the RP view.
+    let tt_text = proxy.get_property_text(&resource, "TerminationTime").unwrap();
+    assert_eq!(tt_text, when.0.to_string());
+
+    // Pass the deadline; the next dispatched request sweeps it away.
+    tb.clock().advance(ogsa_sim::SimDuration::from_millis(20.0));
+    let err = proxy.get_property(&resource, "v").unwrap_err();
+    assert!(matches!(err, InvokeError::Fault(_)));
+}
+
+#[test]
+fn termination_in_the_past_is_rejected() {
+    let tb = Testbed::free();
+    let svc = deploy(&tb, PortType::all());
+    let (client, resource) = create_resource(&tb, &svc);
+    let proxy = WsrfProxy::new(&client);
+    tb.clock().advance(ogsa_sim::SimDuration::from_millis(5.0));
+    let err = proxy
+        .set_termination_time(&resource, TerminationTime::At(ogsa_sim::SimInstant(0)))
+        .unwrap_err();
+    match err {
+        InvokeError::Fault(f) => {
+            let bf = BaseFault::from_soap_fault(&f).unwrap();
+            assert!(bf.is(ns::WSRF_RL, "TerminationTimeChangeRejectedFault"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn non_imported_port_types_fault() {
+    let tb = Testbed::free();
+    // Import only GetResourceProperty: a minimal service, per the paper's
+    // "buy only what you need".
+    let mut imported = HashSet::new();
+    imported.insert(PortType::GetResourceProperty);
+    let svc = deploy(&tb, imported);
+    let (client, resource) = create_resource(&tb, &svc);
+    let proxy = WsrfProxy::new(&client);
+
+    // The imported one works...
+    assert_eq!(proxy.get_property_text(&resource, "v").unwrap(), "21");
+    // ...the rest are not part of the service's interface.
+    assert!(matches!(
+        proxy.set_property_text(&resource, "v", "9"),
+        Err(InvokeError::Fault(f)) if f.reason.contains("not imported")
+    ));
+    assert!(matches!(
+        proxy.destroy(&resource),
+        Err(InvokeError::Fault(_))
+    ));
+}
+
+#[test]
+fn create_conventions_differ_per_service_the_interop_gap() {
+    // The paper (§2.3): "In WSRF, every resource must come into existence
+    // via an application-specific protocol, causing interoperability
+    // issues." Two services expose creation under different action names and
+    // shapes; a client coded against one cannot create against the other.
+    struct OtherService;
+    impl WsrfService for OtherService {
+        fn handle_custom(
+            &self,
+            op: &Operation,
+            ctx: &OperationContext,
+            base: &ServiceBase,
+        ) -> Result<Element, Fault> {
+            match op.action_name() {
+                // Different name, different response shape (no EPR element).
+                "makeNew" => {
+                    let res = base.create(ctx, Element::new("R"))?;
+                    Ok(Element::text_element("id", res.id))
+                }
+                other => Err(Fault::client(format!("no such method {other}"))),
+            }
+        }
+    }
+
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (toy_epr, _) = WsrfServiceHost::deploy(
+        &container,
+        "/services/Toy",
+        Arc::new(ToyService),
+        PortType::all(),
+        true,
+    );
+    let (other_epr, _) = WsrfServiceHost::deploy(
+        &container,
+        "/services/Other",
+        Arc::new(OtherService),
+        PortType::all(),
+        true,
+    );
+
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
+    // The Toy-style create works on Toy...
+    assert!(client
+        .invoke(&toy_epr, "urn:toy/create", Element::new("create"))
+        .is_ok());
+    // ...and fails on Other, which wants `makeNew`.
+    assert!(matches!(
+        client.invoke(&other_epr, "urn:toy/create", Element::new("create")),
+        Err(InvokeError::Fault(_))
+    ));
+}
+
+#[test]
+fn set_properties_insert_and_delete_components() {
+    let tb = Testbed::free();
+    let svc = deploy(&tb, PortType::all());
+    let (client, resource) = create_resource(&tb, &svc);
+    let proxy = WsrfProxy::new(&client);
+
+    proxy
+        .set_properties(
+            &resource,
+            &[SetComponent::Insert(vec![
+                Element::text_element("note", "a"),
+                Element::text_element("note", "b"),
+            ])],
+        )
+        .unwrap();
+    assert_eq!(proxy.get_property(&resource, "note").unwrap().len(), 2);
+
+    proxy
+        .set_properties(&resource, &[SetComponent::Delete("note".into())])
+        .unwrap();
+    assert!(matches!(
+        proxy.get_property(&resource, "note"),
+        Err(InvokeError::Fault(_))
+    ));
+}
+
+#[test]
+fn works_under_x509_signing() {
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::X509Sign);
+    let (svc, _) = WsrfServiceHost::deploy(
+        &container,
+        "/services/Toy",
+        Arc::new(ToyService),
+        PortType::all(),
+        true,
+    );
+    let client = tb.client("host-b", "CN=alice", SecurityPolicy::X509Sign);
+    let resp = client
+        .invoke(
+            &svc,
+            "urn:toy/create",
+            Element::new("create").with_child(Element::text_element("initial", "7")),
+        )
+        .unwrap();
+    let resource =
+        EndpointReference::from_element(resp.child_elements().next().unwrap()).unwrap();
+    let proxy = WsrfProxy::new(&client);
+    assert_eq!(proxy.get_property_text(&resource, "v").unwrap(), "7");
+}

@@ -1,0 +1,85 @@
+//! Deterministic canonical form used by WS-Security signing.
+//!
+//! This is a simplified exclusive-canonicalisation analogue: element and
+//! attribute names are written in Clark notation (`{uri}local`), attributes
+//! are sorted by expanded name, text is escaped, and comments are dropped.
+//! Two trees that are infoset-equal always canonicalise to identical bytes
+//! regardless of the prefixes the sender chose — which is exactly the
+//! property a signature digest needs.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Element, Node};
+
+/// Canonical byte representation of the subtree rooted at `e`.
+pub fn canonicalize(e: &Element) -> Vec<u8> {
+    let mut out = String::with_capacity(256);
+    canon_into(e, &mut out);
+    out.into_bytes()
+}
+
+fn canon_into(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name.clark());
+    let mut attrs: Vec<_> = e.attrs.iter().collect();
+    attrs.sort_by(|a, b| a.name.cmp(&b.name));
+    for a in attrs {
+        out.push(' ');
+        out.push_str(&a.name.clark());
+        out.push_str("=\"");
+        out.push_str(&escape_attr(&a.value));
+        out.push('"');
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            Node::Element(child) => canon_into(child, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(_) => {} // comments never participate in digests
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name.clark());
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, Element};
+
+    #[test]
+    fn prefix_choice_does_not_change_canonical_form() {
+        let a = parse("<p:a xmlns:p=\"urn:x\"><p:b k=\"1\"/></p:a>").unwrap();
+        let b = parse("<q:a xmlns:q=\"urn:x\"><q:b k=\"1\"/></q:a>").unwrap();
+        let c = parse("<a xmlns=\"urn:x\"><b k=\"1\"/></a>").unwrap();
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        assert_eq!(canonicalize(&a), canonicalize(&c));
+    }
+
+    #[test]
+    fn attribute_order_does_not_matter() {
+        let a = parse("<a x=\"1\" y=\"2\"/>").unwrap();
+        let b = parse("<a y=\"2\" x=\"1\"/>").unwrap();
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let a = parse("<a>t<!-- c -->u</a>").unwrap();
+        let b = parse("<a>tu</a>").unwrap();
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn content_changes_change_the_bytes() {
+        let a = parse("<a>1</a>").unwrap();
+        let b = parse("<a>2</a>").unwrap();
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn empty_element_roundtrip_is_stable() {
+        let e = Element::new("x");
+        assert_eq!(canonicalize(&e), b"<x></x>");
+    }
+}

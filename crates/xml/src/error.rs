@@ -1,0 +1,78 @@
+//! Error type shared by the parser and the XPath engine.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Everything that can go wrong while parsing, evaluating, or validating XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed document; byte offset and message.
+    Parse { offset: usize, message: String },
+    /// A namespace prefix with no in-scope binding.
+    UnboundPrefix { prefix: String, offset: usize },
+    /// Mismatched or unclosed tags.
+    TagMismatch {
+        expected: String,
+        found: String,
+        offset: usize,
+    },
+    /// Malformed XPath expression.
+    XPath(String),
+    /// A document that parsed but does not have the shape the caller
+    /// requires (e.g. a SOAP envelope missing its Body).
+    Schema(String),
+}
+
+impl XmlError {
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        XmlError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            XmlError::UnboundPrefix { prefix, offset } => {
+                write!(f, "unbound namespace prefix `{prefix}` at byte {offset}")
+            }
+            XmlError::TagMismatch {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "mismatched tags at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::XPath(msg) => write!(f, "XPath error: {msg}"),
+            XmlError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_offsets() {
+        let e = XmlError::parse(17, "unexpected `<`");
+        assert!(e.to_string().contains("byte 17"));
+        let e = XmlError::TagMismatch {
+            expected: "a".into(),
+            found: "b".into(),
+            offset: 4,
+        };
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("</b>"));
+    }
+}

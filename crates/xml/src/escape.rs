@@ -1,0 +1,129 @@
+//! Text and attribute escaping/unescaping.
+//!
+//! Escaping is on the hot path of every message serialisation, so both
+//! directions avoid allocating when the input needs no work (`Cow`).
+
+use std::borrow::Cow;
+
+use crate::error::{XmlError, XmlResult};
+
+/// Escape character data (`<`, `&`, and `>` for robustness).
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape(s, false)
+}
+
+/// Escape an attribute value (additionally `"`).
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape(s, true)
+}
+
+fn escape(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'<' | b'>' | b'&') || (attr && matches!(b, b'"' | b'\'')));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve the five predefined entities plus decimal/hex character
+/// references. `offset` is used only for error reporting.
+pub fn unescape(s: &str, offset: usize) -> XmlResult<Cow<'_, str>> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let semi = rest.find(';').ok_or_else(|| {
+            XmlError::parse(offset, "entity reference missing terminating `;`")
+        })?;
+        let entity = &rest[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                    XmlError::parse(offset, format!("bad hex character reference &{entity};"))
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::parse(offset, format!("invalid codepoint &{entity};"))
+                })?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| {
+                    XmlError::parse(offset, format!("bad character reference &{entity};"))
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::parse(offset, format!("invalid codepoint &{entity};"))
+                })?);
+            }
+            _ => {
+                return Err(XmlError::parse(
+                    offset,
+                    format!("unknown entity &{entity};"),
+                ))
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_alloc_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello", 0).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_text_and_attrs() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        // Quotes pass through unescaped in text content.
+        assert_eq!(escape_text(r#"a"b"#), r#"a"b"#);
+    }
+
+    #[test]
+    fn unescape_roundtrip() {
+        let original = r#"<tag attr="v">&'x"#;
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+
+    #[test]
+    fn character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+        assert_eq!(unescape("snowman &#x2603;", 0).unwrap(), "snowman ☃");
+    }
+
+    #[test]
+    fn bad_entities_error() {
+        assert!(unescape("&unknown;", 0).is_err());
+        assert!(unescape("&#xZZ;", 0).is_err());
+        assert!(unescape("&#1114112;", 0).is_err()); // beyond char::MAX
+        assert!(unescape("&amp", 0).is_err()); // missing semicolon
+    }
+}

@@ -1,0 +1,226 @@
+//! Qualified names and the well-known namespace URIs used across the stacks.
+//!
+//! Namespace URIs are interned as `Arc<str>` so that cloning a [`QName`] —
+//! which happens on every element constructed while building a SOAP message —
+//! is a pair of reference-count bumps rather than a heap copy (per the
+//! allocation-discipline guidance in the perf book).
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// Well-known namespace URIs for the specifications the paper compares.
+///
+/// The URIs follow the 2004/2005 drafts cited by the paper (WSRF and WSN as
+/// submitted to OASIS; WS-Transfer and WS-Eventing as the Microsoft/BEA/...
+/// member submissions; WS-Addressing 2004/08).
+pub mod ns {
+    /// SOAP 1.1 envelope namespace.
+    pub const SOAP: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+    /// WS-Addressing (August 2004 member submission).
+    pub const WSA: &str = "http://schemas.xmlsoap.org/ws/2004/08/addressing";
+    /// WS-ResourceProperties.
+    pub const WSRF_RP: &str =
+        "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd";
+    /// WS-ResourceLifetime.
+    pub const WSRF_RL: &str =
+        "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd";
+    /// WS-ServiceGroup.
+    pub const WSRF_SG: &str =
+        "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ServiceGroup-1.2-draft-01.xsd";
+    /// WS-BaseFaults.
+    pub const WSRF_BF: &str =
+        "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-BaseFaults-1.2-draft-01.xsd";
+    /// WS-BaseNotification.
+    pub const WSNT: &str =
+        "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BaseNotification-1.2-draft-01.xsd";
+    /// WS-Topics.
+    pub const WSTOP: &str =
+        "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-Topics-1.2-draft-01.xsd";
+    /// WS-BrokeredNotification.
+    pub const WSBN: &str =
+        "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BrokeredNotification-1.2-draft-01.xsd";
+    /// WS-Transfer (September 2004 member submission).
+    pub const WXF: &str = "http://schemas.xmlsoap.org/ws/2004/09/transfer";
+    /// WS-Eventing (August 2004 member submission).
+    pub const WSE: &str = "http://schemas.xmlsoap.org/ws/2004/08/eventing";
+    /// WS-Security (OASIS wsse 1.0).
+    pub const WSSE: &str =
+        "http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-secext-1.0.xsd";
+    /// WS-Security utility (timestamps, ids).
+    pub const WSU: &str =
+        "http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-utility-1.0.xsd";
+    /// XML-DSig.
+    pub const DS: &str = "http://www.w3.org/2000/09/xmldsig#";
+    /// XML Schema instance.
+    pub const XSI: &str = "http://www.w3.org/2001/XMLSchema-instance";
+    /// Namespace used by the Grid-in-a-Box application services.
+    pub const GRIDBOX: &str = "http://virginia.edu/ogsa/gridbox";
+    /// Namespace used by the counter ("hello world") services.
+    pub const COUNTER: &str = "http://virginia.edu/ogsa/counter";
+
+    /// Suggested serialisation prefix for a well-known namespace, if any.
+    pub fn preferred_prefix(uri: &str) -> Option<&'static str> {
+        Some(match uri {
+            SOAP => "soap",
+            WSA => "wsa",
+            WSRF_RP => "wsrp",
+            WSRF_RL => "wsrl",
+            WSRF_SG => "wssg",
+            WSRF_BF => "wsbf",
+            WSNT => "wsnt",
+            WSTOP => "wstop",
+            WSBN => "wsbn",
+            WXF => "wxf",
+            WSE => "wse",
+            WSSE => "wsse",
+            WSU => "wsu",
+            DS => "ds",
+            XSI => "xsi",
+            GRIDBOX => "gib",
+            COUNTER => "cnt",
+            _ => return None,
+        })
+    }
+}
+
+/// An expanded XML name: `{namespace-uri}local-part`.
+///
+/// Prefixes are a serialisation concern and never stored here; two names are
+/// equal iff their namespace URIs and local parts are equal, which is what
+/// the WS-* dispatch logic needs.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    /// Namespace URI, or `None` for an unqualified name.
+    pub ns: Option<Arc<str>>,
+    /// Local part.
+    pub local: Arc<str>,
+}
+
+impl QName {
+    /// A name in namespace `ns` with local part `local`.
+    pub fn new(ns: &str, local: &str) -> Self {
+        QName {
+            ns: Some(intern(ns)),
+            local: Arc::from(local),
+        }
+    }
+
+    /// An unqualified (no-namespace) name.
+    pub fn local(local: &str) -> Self {
+        QName {
+            ns: None,
+            local: Arc::from(local),
+        }
+    }
+
+    /// Namespace URI as a `&str`, or `""` if unqualified.
+    pub fn ns_str(&self) -> &str {
+        self.ns.as_deref().unwrap_or("")
+    }
+
+    /// True if this name lives in namespace `uri`.
+    pub fn in_ns(&self, uri: &str) -> bool {
+        self.ns.as_deref() == Some(uri)
+    }
+
+    /// Clark notation, `{uri}local`, used by the canonical form and debug
+    /// output.
+    pub fn clark(&self) -> Cow<'_, str> {
+        match &self.ns {
+            Some(uri) => Cow::Owned(format!("{{{uri}}}{}", self.local)),
+            None => Cow::Borrowed(&self.local),
+        }
+    }
+}
+
+impl fmt::Debug for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.clark())
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.local)
+    }
+}
+
+impl From<&str> for QName {
+    fn from(local: &str) -> Self {
+        QName::local(local)
+    }
+}
+
+/// Intern a namespace URI: well-known URIs share a single allocation per
+/// process; others allocate once per call site.
+pub fn intern(uri: &str) -> Arc<str> {
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+
+    static INTERNED: OnceLock<Mutex<HashMap<String, Arc<str>>>> = OnceLock::new();
+    let map = INTERNED.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = map.lock();
+    if let Some(existing) = guard.get(uri) {
+        return existing.clone();
+    }
+    let arc: Arc<str> = Arc::from(uri);
+    guard.insert(uri.to_owned(), arc.clone());
+    arc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_and_unqualified_names_differ() {
+        assert_ne!(QName::new(ns::SOAP, "Envelope"), QName::local("Envelope"));
+        assert_eq!(QName::new(ns::SOAP, "Envelope"), QName::new(ns::SOAP, "Envelope"));
+    }
+
+    #[test]
+    fn interning_is_pointer_shared() {
+        let a = intern(ns::WSA);
+        let b = intern(ns::WSA);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn clark_notation() {
+        assert_eq!(QName::new("urn:x", "a").clark(), "{urn:x}a");
+        assert_eq!(QName::local("a").clark(), "a");
+    }
+
+    #[test]
+    fn preferred_prefixes_cover_all_spec_namespaces() {
+        for uri in [
+            ns::SOAP,
+            ns::WSA,
+            ns::WSRF_RP,
+            ns::WSRF_RL,
+            ns::WSRF_SG,
+            ns::WSRF_BF,
+            ns::WSNT,
+            ns::WSTOP,
+            ns::WSBN,
+            ns::WXF,
+            ns::WSE,
+            ns::WSSE,
+            ns::WSU,
+            ns::DS,
+        ] {
+            assert!(ns::preferred_prefix(uri).is_some(), "no prefix for {uri}");
+        }
+        assert!(ns::preferred_prefix("urn:unknown").is_none());
+    }
+
+    #[test]
+    fn in_ns_checks_uri() {
+        let q = QName::new(ns::WXF, "Create");
+        assert!(q.in_ns(ns::WXF));
+        assert!(!q.in_ns(ns::WSE));
+        assert!(!QName::local("Create").in_ns(ns::WXF));
+    }
+}

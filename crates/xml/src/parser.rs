@@ -1,0 +1,447 @@
+//! A namespace-aware recursive-descent parser for the XML subset the WS-*
+//! stacks exchange: elements, attributes, character data, entity and
+//! character references, CDATA sections, comments, processing instructions
+//! (skipped), and `xmlns`/`xmlns:p` scoped namespace bindings.
+//!
+//! DTDs are rejected (no WS-I-compliant message carries one, and rejecting
+//! them avoids entity-expansion pathologies).
+
+use std::sync::Arc;
+
+use crate::error::{XmlError, XmlResult};
+use crate::escape::unescape;
+use crate::name::{intern, QName};
+use crate::node::{Attribute, Element, Node};
+
+/// Parse a complete document (or bare element) into its root [`Element`].
+pub fn parse(input: &str) -> XmlResult<Element> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let mut scope = NsScope::default();
+    let root = p.parse_element(&mut scope)?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(XmlError::parse(p.pos, "trailing content after root element"));
+    }
+    Ok(root)
+}
+
+/// In-scope namespace bindings, maintained as an undo stack so nested scopes
+/// never clone the whole map (the paper's messages nest 6-10 levels deep).
+#[derive(Default)]
+struct NsScope {
+    /// (prefix, uri) pairs; later entries shadow earlier ones.
+    bindings: Vec<(String, Arc<str>)>,
+    /// Default-namespace stack ("" binding); `None` entries mean unbound.
+    default_ns: Vec<Option<Arc<str>>>,
+}
+
+impl NsScope {
+    fn lookup(&self, prefix: &str) -> Option<Arc<str>> {
+        if prefix == "xml" {
+            return Some(intern("http://www.w3.org/XML/1998/namespace"));
+        }
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(p, _)| p == prefix)
+            .map(|(_, uri)| uri.clone())
+    }
+
+    fn default_uri(&self) -> Option<Arc<str>> {
+        self.default_ns.last().cloned().flatten()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XmlResult<()> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(XmlError::parse(self.pos, format!("expected `{s}`")))
+        }
+    }
+
+    /// Skip the XML declaration, comments, PIs and whitespace before the root.
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                let end = self.input[self.pos..]
+                    .find("?>")
+                    .ok_or_else(|| XmlError::parse(self.pos, "unterminated processing instruction"))?;
+                self.pos += end + 2;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return Err(XmlError::parse(self.pos, "DTDs are not accepted"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if self.skip_comment().is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> XmlResult<()> {
+        debug_assert!(self.starts_with("<!--"));
+        let end = self.input[self.pos + 4..]
+            .find("-->")
+            .ok_or_else(|| XmlError::parse(self.pos, "unterminated comment"))?;
+        self.pos += 4 + end + 3;
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> XmlResult<&'a str> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::parse(start, "expected a name"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn parse_element(&mut self, scope: &mut NsScope) -> XmlResult<Element> {
+        let open_pos = self.pos;
+        self.expect("<")?;
+        let raw_name = self.read_name()?;
+
+        // First pass over attributes: raw (name, value) pairs, applying
+        // xmlns bindings into the scope as they are seen.
+        let mut raw_attrs: Vec<(&'a str, String)> = Vec::new();
+        let bindings_mark = scope.bindings.len();
+        let mut pushed_default = false;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    let elem = self.finish_element(
+                        raw_name, raw_attrs, Vec::new(), scope, open_pos,
+                    )?;
+                    self.pop_scope(scope, bindings_mark, pushed_default);
+                    return Ok(elem);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.read_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.read_quoted()?;
+                    if attr_name == "xmlns" {
+                        if !pushed_default {
+                            pushed_default = true;
+                            scope.default_ns.push(None);
+                        }
+                        *scope.default_ns.last_mut().unwrap() = if value.is_empty() {
+                            None
+                        } else {
+                            Some(intern(&value))
+                        };
+                    } else if let Some(prefix) = attr_name.strip_prefix("xmlns:") {
+                        scope.bindings.push((prefix.to_owned(), intern(&value)));
+                    } else {
+                        raw_attrs.push((attr_name, value));
+                    }
+                }
+                None => return Err(XmlError::parse(self.pos, "unterminated start tag")),
+            }
+        }
+
+        // Content.
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close_name = self.read_name()?;
+                self.skip_ws();
+                self.expect(">")?;
+                if close_name != raw_name {
+                    return Err(XmlError::TagMismatch {
+                        expected: raw_name.to_owned(),
+                        found: close_name.to_owned(),
+                        offset: self.pos,
+                    });
+                }
+                let elem =
+                    self.finish_element(raw_name, raw_attrs, children, scope, open_pos)?;
+                self.pop_scope(scope, bindings_mark, pushed_default);
+                return Ok(elem);
+            } else if self.starts_with("<!--") {
+                let start = self.pos + 4;
+                let end = self.input[start..]
+                    .find("-->")
+                    .ok_or_else(|| XmlError::parse(self.pos, "unterminated comment"))?;
+                children.push(Node::Comment(self.input[start..start + end].to_owned()));
+                self.pos = start + end + 3;
+            } else if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                let end = self.input[start..]
+                    .find("]]>")
+                    .ok_or_else(|| XmlError::parse(self.pos, "unterminated CDATA"))?;
+                children.push(Node::Text(self.input[start..start + end].to_owned()));
+                self.pos = start + end + 3;
+            } else if self.starts_with("<?") {
+                let end = self.input[self.pos..]
+                    .find("?>")
+                    .ok_or_else(|| XmlError::parse(self.pos, "unterminated PI"))?;
+                self.pos += end + 2;
+            } else if self.peek() == Some(b'<') {
+                children.push(Node::Element(self.parse_element(scope)?));
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = unescape(&self.input[start..self.pos], start)?;
+                children.push(Node::Text(text.into_owned()));
+            } else {
+                return Err(XmlError::parse(self.pos, "unexpected end of input in element content"));
+            }
+        }
+    }
+
+    fn pop_scope(&self, scope: &mut NsScope, bindings_mark: usize, pushed_default: bool) {
+        scope.bindings.truncate(bindings_mark);
+        if pushed_default {
+            scope.default_ns.pop();
+        }
+    }
+
+    fn finish_element(
+        &self,
+        raw_name: &str,
+        raw_attrs: Vec<(&str, String)>,
+        children: Vec<Node>,
+        scope: &NsScope,
+        open_pos: usize,
+    ) -> XmlResult<Element> {
+        let name = self.resolve(raw_name, scope, true, open_pos)?;
+        let mut attrs = Vec::with_capacity(raw_attrs.len());
+        for (raw, value) in raw_attrs {
+            attrs.push(Attribute {
+                name: self.resolve(raw, scope, false, open_pos)?,
+                value,
+            });
+        }
+        Ok(Element {
+            name,
+            attrs,
+            children,
+        })
+    }
+
+    /// Resolve `prefix:local` against the in-scope bindings. Element names
+    /// with no prefix take the default namespace; attribute names do not
+    /// (per the XML namespaces spec).
+    fn resolve(
+        &self,
+        raw: &str,
+        scope: &NsScope,
+        is_element: bool,
+        offset: usize,
+    ) -> XmlResult<QName> {
+        match raw.split_once(':') {
+            Some((prefix, local)) => {
+                let uri = scope.lookup(prefix).ok_or_else(|| XmlError::UnboundPrefix {
+                    prefix: prefix.to_owned(),
+                    offset,
+                })?;
+                Ok(QName {
+                    ns: Some(uri),
+                    local: Arc::from(local),
+                })
+            }
+            None => Ok(QName {
+                ns: if is_element { scope.default_uri() } else { None },
+                local: Arc::from(raw),
+            }),
+        }
+    }
+
+    fn read_quoted(&mut self) -> XmlResult<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(XmlError::parse(self.pos, "expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = &self.input[start..self.pos];
+                self.pos += 1;
+                return Ok(unescape(raw, start)?.into_owned());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::parse(start, "unterminated attribute value"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ns;
+    use crate::writer::write_element;
+
+    #[test]
+    fn simple_roundtrip() {
+        let src = "<a><b>hi</b><c x=\"1\"/></a>";
+        let e = parse(src).unwrap();
+        assert_eq!(write_element(&e), src);
+    }
+
+    #[test]
+    fn declaration_and_whitespace_prolog() {
+        let e = parse("<?xml version=\"1.0\"?>\n<!-- preamble -->\n<root/>").unwrap();
+        assert_eq!(&*e.name.local, "root");
+    }
+
+    #[test]
+    fn namespace_resolution_prefixed() {
+        let src = format!("<s:Envelope xmlns:s=\"{}\"><s:Body/></s:Envelope>", ns::SOAP);
+        let e = parse(&src).unwrap();
+        assert!(e.name.in_ns(ns::SOAP));
+        assert!(e.child_elements().next().unwrap().name.in_ns(ns::SOAP));
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attrs() {
+        let e = parse("<a xmlns=\"urn:d\" k=\"v\"><b/></a>").unwrap();
+        assert!(e.name.in_ns("urn:d"));
+        assert!(e.attrs[0].name.ns.is_none());
+        assert!(e.child_elements().next().unwrap().name.in_ns("urn:d"));
+    }
+
+    #[test]
+    fn default_namespace_can_be_unbound() {
+        let e = parse("<a xmlns=\"urn:d\"><b xmlns=\"\"/></a>").unwrap();
+        let b = e.child_elements().next().unwrap();
+        assert!(b.name.ns.is_none());
+    }
+
+    #[test]
+    fn nested_scopes_shadow_and_restore() {
+        let e = parse(
+            "<a xmlns:p=\"urn:one\"><p:x/><b xmlns:p=\"urn:two\"><p:x/></b><p:y/></a>",
+        )
+        .unwrap();
+        let kids: Vec<_> = e.child_elements().collect();
+        assert!(kids[0].name.in_ns("urn:one"));
+        assert!(kids[1].child_elements().next().unwrap().name.in_ns("urn:two"));
+        assert!(kids[2].name.in_ns("urn:one"));
+    }
+
+    #[test]
+    fn unbound_prefix_is_an_error() {
+        let err = parse("<p:a/>").unwrap_err();
+        assert!(matches!(err, XmlError::UnboundPrefix { .. }));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::TagMismatch { .. }));
+    }
+
+    #[test]
+    fn entities_and_char_refs_in_text_and_attrs() {
+        let e = parse("<a k=\"x &amp; &#x79;\">&lt;tag&gt;</a>").unwrap();
+        assert_eq!(e.attr_local("k"), Some("x & y"));
+        assert_eq!(e.text(), "<tag>");
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let e = parse("<a><![CDATA[<not-xml> & friends]]></a>").unwrap();
+        assert_eq!(e.text(), "<not-xml> & friends");
+    }
+
+    #[test]
+    fn comments_inside_content() {
+        let e = parse("<a>x<!-- note -->y</a>").unwrap();
+        assert_eq!(e.text(), "xy");
+        assert!(matches!(e.children[1], Node::Comment(_)));
+    }
+
+    #[test]
+    fn doctype_rejected() {
+        assert!(parse("<!DOCTYPE a []><a/>").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>text").is_err());
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let e = parse("<a k='v\"w'/>").unwrap();
+        assert_eq!(e.attr_local("k"), Some("v\"w"));
+    }
+
+    #[test]
+    fn deeply_nested_ok() {
+        let mut src = String::new();
+        for _ in 0..200 {
+            src.push_str("<d>");
+        }
+        src.push('x');
+        for _ in 0..200 {
+            src.push_str("</d>");
+        }
+        let e = parse(&src).unwrap();
+        assert_eq!(e.subtree_size(), 200);
+    }
+}

@@ -1,0 +1,187 @@
+//! Serialisation with automatic prefix management.
+//!
+//! All namespaces used anywhere in the tree are declared once on the root
+//! element, using the well-known prefixes from [`crate::name::ns`] where
+//! possible (`soap`, `wsa`, `wsrp`, ...) and generated `ns0`, `ns1`, ...
+//! prefixes otherwise. This mirrors how WSE/ASP.NET emitted envelopes and
+//! keeps messages compact and deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::escape::{escape_attr, escape_text};
+use crate::name::ns;
+use crate::node::{Element, Node};
+
+/// Serialise as a full document: XML declaration plus the root element.
+pub fn write_document(root: &Element) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
+    write_into(root, &mut out);
+    out
+}
+
+/// Serialise the element without an XML declaration.
+pub fn write_element(root: &Element) -> String {
+    let mut out = String::with_capacity(256);
+    write_into(root, &mut out);
+    out
+}
+
+/// Serialise into an existing buffer (lets the transport reuse allocations).
+pub fn write_into(root: &Element, out: &mut String) {
+    let prefixes = assign_prefixes(root);
+    write_elem(root, &prefixes, true, out);
+}
+
+/// Deterministically assign a prefix to every namespace URI in the tree.
+///
+/// URIs are collected in a `BTreeMap` so generated prefixes do not depend on
+/// traversal order.
+fn assign_prefixes(root: &Element) -> BTreeMap<String, String> {
+    let mut uris = BTreeMap::new();
+    collect_uris(root, &mut uris);
+    let mut taken: Vec<String> = Vec::new();
+    let mut map = BTreeMap::new();
+    let mut counter = 0usize;
+    for (uri, _) in uris {
+        let preferred = ns::preferred_prefix(&uri).map(str::to_owned);
+        let prefix = match preferred {
+            Some(p) if !taken.contains(&p) => p,
+            _ => loop {
+                let candidate = format!("ns{counter}");
+                counter += 1;
+                if !taken.contains(&candidate) {
+                    break candidate;
+                }
+            },
+        };
+        taken.push(prefix.clone());
+        map.insert(uri, prefix);
+    }
+    map
+}
+
+fn collect_uris(e: &Element, out: &mut BTreeMap<String, ()>) {
+    if let Some(uri) = &e.name.ns {
+        out.entry(uri.to_string()).or_insert(());
+    }
+    for a in &e.attrs {
+        if let Some(uri) = &a.name.ns {
+            out.entry(uri.to_string()).or_insert(());
+        }
+    }
+    for c in e.child_elements() {
+        collect_uris(c, out);
+    }
+}
+
+fn qname_str(name: &crate::QName, prefixes: &BTreeMap<String, String>, out: &mut String) {
+    if let Some(uri) = &name.ns {
+        // Every URI in the tree was collected up front, so lookup cannot fail.
+        let prefix = &prefixes[&**uri as &str];
+        out.push_str(prefix);
+        out.push(':');
+    }
+    out.push_str(&name.local);
+}
+
+fn write_elem(
+    e: &Element,
+    prefixes: &BTreeMap<String, String>,
+    is_root: bool,
+    out: &mut String,
+) {
+    out.push('<');
+    qname_str(&e.name, prefixes, out);
+    if is_root {
+        for (uri, prefix) in prefixes {
+            let _ = write!(out, " xmlns:{prefix}=\"{}\"", escape_attr(uri));
+        }
+    }
+    for a in &e.attrs {
+        out.push(' ');
+        qname_str(&a.name, prefixes, out);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(&a.value));
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &e.children {
+        match child {
+            Node::Element(c) => write_elem(c, prefixes, false, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+        }
+    }
+    out.push_str("</");
+    qname_str(&e.name, prefixes, out);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{ns, QName};
+    use crate::Element;
+
+    #[test]
+    fn unqualified_tree_has_no_declarations() {
+        let e = Element::new("a").with_child(Element::text_element("b", "x<y"));
+        assert_eq!(write_element(&e), "<a><b>x&lt;y</b></a>");
+    }
+
+    #[test]
+    fn known_namespaces_use_preferred_prefixes() {
+        let e = Element::new(QName::new(ns::SOAP, "Envelope"))
+            .with_child(Element::new(QName::new(ns::SOAP, "Body")));
+        let s = write_element(&e);
+        assert!(s.starts_with("<soap:Envelope xmlns:soap="));
+        assert!(s.contains("<soap:Body/>"));
+    }
+
+    #[test]
+    fn unknown_namespaces_get_generated_prefixes() {
+        let e = Element::new(QName::new("urn:one", "a"))
+            .with_child(Element::new(QName::new("urn:two", "b")));
+        let s = write_element(&e);
+        assert!(s.contains("xmlns:ns0=\"urn:one\""));
+        assert!(s.contains("xmlns:ns1=\"urn:two\""));
+        assert!(s.contains("<ns1:b/>"));
+    }
+
+    #[test]
+    fn qualified_attributes_are_prefixed() {
+        let e = Element::new("root").with_attr(QName::new(ns::WSU, "Id"), "body-1");
+        let s = write_element(&e);
+        assert!(s.contains("wsu:Id=\"body-1\""), "{s}");
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let s = write_document(&Element::new("d"));
+        assert!(s.starts_with("<?xml version=\"1.0\""));
+        assert!(s.ends_with("<d/>"));
+    }
+
+    #[test]
+    fn comments_are_preserved() {
+        let mut e = Element::new("a");
+        e.children.push(crate::Node::Comment(" hi ".into()));
+        assert_eq!(write_element(&e), "<a><!-- hi --></a>");
+    }
+
+    #[test]
+    fn attr_values_are_escaped() {
+        let e = Element::new("a").with_attr("v", "a\"b<c&d");
+        assert_eq!(write_element(&e), "<a v=\"a&quot;b&lt;c&amp;d\"/>");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: any tree we can build serialises to a document that
+//! parses back to an infoset-equal tree, and canonicalisation is stable
+//! under re-serialisation.
+
+use ogsa_xml::{canonicalize, parse, Element, Node, QName};
+use proptest::prelude::*;
+
+/// Text without control characters (the writer does not emit them).
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~é☃]{0,20}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9_.-]{0,8}").unwrap()
+}
+
+fn arb_qname() -> impl Strategy<Value = QName> {
+    (arb_name(), proptest::option::of(0usize..3)).prop_map(|(local, ns)| match ns {
+        Some(i) => QName::new(["urn:a", "urn:b", "urn:c"][i], &local),
+        None => QName::local(&local),
+    })
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_qname(), arb_text()).prop_map(|(name, text)| {
+        let mut e = Element::new(name);
+        if !text.is_empty() {
+            e.add_text(text);
+        }
+        e
+    });
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            arb_qname(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            arb_text(),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    // Duplicate attribute names collapse via set_attr, keeping
+                    // the document well-formed.
+                    e.set_attr(k.as_str(), v);
+                }
+                if !text.is_empty() {
+                    e.add_text(text);
+                }
+                for c in children {
+                    e.add_child(c);
+                }
+                e
+            })
+    })
+}
+
+/// Adjacent text nodes merge when reparsed; normalise before comparing.
+fn normalise(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attrs = e.attrs.clone();
+    let mut pending = String::new();
+    for n in &e.children {
+        match n {
+            Node::Text(t) => pending.push_str(t),
+            Node::Element(c) => {
+                if !pending.is_empty() {
+                    out.add_text(std::mem::take(&mut pending));
+                }
+                out.children.push(Node::Element(normalise(c)));
+            }
+            Node::Comment(c) => {
+                if !pending.is_empty() {
+                    out.add_text(std::mem::take(&mut pending));
+                }
+                out.children.push(Node::Comment(c.clone()));
+            }
+        }
+    }
+    if !pending.is_empty() {
+        out.add_text(pending);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialise_parse_roundtrip(e in arb_element()) {
+        let doc = e.into_document_string();
+        let back = parse(&doc).expect("writer output must reparse");
+        prop_assert_eq!(normalise(&e), normalise(&back));
+    }
+
+    #[test]
+    fn canonical_form_is_reserialisation_stable(e in arb_element()) {
+        let c1 = canonicalize(&e);
+        let back = parse(&e.into_document_string()).unwrap();
+        let c2 = canonicalize(&back);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn xpath_compile_never_panics(s in "[/a-z@\\[\\]='0-9 ]{0,40}") {
+        let _ = ogsa_xml::XPath::compile(&s);
+    }
+}

@@ -1,0 +1,223 @@
+//! The WSRF.NET write-through resource cache.
+//!
+//! The paper attributes WSRF.NET's faster `Set` to "the more extensive
+//! optimization effort (particularly write-through resource caching)": a
+//! cached copy of the resource document serves reads, while every write
+//! still goes through to Xindice. The cache is toggleable so the ablation
+//! bench can show the effect in isolation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ogsa_sim::SimDuration;
+use ogsa_xml::Element;
+use parking_lot::Mutex;
+
+use crate::db::Collection;
+use crate::error::DbError;
+
+/// A write-through cache in front of one collection.
+#[derive(Debug, Clone)]
+pub struct ResourceCache {
+    collection: Arc<Collection>,
+    cache: Arc<Mutex<HashMap<String, Element>>>,
+    enabled: bool,
+    hit_cost: SimDuration,
+}
+
+impl ResourceCache {
+    /// Wrap `collection`; `hit_cost` is the simulated cost of serving a read
+    /// from the cache (use `CostModel::cache_hit_us`).
+    pub fn new(collection: Arc<Collection>, hit_cost: SimDuration, enabled: bool) -> Self {
+        ResourceCache {
+            collection,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            enabled,
+            hit_cost,
+        }
+    }
+
+    /// Is caching active?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The wrapped collection.
+    pub fn collection(&self) -> &Arc<Collection> {
+        &self.collection
+    }
+
+    /// Read through the cache.
+    pub fn get(&self, key: &str) -> Option<Element> {
+        if self.enabled {
+            if let Some(doc) = self.cache.lock().get(key) {
+                self.collection.clock().advance(self.hit_cost);
+                self.collection.stats().bump_cache_hits();
+                return Some(doc.clone());
+            }
+            self.collection.stats().bump_cache_misses();
+        }
+        let doc = self.collection.get(key)?;
+        if self.enabled {
+            self.cache.lock().insert(key.to_owned(), doc.clone());
+        }
+        Some(doc)
+    }
+
+    /// Create a resource: insert into the store and populate the cache.
+    pub fn insert(&self, key: &str, doc: Element) -> Result<(), DbError> {
+        self.collection.insert(key, doc.clone())?;
+        if self.enabled {
+            self.cache.lock().insert(key.to_owned(), doc);
+        }
+        Ok(())
+    }
+
+    /// Write-through update: the database write always happens; the cache is
+    /// refreshed so the next read hits.
+    pub fn update(&self, key: &str, doc: Element) -> Result<(), DbError> {
+        self.collection.update(key, doc.clone())?;
+        if self.enabled {
+            self.cache.lock().insert(key.to_owned(), doc);
+        }
+        Ok(())
+    }
+
+    /// Remove from store and cache.
+    pub fn remove(&self, key: &str) -> Option<Element> {
+        if self.enabled {
+            self.cache.lock().remove(key);
+        }
+        self.collection.remove(key)
+    }
+
+    /// Drop everything cached (e.g. on administrative restart).
+    pub fn invalidate_all(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Warm the cache from the store without charging a database read —
+    /// used by tests and by container warm-up.
+    pub fn warm(&self, key: &str) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(doc) = self.collection.get_uncharged(key) {
+            self.cache.lock().insert(key.to_owned(), doc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+    use crate::db::Database;
+    use ogsa_sim::{CostModel, VirtualClock};
+
+    fn setup(enabled: bool) -> (Database, ResourceCache) {
+        let model = CostModel::calibrated_2005();
+        let db = Database::new(
+            VirtualClock::new(),
+            Arc::new(model.clone()),
+            BackendKind::SimDisk,
+        );
+        let coll = db.collection("resources");
+        let cache = ResourceCache::new(
+            coll,
+            SimDuration::from_micros(model.cache_hit_us),
+            enabled,
+        );
+        (db, cache)
+    }
+
+    fn doc(v: i64) -> Element {
+        Element::new("r").with_child(Element::text_element("v", v.to_string()))
+    }
+
+    #[test]
+    fn cached_read_is_much_cheaper_than_db_read() {
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(1)).unwrap();
+        // First read after insert hits the cache (write-through populated it).
+        let t0 = db.clock().now();
+        cache.get("k").unwrap();
+        let hit = db.clock().now().since(t0);
+
+        let (db2, cache2) = setup(false);
+        cache2.insert("k", doc(1)).unwrap();
+        let t0 = db2.clock().now();
+        cache2.get("k").unwrap();
+        let miss = db2.clock().now().since(t0);
+
+        assert!(hit.as_micros() * 10 < miss.as_micros(), "{hit:?} vs {miss:?}");
+    }
+
+    #[test]
+    fn writes_go_through_to_the_store() {
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(1)).unwrap();
+        cache.update("k", doc(2)).unwrap();
+        // Bypass the cache: the store itself must hold the new value.
+        let direct = db.collection("resources").get("k").unwrap();
+        assert_eq!(direct.child_parse::<i64>("v"), Some(2));
+    }
+
+    #[test]
+    fn update_refreshes_cache() {
+        let (_db, cache) = setup(true);
+        cache.insert("k", doc(1)).unwrap();
+        cache.update("k", doc(7)).unwrap();
+        assert_eq!(cache.get("k").unwrap().child_parse::<i64>("v"), Some(7));
+    }
+
+    #[test]
+    fn remove_clears_both() {
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(1)).unwrap();
+        assert!(cache.remove("k").is_some());
+        assert!(cache.get("k").is_none());
+        assert!(db.collection("resources").get("k").is_none());
+    }
+
+    #[test]
+    fn disabled_cache_always_reads_the_store() {
+        let (db, cache) = setup(false);
+        cache.insert("k", doc(1)).unwrap();
+        cache.get("k");
+        cache.get("k");
+        assert_eq!(db.stats().reads(), 2);
+        assert_eq!(db.stats().cache_hits(), 0);
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let (db, cache) = setup(true);
+        cache.collection().insert("cold", doc(1)).unwrap(); // store only
+        cache.get("cold"); // miss, fills
+        cache.get("cold"); // hit
+        assert_eq!(db.stats().cache_misses(), 1);
+        assert_eq!(db.stats().cache_hits(), 1);
+    }
+
+    #[test]
+    fn invalidate_all_forces_store_reads() {
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(1)).unwrap();
+        cache.invalidate_all();
+        let reads_before = db.stats().reads();
+        cache.get("k").unwrap();
+        assert_eq!(db.stats().reads(), reads_before + 1);
+    }
+
+    #[test]
+    fn warm_avoids_charged_read() {
+        let (db, cache) = setup(true);
+        cache.collection().insert("k", doc(3)).unwrap();
+        let reads_before = db.stats().reads();
+        cache.warm("k");
+        cache.get("k").unwrap(); // hit
+        assert_eq!(db.stats().reads(), reads_before);
+        assert_eq!(db.stats().cache_hits(), 1);
+    }
+}

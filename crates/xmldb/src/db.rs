@@ -1,0 +1,457 @@
+//! The database and its collections.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use ogsa_sim::{CostModel, VirtualClock};
+use ogsa_xml::{Element, XPath, XPathContext};
+use parking_lot::RwLock;
+
+use crate::backend::{BackendKind, CostProfile};
+use crate::error::DbError;
+use crate::stats::DbStats;
+
+/// A database: a set of named collections sharing a clock, cost model and
+/// stats. Cloning shares the underlying store.
+#[derive(Debug, Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+#[derive(Debug)]
+struct DbInner {
+    collections: RwLock<HashMap<String, Arc<Collection>>>,
+    clock: VirtualClock,
+    model: Arc<CostModel>,
+    default_backend: BackendKind,
+    stats: DbStats,
+}
+
+impl Database {
+    /// A database with the given clock/model and default backend for new
+    /// collections.
+    pub fn new(clock: VirtualClock, model: Arc<CostModel>, default_backend: BackendKind) -> Self {
+        Database {
+            inner: Arc::new(DbInner {
+                collections: RwLock::new(HashMap::new()),
+                clock,
+                model,
+                default_backend,
+                stats: DbStats::new(),
+            }),
+        }
+    }
+
+    /// A free, in-memory database for functional tests.
+    pub fn in_memory_free() -> Self {
+        Database::new(
+            VirtualClock::new(),
+            Arc::new(CostModel::free()),
+            BackendKind::Memory,
+        )
+    }
+
+    /// Get or create a collection with the database default backend.
+    pub fn collection(&self, name: &str) -> Arc<Collection> {
+        self.collection_with_backend(name, self.inner.default_backend.clone())
+    }
+
+    /// Get or create a collection with an explicit backend.
+    pub fn collection_with_backend(&self, name: &str, backend: BackendKind) -> Arc<Collection> {
+        if let Some(c) = self.inner.collections.read().get(name) {
+            return c.clone();
+        }
+        let mut colls = self.inner.collections.write();
+        colls
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Arc::new(Collection {
+                    name: name.to_owned(),
+                    docs: RwLock::new(BTreeMap::new()),
+                    clock: self.inner.clock.clone(),
+                    profile: backend.cost_profile(&self.inner.model),
+                    backend,
+                    stats: self.inner.stats.clone(),
+                })
+            })
+            .clone()
+    }
+
+    /// Existing collection, or an error.
+    pub fn existing(&self, name: &str) -> Result<Arc<Collection>, DbError> {
+        self.inner
+            .collections
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchCollection {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Drop a collection and all of its documents.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.inner.collections.write().remove(name).is_some()
+    }
+
+    /// Names of all collections.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.inner.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Shared operation counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.inner.stats
+    }
+
+    /// The clock costs are charged to.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.inner.clock
+    }
+}
+
+/// A named collection of XML documents keyed by resource id.
+#[derive(Debug)]
+pub struct Collection {
+    name: String,
+    docs: RwLock<BTreeMap<String, Element>>,
+    clock: VirtualClock,
+    profile: CostProfile,
+    backend: BackendKind,
+    stats: DbStats,
+}
+
+impl Collection {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Insert a new document; fails on duplicate key.
+    pub fn insert(&self, key: &str, doc: Element) -> Result<(), DbError> {
+        self.clock.advance(self.profile.insert);
+        self.stats.bump_inserts();
+        let mut docs = self.docs.write();
+        if docs.contains_key(key) {
+            return Err(DbError::DuplicateKey {
+                collection: self.name.clone(),
+                key: key.to_owned(),
+            });
+        }
+        self.backend.on_write(&self.name, key, Some(&doc));
+        docs.insert(key.to_owned(), doc);
+        Ok(())
+    }
+
+    /// Read a document by key.
+    pub fn get(&self, key: &str) -> Option<Element> {
+        self.clock.advance(self.profile.read);
+        self.stats.bump_reads();
+        self.docs.read().get(key).cloned()
+    }
+
+    /// Replace an existing document; fails if the key is absent.
+    pub fn update(&self, key: &str, doc: Element) -> Result<(), DbError> {
+        self.clock.advance(self.profile.update);
+        self.stats.bump_updates();
+        let mut docs = self.docs.write();
+        match docs.get_mut(key) {
+            Some(slot) => {
+                self.backend.on_write(&self.name, key, Some(&doc));
+                *slot = doc;
+                Ok(())
+            }
+            None => Err(DbError::NotFound {
+                collection: self.name.clone(),
+                key: key.to_owned(),
+            }),
+        }
+    }
+
+    /// Insert or replace.
+    pub fn upsert(&self, key: &str, doc: Element) {
+        let exists = { self.docs.read().contains_key(key) };
+        if exists {
+            let _ = self.update(key, doc);
+        } else {
+            let _ = self.insert(key, doc);
+        }
+    }
+
+    /// Delete a document, returning it if present.
+    pub fn remove(&self, key: &str) -> Option<Element> {
+        self.clock.advance(self.profile.delete);
+        self.stats.bump_deletes();
+        let removed = self.docs.write().remove(key);
+        if removed.is_some() {
+            self.backend.on_write(&self.name, key, None);
+        }
+        removed
+    }
+
+    /// True if the key exists (charged as a read).
+    pub fn contains(&self, key: &str) -> bool {
+        self.clock.advance(self.profile.read);
+        self.stats.bump_reads();
+        self.docs.read().contains_key(key)
+    }
+
+    /// Number of documents (not charged — metadata).
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys, sorted (charged as a query).
+    pub fn keys(&self) -> Vec<String> {
+        self.charge_query(self.len());
+        self.docs.read().keys().cloned().collect()
+    }
+
+    /// Documents whose root matches the XPath expression — "rich queries
+    /// over the state of multiple resources" (§3.1). Returns (key, document)
+    /// pairs.
+    pub fn query(
+        &self,
+        xpath: &XPath,
+        ctx: &XPathContext,
+    ) -> Result<Vec<(String, Element)>, ogsa_xml::XmlError> {
+        let docs = self.docs.read();
+        self.charge_query(docs.len());
+        let mut out = Vec::new();
+        for (k, doc) in docs.iter() {
+            if xpath.matches(doc, ctx)? {
+                out.push((k.clone(), doc.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Nodes selected by the XPath expression across all documents, cloned.
+    pub fn select(
+        &self,
+        xpath: &XPath,
+        ctx: &XPathContext,
+    ) -> Result<Vec<Element>, ogsa_xml::XmlError> {
+        let docs = self.docs.read();
+        self.charge_query(docs.len());
+        let mut out = Vec::new();
+        for doc in docs.values() {
+            for node in xpath.select(doc, ctx)? {
+                out.push(node.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read without charging (used by the write-through cache to fill).
+    pub(crate) fn get_uncharged(&self, key: &str) -> Option<Element> {
+        self.docs.read().get(key).cloned()
+    }
+
+    fn charge_query(&self, ndocs: usize) {
+        self.clock
+            .advance(self.profile.query_fixed + self.profile.query_per_doc * ndocs as u64);
+        self.stats.bump_queries();
+    }
+
+    pub(crate) fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    pub(crate) fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ogsa_sim::SimDuration;
+
+    fn xindice() -> Database {
+        Database::new(
+            VirtualClock::new(),
+            Arc::new(CostModel::calibrated_2005()),
+            BackendKind::SimDisk,
+        )
+    }
+
+    fn doc(v: i64) -> Element {
+        Element::new("counter").with_child(Element::text_element("value", v.to_string()))
+    }
+
+    #[test]
+    fn crud_lifecycle() {
+        let db = Database::in_memory_free();
+        let c = db.collection("counters");
+        c.insert("c1", doc(0)).unwrap();
+        assert_eq!(c.get("c1").unwrap().child_parse::<i64>("value"), Some(0));
+        c.update("c1", doc(5)).unwrap();
+        assert_eq!(c.get("c1").unwrap().child_parse::<i64>("value"), Some(5));
+        assert!(c.remove("c1").is_some());
+        assert!(c.get("c1").is_none());
+        assert!(c.remove("c1").is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_fails() {
+        let db = Database::in_memory_free();
+        let c = db.collection("x");
+        c.insert("k", doc(1)).unwrap();
+        assert!(matches!(
+            c.insert("k", doc(2)),
+            Err(DbError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn update_missing_fails() {
+        let db = Database::in_memory_free();
+        let c = db.collection("x");
+        assert!(matches!(
+            c.update("nope", doc(1)),
+            Err(DbError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn upsert_inserts_then_updates() {
+        let db = Database::in_memory_free();
+        let c = db.collection("x");
+        c.upsert("k", doc(1));
+        c.upsert("k", doc(2));
+        assert_eq!(c.get("k").unwrap().child_parse::<i64>("value"), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn collections_are_shared_by_name() {
+        let db = Database::in_memory_free();
+        let a = db.collection("shared");
+        let b = db.collection("shared");
+        a.insert("k", doc(1)).unwrap();
+        assert!(b.get("k").is_some());
+        assert_eq!(db.collection_names(), ["shared"]);
+    }
+
+    #[test]
+    fn existing_errors_on_unknown() {
+        let db = Database::in_memory_free();
+        assert!(matches!(
+            db.existing("ghost"),
+            Err(DbError::NoSuchCollection { .. })
+        ));
+        db.collection("real");
+        assert!(db.existing("real").is_ok());
+    }
+
+    #[test]
+    fn drop_collection_removes_documents() {
+        let db = Database::in_memory_free();
+        db.collection("t").insert("k", doc(1)).unwrap();
+        assert!(db.drop_collection("t"));
+        assert!(!db.drop_collection("t"));
+        assert!(db.collection("t").get("k").is_none());
+    }
+
+    #[test]
+    fn costs_charged_to_clock_with_insert_asymmetry() {
+        let db = xindice();
+        let c = db.collection("counters");
+        let model = CostModel::calibrated_2005();
+
+        let t0 = db.clock().now();
+        c.insert("c1", doc(0)).unwrap();
+        let insert_cost = db.clock().now().since(t0);
+        assert_eq!(insert_cost, SimDuration::from_micros(model.db_insert_us));
+
+        let t1 = db.clock().now();
+        c.get("c1");
+        let read_cost = db.clock().now().since(t1);
+        assert_eq!(read_cost, SimDuration::from_micros(model.db_read_us));
+
+        assert!(insert_cost > read_cost * 2);
+    }
+
+    #[test]
+    fn query_selects_matching_documents() {
+        let db = Database::in_memory_free();
+        let c = db.collection("counters");
+        for i in 0..10 {
+            c.insert(&format!("c{i}"), doc(i)).unwrap();
+        }
+        let xp = XPath::compile("/counter[value > 6]").unwrap();
+        let hits = c.query(&xp, &XPathContext::new()).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|(k, _)| ["c7", "c8", "c9"].contains(&k.as_str())));
+    }
+
+    #[test]
+    fn select_returns_matched_nodes() {
+        let db = Database::in_memory_free();
+        let c = db.collection("counters");
+        for i in 0..3 {
+            c.insert(&format!("c{i}"), doc(i)).unwrap();
+        }
+        let xp = XPath::compile("/counter/value").unwrap();
+        let nodes = c.select(&xp, &XPathContext::new()).unwrap();
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn query_cost_scales_with_collection_size() {
+        let db = xindice();
+        let c = db.collection("jobs");
+        for i in 0..50 {
+            c.insert(&format!("j{i}"), doc(i)).unwrap();
+        }
+        let xp = XPath::compile("/counter[value='1']").unwrap();
+        let t0 = db.clock().now();
+        c.query(&xp, &XPathContext::new()).unwrap();
+        let cost_50 = db.clock().now().since(t0);
+        for i in 50..200 {
+            c.insert(&format!("j{i}"), doc(i)).unwrap();
+        }
+        let t1 = db.clock().now();
+        c.query(&xp, &XPathContext::new()).unwrap();
+        let cost_200 = db.clock().now().since(t1);
+        assert!(cost_200 > cost_50);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let db = xindice();
+        let c = db.collection("s");
+        c.insert("a", doc(1)).unwrap();
+        c.get("a");
+        c.get("missing");
+        c.update("a", doc(2)).unwrap();
+        c.remove("a");
+        assert_eq!(db.stats().inserts(), 1);
+        assert_eq!(db.stats().reads(), 2);
+        assert_eq!(db.stats().updates(), 1);
+        assert_eq!(db.stats().deletes(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        let db = Database::in_memory_free();
+        let c = db.collection("conc");
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        c.insert(&format!("t{t}-{i}"), doc(i)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 800);
+    }
+}

@@ -1,0 +1,45 @@
+//! Database errors.
+
+use std::fmt;
+
+/// Failures surfaced by collection operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Insert with a key that already exists.
+    DuplicateKey { collection: String, key: String },
+    /// Update/read of a key that does not exist.
+    NotFound { collection: String, key: String },
+    /// Named collection does not exist.
+    NoSuchCollection { name: String },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateKey { collection, key } => {
+                write!(f, "duplicate key `{key}` in collection `{collection}`")
+            }
+            DbError::NotFound { collection, key } => {
+                write!(f, "no document `{key}` in collection `{collection}`")
+            }
+            DbError::NoSuchCollection { name } => write!(f, "no collection named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offenders() {
+        let e = DbError::DuplicateKey {
+            collection: "counters".into(),
+            key: "c1".into(),
+        };
+        assert!(e.to_string().contains("counters"));
+        assert!(e.to_string().contains("c1"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # ogsa-xmldb
+//!
+//! The Xindice-analogue XML database both of the paper's implementations
+//! store resources in: named collections of XML documents, keyed by a
+//! resource id, queryable with XPath.
+//!
+//! The paper's performance sections hinge on this layer:
+//!
+//! * "Both counter implementations' performance is dominated by Xindice."
+//! * "Creating resources (and adding them to the database) in particular is
+//!   always slower than reading or updating them" — reproduced by the
+//!   calibrated cost profile of the [`backend::BackendKind::SimDisk`]
+//!   backend.
+//! * WSRF.NET's "write-through resource caching" makes its `Set` faster than
+//!   the WS-Transfer `Put` (which re-reads the old representation first) —
+//!   reproduced by [`cache::ResourceCache`].
+//!
+//! Like WSRF.NET, the database supports multiple backends: the simulated
+//! Xindice disk store, a cheap in-memory collection, and a [`backend::CustomBackend`]
+//! hook "useful for legacy systems" (paper §3.1).
+
+pub mod backend;
+pub mod cache;
+pub mod db;
+pub mod error;
+pub mod stats;
+
+pub use backend::{BackendKind, CostProfile, CustomBackend};
+pub use cache::ResourceCache;
+pub use db::{Collection, Database};
+pub use error::DbError;
+pub use stats::DbStats;

@@ -1,0 +1,93 @@
+//! Operation counters, used by the ablation benches to show *why* one stack
+//! is faster (e.g. counting the extra read WS-Transfer's Put performs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, lock-free operation counters for a database.
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    reads: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    deletes: AtomicU64,
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+macro_rules! counter {
+    ($bump:ident, $get:ident, $field:ident) => {
+        pub fn $bump(&self) {
+            self.inner.$field.fetch_add(1, Ordering::Relaxed);
+        }
+        pub fn $get(&self) -> u64 {
+            self.inner.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl DbStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    counter!(bump_reads, reads, reads);
+    counter!(bump_inserts, inserts, inserts);
+    counter!(bump_updates, updates, updates);
+    counter!(bump_deletes, deletes, deletes);
+    counter!(bump_queries, queries, queries);
+    counter!(bump_cache_hits, cache_hits, cache_hits);
+    counter!(bump_cache_misses, cache_misses, cache_misses);
+
+    /// Snapshot all counters as (name, value) pairs.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reads", self.reads()),
+            ("inserts", self.inserts()),
+            ("updates", self.updates()),
+            ("deletes", self.deletes()),
+            ("queries", self.queries()),
+            ("cache_hits", self.cache_hits()),
+            ("cache_misses", self.cache_misses()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DbStats::new();
+        s.bump_reads();
+        s.bump_reads();
+        s.bump_inserts();
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.inserts(), 1);
+        assert_eq!(s.updates(), 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = DbStats::new();
+        let t = s.clone();
+        t.bump_queries();
+        assert_eq!(s.queries(), 1);
+    }
+
+    #[test]
+    fn snapshot_covers_everything() {
+        let s = DbStats::new();
+        s.bump_cache_hits();
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 7);
+        assert!(snap.contains(&("cache_hits", 1)));
+    }
+}

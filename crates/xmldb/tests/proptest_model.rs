@@ -1,0 +1,97 @@
+//! Model-based property test: a random operation sequence against the
+//! collection must agree with a plain `HashMap` model, and queries must be
+//! consistent with per-document evaluation.
+
+use std::collections::HashMap;
+
+use ogsa_xml::{Element, XPath, XPathContext};
+use ogsa_xmldb::Database;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, i32),
+    Update(u8, i32),
+    Upsert(u8, i32),
+    Remove(u8),
+    Get(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<i32>()).prop_map(|(k, v)| Op::Insert(k % 16, v)),
+        (any::<u8>(), any::<i32>()).prop_map(|(k, v)| Op::Update(k % 16, v)),
+        (any::<u8>(), any::<i32>()).prop_map(|(k, v)| Op::Upsert(k % 16, v)),
+        any::<u8>().prop_map(|k| Op::Remove(k % 16)),
+        any::<u8>().prop_map(|k| Op::Get(k % 16)),
+    ]
+}
+
+fn doc(v: i32) -> Element {
+    Element::new("d").with_child(Element::text_element("v", v.to_string()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collection_agrees_with_hashmap_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let db = Database::in_memory_free();
+        let coll = db.collection("model");
+        let mut model: HashMap<String, i32> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let key = format!("k{k}");
+                    let expect_ok = !model.contains_key(&key);
+                    let got = coll.insert(&key, doc(*v));
+                    prop_assert_eq!(got.is_ok(), expect_ok);
+                    if expect_ok {
+                        model.insert(key, *v);
+                    }
+                }
+                Op::Update(k, v) => {
+                    let key = format!("k{k}");
+                    let expect_ok = model.contains_key(&key);
+                    let got = coll.update(&key, doc(*v));
+                    prop_assert_eq!(got.is_ok(), expect_ok);
+                    if expect_ok {
+                        model.insert(key, *v);
+                    }
+                }
+                Op::Upsert(k, v) => {
+                    let key = format!("k{k}");
+                    coll.upsert(&key, doc(*v));
+                    model.insert(key, *v);
+                }
+                Op::Remove(k) => {
+                    let key = format!("k{k}");
+                    prop_assert_eq!(coll.remove(&key).is_some(), model.remove(&key).is_some());
+                }
+                Op::Get(k) => {
+                    let key = format!("k{k}");
+                    let got = coll.get(&key).and_then(|d| d.child_parse::<i32>("v"));
+                    prop_assert_eq!(got, model.get(&key).copied());
+                }
+            }
+        }
+        prop_assert_eq!(coll.len(), model.len());
+    }
+
+    #[test]
+    fn query_agrees_with_per_document_match(values in proptest::collection::vec(any::<i16>(), 1..30), threshold in any::<i16>()) {
+        let db = Database::in_memory_free();
+        let coll = db.collection("q");
+        for (i, v) in values.iter().enumerate() {
+            coll.insert(&format!("k{i}"), doc(*v as i32)).unwrap();
+        }
+        let xp = XPath::compile(&format!("/d[v > {threshold}]")).unwrap();
+        let hits = coll.query(&xp, &XPathContext::new()).unwrap();
+        let expected = values.iter().filter(|v| **v > threshold).count();
+        prop_assert_eq!(hits.len(), expected);
+        for (_k, d) in hits {
+            prop_assert!(d.child_parse::<i32>("v").unwrap() > threshold as i32);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! WS-BrokeredNotification with demand-based publishing — the machinery the
+//! paper's §3.1 estimates generates "an order of magnitude at a minimum"
+//! more messages than any other interaction, involving up to six services.
+//!
+//! ```text
+//! cargo run --example brokered_notification
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ogsa_grid::container::{Operation, OperationContext, Testbed, WebService};
+use ogsa_grid::security::SecurityPolicy;
+use ogsa_grid::soap::Fault;
+use ogsa_grid::wsn::base::{actions, SubscribeRequest};
+use ogsa_grid::wsn::manager::{SubscriptionManagerService, SubscriptionProxy};
+use ogsa_grid::wsn::{
+    BrokerService, NotificationConsumer, NotificationProducer, TopicExpression, TopicPath,
+};
+use ogsa_grid::xml::Element;
+
+/// A minimal notification producer (the "publisher").
+struct Publisher {
+    producer: NotificationProducer,
+}
+
+impl WebService for Publisher {
+    fn handle(&self, op: &Operation, ctx: &OperationContext) -> Result<Element, Fault> {
+        match op.action_name() {
+            "Subscribe" => {
+                let req = SubscribeRequest::from_element(&op.body)
+                    .ok_or_else(|| Fault::client("bad subscribe"))?;
+                let epr = self.producer.store().subscribe(ctx, &req)?;
+                Ok(SubscribeRequest::response(&epr))
+            }
+            other => Err(Fault::client(format!("unknown op {other}"))),
+        }
+    }
+}
+
+fn main() {
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+
+    // Publisher + its subscription manager.
+    let (_mgr, store) = SubscriptionManagerService::deploy(&container, "/services/Pub/manager");
+    let producer = NotificationProducer::new(store, container.service_agent());
+    let publisher_epr = container.deploy(
+        "/services/Pub",
+        Arc::new(Publisher {
+            producer: producer.clone(),
+        }),
+    );
+
+    // The broker.
+    let broker = BrokerService::deploy(&container, "/services/Broker");
+    let client = tb.client("client-1", "CN=alice", SecurityPolicy::None);
+    let topic = TopicPath::parse("counter/valueChanged").unwrap();
+
+    let stats = tb.network().stats().clone();
+    let checkpoint = |label: &str, last: u64| -> u64 {
+        let now = stats.messages();
+        println!("{label:<55} (+{} messages, total {now})", now - last);
+        now
+    };
+
+    let mut mark = stats.messages();
+    println!("-- demand-based registration --");
+    client
+        .invoke(
+            broker.epr(),
+            "urn:wsbn/RegisterPublisher",
+            BrokerService::register_request(&publisher_epr, &topic, true),
+        )
+        .unwrap();
+    mark = checkpoint(
+        "RegisterPublisher (broker subscribes upstream + pauses)",
+        mark,
+    );
+    println!(
+        "  upstream subscription active? {}",
+        broker.registrations()[0].active
+    );
+
+    println!("-- a consumer appears --");
+    let consumer = NotificationConsumer::listen(&client, "/consumer");
+    let req = SubscribeRequest::new(
+        consumer.epr().clone(),
+        TopicExpression::concrete("counter/valueChanged"),
+    );
+    let resp = client
+        .invoke(broker.epr(), actions::SUBSCRIBE, req.to_element())
+        .unwrap();
+    let sub = SubscribeRequest::parse_response(&resp).unwrap();
+    mark = checkpoint("Subscribe at broker (demand appears, upstream resumed)", mark);
+    println!(
+        "  upstream subscription active? {}",
+        broker.registrations()[0].active
+    );
+
+    println!("-- the publisher emits --");
+    producer.notify(&topic, Element::text_element("NewValue", "42"));
+    let delivery = consumer
+        .recv_timeout(Duration::from_secs(5))
+        .expect("brokered delivery");
+    mark = checkpoint("Notify publisher → broker inbox → consumer", mark);
+    if let ogsa_grid::wsn::consumer::Delivery::Wrapped(n) = delivery {
+        println!("  consumer received `{}` on topic {}", n.message.text(), n.topic);
+    }
+
+    println!("-- the consumer leaves --");
+    SubscriptionProxy::new(&client).unsubscribe(&sub).unwrap();
+    broker.recheck_demand();
+    checkpoint("Unsubscribe + demand recheck (upstream paused again)", mark);
+    println!(
+        "  upstream subscription active? {}",
+        broker.registrations()[0].active
+    );
+
+    println!(
+        "\ntotal: {} messages for one registration/subscription/event/teardown;\n\
+         a direct subscribe+notify costs 3 — the paper's amplification claim.",
+        stats.messages()
+    );
+}

@@ -1,0 +1,13 @@
+//! # ogsa-grid
+//!
+//! Umbrella crate for the reproduction of *"Alternative Software Stacks for
+//! OGSA-based Grids"* (Humphrey et al., SC 2005). Re-exports the public API
+//! of [`ogsa_core`], which in turn exposes both software stacks
+//! (WSRF/WS-Notification and WS-Transfer/WS-Eventing), the shared substrate,
+//! the two applications (counter and Grid-in-a-Box), and the comparison
+//! harness that regenerates the paper's figures.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use ogsa_core::*;

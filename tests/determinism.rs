@@ -1,0 +1,51 @@
+//! Reproducibility: the figure harness is deterministic run-to-run, so the
+//! regenerated tables in EXPERIMENTS.md are stable artefacts, not samples.
+
+use ogsa_grid::grid::{self, GridConfig};
+use ogsa_grid::hello::{self, HelloConfig};
+use ogsa_grid::report;
+use ogsa_grid::security::SecurityPolicy;
+
+#[test]
+fn hello_world_runs_are_bit_identical() {
+    let config = HelloConfig {
+        policy: SecurityPolicy::None,
+        iterations: 3,
+    };
+    let a = hello::run(config);
+    let b = hello::run(config);
+    assert_eq!(a, b);
+    assert_eq!(
+        report::render_hello("Figure 2", &a),
+        report::render_hello("Figure 2", &b)
+    );
+}
+
+#[test]
+fn grid_runs_are_bit_identical() {
+    let config = GridConfig {
+        iterations: 2,
+        ..GridConfig::default()
+    };
+    let a = grid::run(config);
+    let b = grid::run(config);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn signed_runs_are_deterministic_too() {
+    // Signing involves digests over generated ids; determinism must
+    // survive the whole security pipeline.
+    let config = HelloConfig {
+        policy: SecurityPolicy::X509Sign,
+        iterations: 2,
+    };
+    assert_eq!(hello::run(config), hello::run(config));
+}
+
+#[test]
+fn broker_amplification_is_deterministic() {
+    let a = ogsa_grid::ablation::broker_amplification(2);
+    let b = ogsa_grid::ablation::broker_amplification(2);
+    assert_eq!(a, b);
+}
