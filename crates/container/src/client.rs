@@ -13,9 +13,9 @@ use ogsa_addressing::{EndpointReference, MessageHeaders};
 use ogsa_security::{
     sign_envelope, verify_envelope, CertStore, Identity, SecurityError, SecurityPolicy,
 };
-use ogsa_sim::{CostModel, VirtualClock};
+use ogsa_sim::{CostModel, SimDuration, VirtualClock};
 use ogsa_soap::{Envelope, Fault};
-use ogsa_transport::{Network, Port, TransportError};
+use ogsa_transport::{Network, Port, RetryPolicy, TransportError};
 use ogsa_xml::Element;
 
 /// Failures from a client-side invocation.
@@ -69,6 +69,10 @@ pub struct ClientAgent {
     clock: VirtualClock,
     model: Arc<CostModel>,
     seq: Arc<AtomicU64>,
+    /// Request/response retry behaviour; `RetryPolicy::none()` by default.
+    retry: RetryPolicy,
+    /// Redelivery policy for one-way sends; fire-and-forget by default.
+    redelivery: Option<RetryPolicy>,
 }
 
 impl ClientAgent {
@@ -89,7 +93,33 @@ impl ClientAgent {
             clock,
             model,
             seq: Arc::new(AtomicU64::new(0)),
+            retry: RetryPolicy::none(),
+            redelivery: None,
         }
+    }
+
+    /// Retry failed invocations under `policy`: each attempt gets
+    /// `policy.attempt_timeout` of simulated time, retryable transport
+    /// failures back off (charged to the virtual clock) and try again up to
+    /// `policy.max_attempts`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Redeliver lost one-way sends under `policy` (bounded attempts, then
+    /// the network's dead-letter record).
+    pub fn with_redelivery(mut self, policy: RetryPolicy) -> Self {
+        self.redelivery = Some(policy);
+        self
+    }
+
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    pub fn redelivery_policy(&self) -> Option<&RetryPolicy> {
+        self.redelivery.as_ref()
     }
 
     /// This agent's DN.
@@ -136,36 +166,61 @@ impl ClientAgent {
 
     /// Invoke `action` on the service/resource behind `target` with `body`;
     /// returns the response body.
+    ///
+    /// Under a retry policy ([`ClientAgent::with_retry`]) each attempt is a
+    /// complete fresh request — new message id, re-signed — with the
+    /// policy's per-attempt timeout; retryable transport failures (timeout,
+    /// drop, garbled wire) charge the backoff to the virtual clock and try
+    /// again. SOAP faults and security failures never retry: the service
+    /// answered, it just said no.
     pub fn invoke(
         &self,
         target: &EndpointReference,
         action: &str,
         body: Element,
     ) -> Result<Element, InvokeError> {
-        let headers = MessageHeaders::request(target, action, self.next_message_id());
-        let mut env = headers.apply(Envelope::new(body));
-        if self.policy.signs_messages() {
-            sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
+        // `none()`'s sentinel "no budget" timeout means no deadline at all.
+        let deadline = (self.retry.attempt_timeout != SimDuration(u64::MAX))
+            .then_some(self.retry.attempt_timeout);
+        let mut attempt = 1u32;
+        loop {
+            let headers = MessageHeaders::request(target, action, self.next_message_id());
+            let mut env = headers.apply(Envelope::new(body.clone()));
+            if self.policy.signs_messages() {
+                sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
+            }
+            match self.port.call_with_deadline(&target.address, env, deadline) {
+                Ok(resp) => {
+                    if self.policy.signs_messages() {
+                        verify_envelope(&resp, &self.cert_store, &self.clock, &self.model)?;
+                    }
+                    if let Some(fault) = resp.fault() {
+                        return Err(InvokeError::Fault(fault));
+                    }
+                    return Ok(resp.body);
+                }
+                Err(e) if e.is_retryable() && attempt < self.retry.max_attempts => {
+                    self.clock.advance(self.retry.backoff(attempt));
+                    self.network().stats().record_retry();
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        let resp = self.port.call(&target.address, env)?;
-        if self.policy.signs_messages() {
-            verify_envelope(&resp, &self.cert_store, &self.clock, &self.model)?;
-        }
-        if let Some(fault) = resp.fault() {
-            return Err(InvokeError::Fault(fault));
-        }
-        Ok(resp.body)
     }
 
     /// Fire a one-way (notification) message at `to`; signed under the
-    /// X.509 policy like any other message.
+    /// X.509 policy like any other message. With a redelivery policy
+    /// ([`ClientAgent::with_redelivery`]) lost sends are redelivered with
+    /// backoff, then dead-lettered.
     pub fn send_oneway(&self, to: &EndpointReference, action: &str, body: Element) {
         let headers = MessageHeaders::request(to, action, self.next_message_id());
         let mut env = headers.apply(Envelope::new(body));
         if self.policy.signs_messages() {
             sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
         }
-        self.port.send_oneway(&to.address, env);
+        self.port
+            .send_oneway_with_policy(&to.address, env, self.redelivery.clone());
     }
 
     /// Stand up a one-way consumer endpoint on this agent's host (the

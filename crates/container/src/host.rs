@@ -9,7 +9,7 @@ use ogsa_addressing::{EndpointReference, MessageHeaders};
 use ogsa_security::{sign_envelope, verify_envelope, CertStore, Identity, SecurityPolicy};
 use ogsa_sim::{CostModel, SimDuration, VirtualClock};
 use ogsa_soap::{Envelope, Fault};
-use ogsa_transport::Network;
+use ogsa_transport::{Network, RetryPolicy};
 use ogsa_xmldb::Database;
 use parking_lot::RwLock;
 
@@ -29,6 +29,12 @@ struct ContainerInner {
     lifetime: LifetimeManager,
     services: RwLock<HashMap<String, Arc<dyn WebService>>>,
     msg_seq: AtomicU64,
+    /// Redelivery policy handed to every service agent's one-way sends —
+    /// how this container's notification producers survive a lossy wire.
+    redelivery: RwLock<Option<RetryPolicy>>,
+    /// Retry policy for service agents' request/response outcalls —
+    /// how this container's server-to-server invokes survive a lossy wire.
+    call_retry: RwLock<Option<RetryPolicy>>,
 }
 
 /// One application-hosting environment on one host (ASP.NET + our
@@ -64,6 +70,8 @@ impl Container {
                 lifetime: LifetimeManager::new(),
                 services: RwLock::new(HashMap::new()),
                 msg_seq: AtomicU64::new(0),
+                redelivery: RwLock::new(None),
+                call_retry: RwLock::new(None),
             }),
         }
     }
@@ -111,16 +119,52 @@ impl Container {
         format!("{}://{}{}", self.scheme(), self.inner.host, path)
     }
 
+    /// Give (or take away, with `None`) a redelivery policy for one-way
+    /// sends made by this container's services — notification pushes in
+    /// both the WS-Eventing and WSN stacks go through service agents, so
+    /// this is the one knob that makes a container's notifications survive
+    /// a lossy wire. Affects agents created after the call.
+    pub fn set_redelivery(&self, policy: Option<RetryPolicy>) {
+        *self.inner.redelivery.write() = policy;
+    }
+
+    /// The redelivery policy service agents currently inherit.
+    pub fn redelivery(&self) -> Option<RetryPolicy> {
+        self.inner.redelivery.read().clone()
+    }
+
+    /// Give (or take away, with `None`) a retry policy for request/response
+    /// invokes made by this container's services — VO services call site
+    /// services on the user's behalf, and without a budget a single lost
+    /// server-to-server message surfaces as a fault the end client cannot
+    /// retry safely. Affects agents created after the call.
+    pub fn set_call_retry(&self, policy: Option<RetryPolicy>) {
+        *self.inner.call_retry.write() = policy;
+    }
+
+    /// The invoke retry policy service agents currently inherit.
+    pub fn call_retry(&self) -> Option<RetryPolicy> {
+        self.inner.call_retry.read().clone()
+    }
+
     /// An outcall agent carrying this container's (service) identity.
     pub fn service_agent(&self) -> ClientAgent {
-        ClientAgent::new(
+        let agent = ClientAgent::new(
             self.inner.network.port(&self.inner.host),
             self.inner.identity.clone(),
             self.inner.cert_store.clone(),
             self.inner.policy,
             self.inner.clock.clone(),
             self.inner.model.clone(),
-        )
+        );
+        let agent = match self.inner.redelivery.read().clone() {
+            Some(policy) => agent.with_redelivery(policy),
+            None => agent,
+        };
+        match self.inner.call_retry.read().clone() {
+            Some(policy) => agent.with_retry(policy),
+            None => agent,
+        }
     }
 
     /// The operation context services deployed here receive.
@@ -352,6 +396,89 @@ mod tests {
         let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
         let resp = client.invoke(&resource_epr, "urn:get", Element::new("G")).unwrap();
         assert_eq!(resp.text(), "res-99");
+    }
+
+    #[test]
+    fn invoke_retries_through_drops() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let epr = c.deploy("/services/Echo", echo_service());
+        tb.network()
+            .set_fault_plan(ogsa_transport::FaultPlan::seeded(13).with_drops(0.4));
+        let client = tb
+            .client("host-b", "CN=alice", SecurityPolicy::None)
+            .with_retry(ogsa_transport::RetryPolicy::default_call(13).with_max_attempts(10));
+        for _ in 0..20 {
+            client
+                .invoke(&epr, "urn:test/Ping", Element::new("In"))
+                .expect("10 attempts ride out a 40% drop rate");
+        }
+        assert!(tb.network().stats().retries() > 0);
+        // Every call eventually succeeded, so every dropped attempt burnt
+        // its deadline (timeout) and was retried.
+        assert_eq!(
+            tb.network().stats().injected_drops(),
+            tb.network().stats().retries()
+        );
+        assert_eq!(
+            tb.network().stats().timeouts(),
+            tb.network().stats().injected_drops()
+        );
+    }
+
+    #[test]
+    fn exhausted_invoke_retries_surface_a_timeout() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let epr = c.deploy("/services/Echo", echo_service());
+        tb.network()
+            .set_fault_plan(ogsa_transport::FaultPlan::seeded(1).with_drops(1.0));
+        let policy = ogsa_transport::RetryPolicy::default_call(1).with_max_attempts(3);
+        let client = tb
+            .client("host-b", "CN=alice", SecurityPolicy::None)
+            .with_retry(policy.clone());
+        let t0 = tb.clock().now();
+        let err = client
+            .invoke(&epr, "urn:test/Ping", Element::new("In"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            InvokeError::Transport(ogsa_transport::TransportError::Timeout { .. })
+        ));
+        assert_eq!(tb.network().stats().retries(), 2);
+        assert_eq!(tb.network().stats().timeouts(), 3);
+        // Every attempt burnt its full deadline, plus two backoffs between.
+        let spent = tb.clock().now().since(t0);
+        let floor = policy.attempt_timeout.as_micros() * 3
+            + policy.backoff(1).as_micros()
+            + policy.backoff(2).as_micros();
+        assert!(spent.as_micros() >= floor, "{spent:?} < {floor}");
+    }
+
+    #[test]
+    fn soap_faults_never_retry() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        let epr = c.deploy("/services/Echo", echo_service());
+        let client = tb
+            .client("host-b", "CN=alice", SecurityPolicy::None)
+            .with_retry(ogsa_transport::RetryPolicy::default_call(1).with_max_attempts(5));
+        let err = client
+            .invoke(&epr, "urn:test/Boom", Element::new("In"))
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::Fault(_)));
+        assert_eq!(tb.network().stats().retries(), 0);
+    }
+
+    #[test]
+    fn service_agents_inherit_container_redelivery() {
+        let tb = Testbed::free();
+        let c = tb.container("host-a", SecurityPolicy::None);
+        assert!(c.service_agent().redelivery_policy().is_none());
+        c.set_redelivery(Some(ogsa_transport::RetryPolicy::default_redelivery(7)));
+        assert!(c.service_agent().redelivery_policy().is_some());
+        c.set_redelivery(None);
+        assert!(c.service_agent().redelivery_policy().is_none());
     }
 
     #[test]

@@ -121,6 +121,16 @@ pub struct NotificationManager {
 }
 
 impl NotificationManager {
+    /// Redeliver lost pushes under `policy`: each matching subscriber's
+    /// event is retried with backoff when the wire loses it, and
+    /// dead-lettered in the network's record when the budget runs out.
+    /// (Without this, pushes inherit the deploying container's redelivery
+    /// setting — fire-and-forget by default.)
+    pub fn with_redelivery(mut self, policy: ogsa_transport::RetryPolicy) -> Self {
+        self.agent = self.agent.with_redelivery(policy);
+        self
+    }
+
     /// Trigger an event: purge expired subscriptions (notifying their
     /// `EndTo`), evaluate filters, and deliver through each subscription's
     /// mode. Returns the number of deliveries.

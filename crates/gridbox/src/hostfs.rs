@@ -10,12 +10,15 @@ use std::sync::Arc;
 use ogsa_sim::{CostModel, VirtualClock};
 use parking_lot::Mutex;
 
+/// One staged directory: `file name → contents`.
+type Directory = BTreeMap<String, Vec<u8>>;
+
 /// Per-host filesystem: `directory name → (file name → contents)`.
 #[derive(Clone)]
 pub struct HostFs {
     clock: VirtualClock,
     model: Arc<CostModel>,
-    dirs: Arc<Mutex<BTreeMap<String, BTreeMap<String, Vec<u8>>>>>,
+    dirs: Arc<Mutex<BTreeMap<String, Directory>>>,
 }
 
 impl HostFs {

@@ -612,6 +612,12 @@ impl TransferGrid {
         users: &[&str],
     ) -> TransferGrid {
         let vo = tb.container("vo-host", policy);
+        // VO services call site services (and vice versa) on the user's
+        // behalf; give those server-to-server invokes a retry budget so a
+        // lossy wire doesn't surface as an unretryable fault at the client.
+        vo.set_call_retry(Some(ogsa_transport::RetryPolicy::default_call(
+            tb.rng().fork("gib-call-retry").seed(),
+        )));
 
         let (account_epr, _) =
             TransferService::deploy(&vo, "/services/Account", Arc::new(AccountLogic));
@@ -643,6 +649,13 @@ impl TransferGrid {
         for (i, host) in site_hosts.iter().enumerate() {
             let site_name = format!("site-{i}");
             let container = tb.container(host, policy);
+            // Job-exited events are the VO's one must-arrive message:
+            // redeliver them when the simulated wire loses them. Seeded off
+            // the testbed RNG so runs replay bit-identically.
+            container.set_redelivery(Some(ogsa_transport::RetryPolicy::default_redelivery(
+                tb.rng().fork("gib-redelivery").seed(),
+            )));
+            container.set_call_retry(vo.call_retry());
             let fs = HostFs::new(tb.clock().clone(), Arc::new(tb.model().clone()));
             let procs = ProcessTable::new(tb.clock().clone(), Arc::new(tb.model().clone()));
 

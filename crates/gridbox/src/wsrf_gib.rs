@@ -560,6 +560,12 @@ impl WsrfGrid {
         users: &[&str],
     ) -> WsrfGrid {
         let vo = tb.container("vo-host", policy);
+        // VO services call site services (and vice versa) on the user's
+        // behalf; give those server-to-server invokes a retry budget so a
+        // lossy wire doesn't surface as an unretryable fault at the client.
+        vo.set_call_retry(Some(ogsa_transport::RetryPolicy::default_call(
+            tb.rng().fork("gib-call-retry").seed(),
+        )));
 
         let account_epr = vo.deploy("/services/Account", Arc::new(AccountService));
 
@@ -602,6 +608,13 @@ impl WsrfGrid {
         for (i, host) in site_hosts.iter().enumerate() {
             let site_name = format!("site-{i}");
             let container = tb.container(host, policy);
+            // Job-exited notifications are the VO's one must-arrive message:
+            // redeliver them when the simulated wire loses them. Seeded off
+            // the testbed RNG so runs replay bit-identically.
+            container.set_redelivery(Some(ogsa_transport::RetryPolicy::default_redelivery(
+                tb.rng().fork("gib-redelivery").seed(),
+            )));
+            container.set_call_retry(vo.call_retry());
             let fs = HostFs::new(tb.clock().clone(), Arc::new(tb.model().clone()));
             let procs = ProcessTable::new(tb.clock().clone(), Arc::new(tb.model().clone()));
 

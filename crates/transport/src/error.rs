@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use ogsa_sim::SimDuration;
+
 /// Failures below the SOAP layer (faults travel *inside* envelopes and are
 /// not transport errors).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -10,8 +12,26 @@ pub enum TransportError {
     NoEndpoint { address: String },
     /// The peer produced bytes that do not parse as a SOAP envelope.
     WireGarbage { detail: String },
+    /// No response arrived within the caller's per-attempt budget.
+    Timeout { address: String, after: SimDuration },
+    /// The message was lost on the wire (injected drop or partition).
+    Dropped { address: String },
     /// The network has been shut down.
     Closed,
+}
+
+impl TransportError {
+    /// Whether a retry of the same request could plausibly succeed.
+    /// Config-shaped failures (`NoEndpoint`, `Closed`) are not retryable;
+    /// wire-shaped ones are.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Timeout { .. }
+                | TransportError::Dropped { .. }
+                | TransportError::WireGarbage { .. }
+        )
+    }
 }
 
 impl fmt::Display for TransportError {
@@ -22,6 +42,16 @@ impl fmt::Display for TransportError {
             }
             TransportError::WireGarbage { detail } => {
                 write!(f, "unparseable message on the wire: {detail}")
+            }
+            TransportError::Timeout { address, after } => {
+                write!(
+                    f,
+                    "no response from `{address}` within {:.1} ms",
+                    after.as_millis()
+                )
+            }
+            TransportError::Dropped { address } => {
+                write!(f, "message to `{address}` lost on the wire")
             }
             TransportError::Closed => write!(f, "network is shut down"),
         }
@@ -40,5 +70,23 @@ mod tests {
             address: "http://h/x".into(),
         };
         assert!(e.to_string().contains("http://h/x"));
+        let t = TransportError::Timeout {
+            address: "http://h/x".into(),
+            after: SimDuration::from_millis(250.0),
+        };
+        assert!(t.to_string().contains("250.0 ms"));
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(TransportError::Timeout {
+            address: "a".into(),
+            after: SimDuration::ZERO
+        }
+        .is_retryable());
+        assert!(TransportError::Dropped { address: "a".into() }.is_retryable());
+        assert!(TransportError::WireGarbage { detail: "x".into() }.is_retryable());
+        assert!(!TransportError::NoEndpoint { address: "a".into() }.is_retryable());
+        assert!(!TransportError::Closed.is_retryable());
     }
 }

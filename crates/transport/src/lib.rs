@@ -21,12 +21,16 @@
 //! whatever the subscriber is doing — as on the paper's testbed.
 
 pub mod error;
+pub mod fault;
 pub mod net;
+pub mod retry;
 pub mod stats;
 
 pub use error::TransportError;
+pub use fault::{DeadLetter, FaultDecision, FaultKind, FaultPlan, Partition};
 pub use net::{Network, Port};
-pub use stats::NetStats;
+pub use retry::RetryPolicy;
+pub use stats::{NetStats, NetStatsSnapshot};
 
 /// Where client and service sit relative to each other — the second axis of
 /// the paper's six scenarios. Derived from host names at call time.

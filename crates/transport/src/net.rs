@@ -1,14 +1,18 @@
 //! The network: endpoint registry, ports, and the three bindings.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
-use ogsa_sim::{CostModel, SimDuration, VirtualClock};
+use ogsa_sim::rng::mix64;
+use ogsa_sim::{CostModel, SimDuration, SimInstant, VirtualClock};
 use ogsa_soap::Envelope;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::TransportError;
+use crate::fault::{DeadLetter, FaultDecision, FaultKind, FaultPlan};
+use crate::retry::RetryPolicy;
 use crate::stats::NetStats;
 use crate::Deployment;
 
@@ -28,6 +32,22 @@ struct OnewayJob {
     to: String,
     wire: String,
     from_host: String,
+    /// Per-edge sequence number drawn on the sender's thread, so fault
+    /// decisions for this message (and all its redelivery attempts) are
+    /// fixed at send time, independent of worker-thread interleaving.
+    seq: u64,
+    /// Simulated time of the original send.
+    enqueued_at: SimInstant,
+    /// Logical time of *this* attempt: `enqueued_at` plus every backoff and
+    /// injected delay charged so far. Partition windows are evaluated
+    /// against this, not against racy live reads of the shared clock.
+    logical_at: SimInstant,
+    /// 1-based delivery attempt.
+    attempt: u32,
+    /// When present, failed attempts are redelivered with backoff until
+    /// `policy.max_attempts`, then dead-lettered. When absent the message
+    /// is fire-and-forget: a lost attempt is simply lost.
+    policy: Option<RetryPolicy>,
 }
 
 struct NetInner {
@@ -42,6 +62,16 @@ struct NetInner {
     tls_session_cache: RwLock<bool>,
     stats: NetStats,
     oneway_tx: Mutex<Option<Sender<OnewayJob>>>,
+    /// Armed fault schedule, if any.
+    fault_plan: RwLock<Option<FaultPlan>>,
+    /// Per-edge message sequence numbers feeding the fault plan's pure
+    /// decision function. Keyed by (sending host, destination address).
+    edge_seqs: Mutex<HashMap<(String, String), u64>>,
+    /// Messages that exhausted their redelivery budget.
+    dead_letters: Mutex<Vec<DeadLetter>>,
+    /// One-way messages accepted but not yet terminally resolved
+    /// (delivered, dropped for good, or dead-lettered).
+    pending_oneways: AtomicU64,
 }
 
 /// The simulated network. Cloning shares the wire.
@@ -61,6 +91,10 @@ impl Network {
             tls_session_cache: RwLock::new(true),
             stats: NetStats::new(),
             oneway_tx: Mutex::new(None),
+            fault_plan: RwLock::new(None),
+            edge_seqs: Mutex::new(HashMap::new()),
+            dead_letters: Mutex::new(Vec::new()),
+            pending_oneways: AtomicU64::new(0),
         });
         let net = Network { inner };
         net.start_oneway_worker();
@@ -82,7 +116,10 @@ impl Network {
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     let Some(inner) = weak.upgrade() else { break };
-                    Network { inner }.deliver_oneway(job);
+                    let net = Network { inner };
+                    if net.deliver_oneway(job) {
+                        net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             })
             .expect("spawn one-way delivery worker");
@@ -145,6 +182,62 @@ impl Network {
         self.inner.tls_sessions.lock().clear();
     }
 
+    // ---- fault injection ---------------------------------------------------
+
+    /// Arm a fault schedule. Every message from now on is judged by `plan`.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.fault_plan.write() = Some(plan);
+    }
+
+    /// Disarm fault injection; the wire goes back to perfect.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.fault_plan.write() = None;
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.fault_plan.read().clone()
+    }
+
+    /// Messages that exhausted their redelivery budget, in the order they
+    /// were given up on.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.inner.dead_letters.lock().clone()
+    }
+
+    /// How many one-way messages are accepted but not yet terminally
+    /// resolved (delivered, dropped for good, or dead-lettered).
+    pub fn pending_oneways(&self) -> u64 {
+        self.inner.pending_oneways.load(Ordering::SeqCst)
+    }
+
+    /// Block (wall-clock) until every accepted one-way message reaches a
+    /// terminal state, or `timeout` elapses. Returns `true` when drained.
+    /// Tests use this instead of sleep-polling: after `quiesce`, delivery
+    /// counts, dead letters, and stats are final.
+    pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.pending_oneways() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Next per-edge sequence number for a message from `from` to the
+    /// destination address `to`.
+    fn next_edge_seq(&self, from: &str, to: &str) -> u64 {
+        let mut seqs = self.inner.edge_seqs.lock();
+        let seq = seqs
+            .entry((from.to_owned(), to.to_owned()))
+            .or_insert(0);
+        let current = *seq;
+        *seq += 1;
+        current
+    }
+
     // ---- internals ---------------------------------------------------------
 
     fn scheme_and_host(address: &str) -> (&str, &str) {
@@ -197,12 +290,38 @@ impl Network {
         }
     }
 
-    fn deliver_oneway(&self, job: OnewayJob) {
+    /// Deliver one attempt of a one-way job. Returns `true` when the job
+    /// reached a terminal state (delivered, lost for good, or
+    /// dead-lettered); `false` when it was re-enqueued for redelivery.
+    fn deliver_oneway(&self, job: OnewayJob) -> bool {
         let m = self.inner.model.clone();
         let (scheme, to_host) = {
             let (s, h) = Self::scheme_and_host(&job.to);
             (s.to_owned(), h.to_owned())
         };
+
+        // Judge this attempt. The draw folds the attempt number into the
+        // sequence so each redelivery is judged independently, and salts
+        // the mix so one-way traffic decorrelates from request traffic on
+        // the same host pair.
+        let plan = self.inner.fault_plan.read().clone();
+        let decision = match &plan {
+            Some(p) if !p.is_benign() => {
+                let seq = mix64(&[job.seq, u64::from(job.attempt), ONEWAY_SALT]);
+                p.decide(&job.from_host, &to_host, seq, job.logical_at)
+            }
+            _ => FaultDecision::CLEAN,
+        };
+
+        if decision.partitioned {
+            // Connect refused; nothing reaches the wire.
+            self.inner
+                .clock
+                .advance(SimDuration::from_micros(m.tcp_connect_us));
+            self.inner.stats.record_partition_refusal();
+            return self.fail_oneway_attempt(job, FaultKind::Partition);
+        }
+
         // Connection + per-send overhead: raw TCP (the WSE SoapReceiver
         // path) keeps a persistent socket; HTTP delivery targets the
         // client's embedded custom HTTP server, which does not keep
@@ -224,13 +343,35 @@ impl Network {
         self.inner
             .clock
             .advance(SimDuration::from_micros(overhead));
+        if let Some(extra) = decision.delay {
+            self.inner.clock.advance(extra);
+            self.inner.stats.record_injected_delay();
+        }
         self.charge_wire(job.wire.len(), &job.from_host, &to_host, &scheme);
         self.inner.stats.record_oneway(job.wire.len());
 
-        // Receiver-side parse.
-        let env = match Envelope::from_wire(&job.wire) {
+        if decision.drop {
+            self.inner.stats.record_injected_drop();
+            return self.fail_oneway_attempt(job, FaultKind::Drop);
+        }
+
+        // Receiver-side parse (of corrupted bytes, if garbled in flight).
+        let parsed = if decision.garble {
+            self.inner.stats.record_injected_garble();
+            let bad = plan
+                .as_ref()
+                .expect("garble implies an armed plan")
+                .garble_wire(&job.wire, job.seq);
+            Envelope::from_wire(&bad)
+        } else {
+            Envelope::from_wire(&job.wire)
+        };
+        let env = match parsed {
             Ok(env) => env,
-            Err(_) => return, // one-way garbage is dropped silently, like UDP-ish fire-and-forget
+            // Fire-and-forget garbage is dropped silently, like UDP-ish
+            // one-ways; reliable sends treat the missing ack as a failed
+            // attempt and redeliver.
+            Err(_) => return self.fail_oneway_attempt(job, FaultKind::Garble),
         };
         self.inner.clock.advance(m.soap_time(job.wire.len()));
         let handler = {
@@ -240,11 +381,63 @@ impl Network {
                 _ => None,
             }
         };
-        if let Some(h) = handler {
-            h(env);
+        let Some(h) = handler else {
+            // Nobody bound. A reliable send keeps trying — the subscriber
+            // may heal within the redelivery budget.
+            return self.fail_oneway_attempt(job, FaultKind::Drop);
+        };
+        if decision.duplicate {
+            // A second copy of the same bytes arrives back-to-back.
+            self.inner
+                .clock
+                .advance(SimDuration::from_micros(overhead));
+            self.charge_wire(job.wire.len(), &job.from_host, &to_host, &scheme);
+            self.inner.stats.record_oneway(job.wire.len());
+            self.inner.stats.record_injected_duplicate();
+            self.inner.clock.advance(m.soap_time(job.wire.len()));
+            h(env.clone());
+        }
+        h(env);
+        true
+    }
+
+    /// A delivery attempt failed. Fire-and-forget jobs are simply lost;
+    /// reliable jobs back off and re-enqueue until the policy's budget is
+    /// exhausted, then land in the dead-letter record. Returns `true` when
+    /// the job is terminally resolved.
+    fn fail_oneway_attempt(&self, mut job: OnewayJob, reason: FaultKind) -> bool {
+        let Some(policy) = job.policy.clone() else {
+            return true;
+        };
+        if job.attempt >= policy.max_attempts {
+            self.inner.stats.record_dead_letter();
+            self.inner.dead_letters.lock().push(DeadLetter {
+                to: job.to.clone(),
+                from_host: job.from_host.clone(),
+                attempts: job.attempt,
+                reason,
+                enqueued_at: job.enqueued_at,
+                wire_bytes: job.wire.len(),
+            });
+            return true;
+        }
+        let backoff = policy.backoff(job.attempt);
+        self.inner.clock.advance(backoff);
+        self.inner.stats.record_retry();
+        job.logical_at = job.logical_at.plus(backoff);
+        job.attempt += 1;
+        if let Some(tx) = self.inner.oneway_tx.lock().as_ref() {
+            let _ = tx.send(job);
+            false
+        } else {
+            true
         }
     }
 }
+
+/// Salt decorrelating one-way fault draws from request/response draws on
+/// the same host pair.
+const ONEWAY_SALT: u64 = 0x6f6e_6577; // "onew"
 
 /// A client-side port: the pair (network, host the client runs on).
 #[derive(Clone)]
@@ -276,6 +469,21 @@ impl Port {
     /// ways, run the service handler inline (its own costs land on the same
     /// clock), parse the response.
     pub fn call(&self, address: &str, request: Envelope) -> Result<Envelope, TransportError> {
+        self.call_with_deadline(address, request, None)
+    }
+
+    /// [`Port::call`] with a per-attempt simulated-time budget. When the
+    /// armed fault plan loses or over-delays the request, the caller burns
+    /// `deadline` of simulated time and gets `TransportError::Timeout`
+    /// (retryable) instead of blocking forever on a response that will
+    /// never come. Without a deadline, a lost request surfaces immediately
+    /// as `TransportError::Dropped`.
+    pub fn call_with_deadline(
+        &self,
+        address: &str,
+        request: Envelope,
+        deadline: Option<SimDuration>,
+    ) -> Result<Envelope, TransportError> {
         let inner = &self.net.inner;
         let m = inner.model.clone();
         let (scheme, to_host) = {
@@ -284,8 +492,27 @@ impl Port {
         };
 
         // Client-side serialisation.
-        let wire = request.to_wire();
+        let mut wire = request.to_wire();
         inner.clock.advance(m.soap_time(wire.len()));
+
+        // Judge this attempt before anything crosses the wire.
+        let plan = inner.fault_plan.read().clone();
+        let (decision, seq) = match &plan {
+            Some(p) if !p.is_benign() => {
+                let seq = self.net.next_edge_seq(&self.host, address);
+                (p.decide(&self.host, &to_host, seq, inner.clock.now()), seq)
+            }
+            _ => (FaultDecision::CLEAN, 0),
+        };
+
+        if decision.partitioned {
+            // Connect refused; nothing reaches the wire.
+            inner
+                .clock
+                .advance(SimDuration::from_micros(m.tcp_connect_us));
+            inner.stats.record_partition_refusal();
+            return self.lost_request(address, deadline);
+        }
 
         // Connection + HTTP round-trip overhead.
         self.net.charge_connection(&self.host, &to_host, &scheme);
@@ -296,6 +523,34 @@ impl Port {
         // Request over the wire.
         self.net.charge_wire(wire.len(), &self.host, &to_host, &scheme);
         inner.stats.record_request(wire.len());
+
+        if decision.drop {
+            // The request vanished in flight; the client waits in vain.
+            inner.stats.record_injected_drop();
+            return self.lost_request(address, deadline);
+        }
+        if let Some(extra) = decision.delay {
+            inner.stats.record_injected_delay();
+            if let Some(d) = deadline {
+                if extra >= d {
+                    // The reply would land after the caller gave up.
+                    inner.clock.advance(d);
+                    inner.stats.record_timeout();
+                    return Err(TransportError::Timeout {
+                        address: address.to_owned(),
+                        after: d,
+                    });
+                }
+            }
+            inner.clock.advance(extra);
+        }
+        if decision.garble {
+            inner.stats.record_injected_garble();
+            wire = plan
+                .as_ref()
+                .expect("garble implies an armed plan")
+                .garble_wire(&wire, seq);
+        }
 
         // Server-side parse.
         let parsed = Envelope::from_wire(&wire).map_err(|e| TransportError::WireGarbage {
@@ -331,20 +586,68 @@ impl Port {
         Ok(resp)
     }
 
+    /// How the caller observes a request that never reached the service:
+    /// with a deadline it burns the budget and times out; without one it
+    /// learns of the loss immediately.
+    fn lost_request(
+        &self,
+        address: &str,
+        deadline: Option<SimDuration>,
+    ) -> Result<Envelope, TransportError> {
+        match deadline {
+            Some(d) => {
+                self.net.inner.clock.advance(d);
+                self.net.inner.stats.record_timeout();
+                Err(TransportError::Timeout {
+                    address: address.to_owned(),
+                    after: d,
+                })
+            }
+            None => Err(TransportError::Dropped {
+                address: address.to_owned(),
+            }),
+        }
+    }
+
     /// Asynchronous one-way send (notification delivery). Returns
     /// immediately; a background worker charges the wire and invokes the
-    /// consumer.
+    /// consumer. Fire-and-forget: a lost message is simply lost.
     pub fn send_oneway(&self, address: &str, message: Envelope) {
+        self.send_oneway_with_policy(address, message, None)
+    }
+
+    /// One-way send with optional redelivery: when `policy` is present,
+    /// attempts lost to injected faults (or an unbound consumer) back off
+    /// and redeliver up to `policy.max_attempts`, then land in the
+    /// network's dead-letter record.
+    pub fn send_oneway_with_policy(
+        &self,
+        address: &str,
+        message: Envelope,
+        policy: Option<RetryPolicy>,
+    ) {
         let wire = message.to_wire();
-        // Sender-side serialisation happens on the caller's thread.
+        // Sender-side serialisation happens on the caller's thread, and so
+        // does the sequence draw — fault decisions for this message are
+        // fixed at send time, whatever the worker thread is up to.
         self.net.inner.clock.advance(self.net.inner.model.soap_time(wire.len()));
+        let seq = self.net.next_edge_seq(&self.host, address);
+        let now = self.net.inner.clock.now();
         let job = OnewayJob {
             to: address.to_owned(),
             wire,
             from_host: self.host.clone(),
+            seq,
+            enqueued_at: now,
+            logical_at: now,
+            attempt: 1,
+            policy,
         };
+        self.net.inner.pending_oneways.fetch_add(1, Ordering::SeqCst);
         if let Some(tx) = self.net.inner.oneway_tx.lock().as_ref() {
             let _ = tx.send(job);
+        } else {
+            self.net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -563,6 +866,175 @@ mod tests {
         assert_eq!(net.stats().requests(), 1);
         assert_eq!(net.stats().responses(), 1);
         assert!(net.stats().bytes() > 0);
+    }
+
+    #[test]
+    fn armed_drops_surface_and_are_counted() {
+        let net = Network::free();
+        net.bind("http://h/svc", echo_handler());
+        net.set_fault_plan(FaultPlan::seeded(3).with_drops(0.5));
+        let port = net.port("h");
+        let mut ok = 0u64;
+        let mut dropped = 0u64;
+        for _ in 0..40 {
+            match port.call("http://h/svc", Envelope::new(Element::new("X"))) {
+                Ok(_) => ok += 1,
+                Err(TransportError::Dropped { .. }) => dropped += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(ok > 0 && dropped > 0, "ok={ok} dropped={dropped}");
+        assert_eq!(net.stats().injected_drops(), dropped);
+    }
+
+    #[test]
+    fn dropped_call_with_deadline_times_out() {
+        let net = Network::free();
+        net.bind("http://h/svc", echo_handler());
+        net.set_fault_plan(FaultPlan::seeded(1).with_drops(1.0));
+        let budget = SimDuration::from_millis(100.0);
+        let t0 = net.clock().now();
+        let err = net
+            .port("h")
+            .call_with_deadline("http://h/svc", Envelope::new(Element::new("X")), Some(budget))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { .. }));
+        assert_eq!(net.clock().now().since(t0), budget);
+        assert_eq!(net.stats().timeouts(), 1);
+    }
+
+    #[test]
+    fn garbled_call_is_wire_garbage() {
+        let net = Network::free();
+        net.bind("http://h/svc", echo_handler());
+        net.set_fault_plan(FaultPlan::seeded(1).with_garbles(1.0));
+        let err = net
+            .port("h")
+            .call("http://h/svc", Envelope::new(Element::new("X")))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::WireGarbage { .. }));
+        assert_eq!(net.stats().injected_garbles(), 1);
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn benign_plan_is_invisible() {
+        let runs: Vec<_> = [None, Some(FaultPlan::seeded(77))]
+            .into_iter()
+            .map(|plan| {
+                let net = Network::free();
+                net.bind("http://h/svc", echo_handler());
+                if let Some(p) = plan {
+                    net.set_fault_plan(p);
+                }
+                for _ in 0..10 {
+                    net.port("h")
+                        .call("http://h/svc", Envelope::new(Element::new("X")))
+                        .unwrap();
+                }
+                net.stats().snapshot()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn oneway_duplicates_deliver_twice() {
+        let net = Network::free();
+        net.set_fault_plan(FaultPlan::seeded(5).with_duplicates(1.0));
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = hits.clone();
+        net.bind_oneway(
+            "tcp://c/notify",
+            Arc::new(move |_| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        net.port("h")
+            .send_oneway("tcp://c/notify", Envelope::new(Element::new("N")));
+        assert!(net.quiesce(std::time::Duration::from_secs(5)));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(net.stats().injected_duplicates(), 1);
+        assert_eq!(net.stats().oneways(), 2);
+    }
+
+    #[test]
+    fn reliable_oneway_redelivers_through_a_partition() {
+        let net = Network::free();
+        // Partition covers the first two logical attempts; backoff carries
+        // the third past the window.
+        let policy = RetryPolicy::default_redelivery(1)
+            .with_backoff(SimDuration::from_millis(50.0), SimDuration::from_millis(50.0))
+            .with_jitter(0.0)
+            .with_max_attempts(4);
+        net.set_fault_plan(FaultPlan::seeded(1).with_partition(
+            "h",
+            "c",
+            SimInstant(0),
+            SimInstant(0).plus(SimDuration::from_millis(75.0)),
+        ));
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = hits.clone();
+        net.bind_oneway(
+            "tcp://c/notify",
+            Arc::new(move |_| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        net.port("h")
+            .send_oneway_with_policy("tcp://c/notify", Envelope::new(Element::new("N")), Some(policy));
+        assert!(net.quiesce(std::time::Duration::from_secs(5)));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(net.stats().partition_refusals(), 2);
+        assert_eq!(net.stats().retries(), 2);
+        assert!(net.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn exhausted_redelivery_dead_letters() {
+        let net = Network::free();
+        let policy = RetryPolicy::default_redelivery(1).with_max_attempts(3);
+        // Partition never lifts within reach of the backoff budget.
+        net.set_fault_plan(FaultPlan::seeded(1).with_partition(
+            "h",
+            "c",
+            SimInstant(0),
+            SimInstant(u64::MAX),
+        ));
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = hits.clone();
+        net.bind_oneway(
+            "tcp://c/notify",
+            Arc::new(move |_| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        net.port("h")
+            .send_oneway_with_policy("tcp://c/notify", Envelope::new(Element::new("N")), Some(policy));
+        assert!(net.quiesce(std::time::Duration::from_secs(5)));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        let dead = net.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].attempts, 3);
+        assert_eq!(dead[0].reason, FaultKind::Partition);
+        assert_eq!(dead[0].to, "tcp://c/notify");
+        assert_eq!(net.stats().dead_letters(), 1);
+        assert_eq!(net.stats().retries(), 2);
+    }
+
+    #[test]
+    fn unbound_consumer_dead_letters_after_budget() {
+        // No fault plan at all: a reliable send to an address nobody is
+        // listening on retries on its own, then gives up.
+        let net = Network::free();
+        let policy = RetryPolicy::default_redelivery(9).with_max_attempts(3);
+        net.port("h")
+            .send_oneway_with_policy("tcp://c/notify", Envelope::new(Element::new("N")), Some(policy));
+        assert!(net.quiesce(std::time::Duration::from_secs(5)));
+        let dead = net.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].attempts, 3);
+        assert_eq!(dead[0].reason, FaultKind::Drop);
     }
 
     #[test]

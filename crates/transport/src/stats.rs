@@ -20,6 +20,47 @@ struct Inner {
     tls_handshakes: AtomicU64,
     tls_resumptions: AtomicU64,
     connects: AtomicU64,
+    // Fault-injection and recovery counters.
+    injected_drops: AtomicU64,
+    injected_delays: AtomicU64,
+    injected_duplicates: AtomicU64,
+    injected_garbles: AtomicU64,
+    partition_refusals: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    dead_letters: AtomicU64,
+}
+
+/// A plain-data copy of every counter, for equality assertions in
+/// determinism and chaos tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStatsSnapshot {
+    pub requests: u64,
+    pub responses: u64,
+    pub oneways: u64,
+    pub bytes: u64,
+    pub tls_handshakes: u64,
+    pub tls_resumptions: u64,
+    pub connects: u64,
+    pub injected_drops: u64,
+    pub injected_delays: u64,
+    pub injected_duplicates: u64,
+    pub injected_garbles: u64,
+    pub partition_refusals: u64,
+    pub timeouts: u64,
+    pub retries: u64,
+    pub dead_letters: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Total injected faults of every kind.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected_drops
+            + self.injected_delays
+            + self.injected_duplicates
+            + self.injected_garbles
+            + self.partition_refusals
+    }
 }
 
 impl NetStats {
@@ -86,6 +127,102 @@ impl NetStats {
     pub fn connects(&self) -> u64 {
         self.inner.connects.load(Ordering::Relaxed)
     }
+
+    pub(crate) fn record_injected_drop(&self) {
+        self.inner.injected_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_injected_delay(&self) {
+        self.inner.injected_delays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_injected_duplicate(&self) {
+        self.inner
+            .injected_duplicates
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_injected_garble(&self) {
+        self.inner.injected_garbles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_partition_refusal(&self) {
+        self.inner
+            .partition_refusals
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timeout(&self) {
+        self.inner.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Public: the retry layer lives above the transport (`ClientAgent`),
+    /// but its attempts belong in the same wire-level ledger.
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dead_letter(&self) {
+        self.inner.dead_letters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn injected_drops(&self) -> u64 {
+        self.inner.injected_drops.load(Ordering::Relaxed)
+    }
+
+    pub fn injected_delays(&self) -> u64 {
+        self.inner.injected_delays.load(Ordering::Relaxed)
+    }
+
+    pub fn injected_duplicates(&self) -> u64 {
+        self.inner.injected_duplicates.load(Ordering::Relaxed)
+    }
+
+    pub fn injected_garbles(&self) -> u64 {
+        self.inner.injected_garbles.load(Ordering::Relaxed)
+    }
+
+    pub fn partition_refusals(&self) -> u64 {
+        self.inner.partition_refusals.load(Ordering::Relaxed)
+    }
+
+    pub fn timeouts(&self) -> u64 {
+        self.inner.timeouts.load(Ordering::Relaxed)
+    }
+
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
+    }
+
+    pub fn dead_letters(&self) -> u64 {
+        self.inner.dead_letters.load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults of every kind.
+    pub fn faults_injected(&self) -> u64 {
+        self.snapshot().faults_injected()
+    }
+
+    /// A plain-data copy of every counter.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            requests: self.requests(),
+            responses: self.responses(),
+            oneways: self.oneways(),
+            bytes: self.bytes(),
+            tls_handshakes: self.tls_handshakes(),
+            tls_resumptions: self.tls_resumptions(),
+            connects: self.connects(),
+            injected_drops: self.injected_drops(),
+            injected_delays: self.injected_delays(),
+            injected_duplicates: self.injected_duplicates(),
+            injected_garbles: self.injected_garbles(),
+            partition_refusals: self.partition_refusals(),
+            timeouts: self.timeouts(),
+            retries: self.retries(),
+            dead_letters: self.dead_letters(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +249,35 @@ mod tests {
         assert_eq!(s.tls_handshakes(), 1);
         assert_eq!(s.tls_resumptions(), 1);
         assert_eq!(s.connects(), 1);
+    }
+
+    #[test]
+    fn fault_counters_roll_up() {
+        let s = NetStats::new();
+        s.record_injected_drop();
+        s.record_injected_delay();
+        s.record_injected_duplicate();
+        s.record_injected_garble();
+        s.record_partition_refusal();
+        s.record_timeout();
+        s.record_retry();
+        s.record_retry();
+        s.record_dead_letter();
+        let snap = s.snapshot();
+        assert_eq!(snap.faults_injected(), 5);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.dead_letters, 1);
+    }
+
+    #[test]
+    fn snapshots_compare_by_value() {
+        let a = NetStats::new();
+        let b = NetStats::new();
+        a.record_request(10);
+        b.record_request(10);
+        assert_eq!(a.snapshot(), b.snapshot());
+        b.record_retry();
+        assert_ne!(a.snapshot(), b.snapshot());
     }
 }

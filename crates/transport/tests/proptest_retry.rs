@@ -1,0 +1,139 @@
+//! Property tests for the retry/fault layer: the determinism and shape
+//! guarantees the chaos suite builds on, checked over generated policies,
+//! fault schedules, and workloads rather than hand-picked examples.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ogsa_sim::SimDuration;
+use ogsa_soap::Envelope;
+use ogsa_transport::{FaultPlan, Network, NetStatsSnapshot, RetryPolicy};
+use ogsa_xml::Element;
+use proptest::prelude::*;
+
+/// (seed, max_attempts, base µs, max µs, jitter %) — the whole policy space.
+type PolicyParams = (u64, u32, u64, u64, u32);
+
+fn arb_policy() -> impl Strategy<Value = PolicyParams> {
+    (
+        0..u64::MAX,
+        1..=10u32,
+        0..=5_000_000u64,
+        1..=60_000_000u64,
+        0..=100u32,
+    )
+}
+
+fn build(p: PolicyParams) -> RetryPolicy {
+    let (seed, attempts, base_us, max_us, jitter_pct) = p;
+    RetryPolicy::none()
+        .with_max_attempts(attempts)
+        .with_backoff(
+            SimDuration::from_micros(base_us),
+            SimDuration::from_micros(max_us),
+        )
+        .with_jitter(f64::from(jitter_pct) / 100.0)
+        .with_seed(seed)
+}
+
+/// A fixed workload against a fresh network: `calls` request/response
+/// round-trips under a 50 ms deadline (failures allowed — only the ledger
+/// matters) and `oneways` redeliverable one-way sends, then quiesce.
+fn run_workload(plan: Option<FaultPlan>, calls: u32, oneways: u32, seed: u64) -> NetStatsSnapshot {
+    let net = Network::free();
+    net.bind(
+        "http://svc-host/echo",
+        Arc::new(|req: Envelope| Envelope::new(req.body.clone())),
+    );
+    net.bind_oneway("http://svc-host/sink", Arc::new(|_env: Envelope| {}));
+    if let Some(plan) = plan {
+        net.set_fault_plan(plan);
+    }
+
+    let port = net.port("client-host");
+    for i in 0..calls {
+        let _ = port.call_with_deadline(
+            "http://svc-host/echo",
+            Envelope::new(Element::text_element("Q", i.to_string())),
+            Some(SimDuration::from_millis(50.0)),
+        );
+    }
+    let policy = RetryPolicy::default_redelivery(seed).with_max_attempts(6);
+    for i in 0..oneways {
+        port.send_oneway_with_policy(
+            "http://svc-host/sink",
+            Envelope::new(Element::text_element("N", i.to_string())),
+            Some(policy.clone()),
+        );
+    }
+    assert!(net.quiesce(Duration::from_secs(10)), "delivery queue drained");
+    net.stats().snapshot()
+}
+
+fn chaos_plan(seed: u64, drop: u32, delay: u32, dup: u32, garble: u32) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_drops(f64::from(drop) / 100.0)
+        .with_delays(f64::from(delay) / 100.0, SimDuration::from_millis(5.0))
+        .with_duplicates(f64::from(dup) / 100.0)
+        .with_garbles(f64::from(garble) / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_seed_means_same_backoff_schedule(params in arb_policy()) {
+        // Two policies built independently from the same parameters charge
+        // the same backoffs, and the schedule agrees with point queries.
+        let (a, b) = (build(params), build(params));
+        prop_assert_eq!(a.backoff_schedule(), b.backoff_schedule());
+        for (i, d) in a.backoff_schedule().iter().enumerate() {
+            prop_assert_eq!(*d, b.backoff(i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_bounded(params in arb_policy()) {
+        let policy = build(params);
+        let schedule = policy.backoff_schedule();
+        prop_assert_eq!(schedule.len(), params.1 as usize - 1);
+        for pair in schedule.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "backoff shrank: {:?} then {:?}", pair[0], pair[1]
+            );
+        }
+        let cap = SimDuration::from_micros(params.3);
+        for d in &schedule {
+            prop_assert!(*d <= cap, "backoff {:?} exceeds cap {:?}", d, cap);
+        }
+    }
+
+    #[test]
+    fn same_seed_means_same_netstats(
+        seed in 0..u64::MAX,
+        drop in 0..=30u32,
+        delay in 0..=30u32,
+        dup in 0..=20u32,
+        garble in 0..=20u32,
+        (calls, oneways) in (1..=10u32, 1..=10u32),
+    ) {
+        // The whole fault schedule is a pure function of (seed, edge,
+        // sequence number): replaying a workload replays every counter.
+        let first = run_workload(Some(chaos_plan(seed, drop, delay, dup, garble)), calls, oneways, seed);
+        let second = run_workload(Some(chaos_plan(seed, drop, delay, dup, garble)), calls, oneways, seed);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_identical_to_no_plan(
+        seed in 0..u64::MAX,
+        (calls, oneways) in (1..=10u32, 1..=10u32),
+    ) {
+        // An armed plan with every probability at zero and no partitions
+        // must not perturb the run at all — same ledger, byte for byte.
+        let without = run_workload(None, calls, oneways, seed);
+        let with = run_workload(Some(FaultPlan::seeded(seed)), calls, oneways, seed);
+        prop_assert_eq!(without, with);
+    }
+}

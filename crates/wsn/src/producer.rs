@@ -47,6 +47,15 @@ impl NotificationProducer {
         self
     }
 
+    /// Redeliver lost notifications under `policy`: bounded backoff-spaced
+    /// attempts per subscriber, then the network's dead-letter record.
+    /// (Without this, deliveries inherit the deploying container's
+    /// redelivery setting — fire-and-forget by default.)
+    pub fn with_redelivery(mut self, policy: ogsa_transport::RetryPolicy) -> Self {
+        self.agent = self.agent.with_redelivery(policy);
+        self
+    }
+
     /// Emit a message on a topic; returns the number of deliveries fanned
     /// out.
     pub fn notify(&self, topic: &TopicPath, message: Element) -> usize {

@@ -1,0 +1,147 @@
+//! WS-BaseNotification delivery under an unreliable wire. The redelivery
+//! policy is inherited from the deploying container
+//! (`Container::set_redelivery`), exercising the same knob Grid-in-a-Box
+//! uses, rather than being wired onto the producer directly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ogsa_container::{Operation, OperationContext, Testbed, WebService};
+use ogsa_security::SecurityPolicy;
+use ogsa_sim::{SimDuration, SimInstant};
+use ogsa_soap::Fault;
+use ogsa_transport::{FaultKind, FaultPlan, RetryPolicy};
+use ogsa_wsn::base::{actions, SubscribeRequest};
+use ogsa_wsn::manager::SubscriptionManagerService;
+use ogsa_wsn::{NotificationConsumer, NotificationProducer, TopicExpression, TopicPath};
+use ogsa_xml::Element;
+
+const DRAIN: Duration = Duration::from_secs(5);
+
+/// A minimal producer service: `Subscribe` registers over the wire; events
+/// are emitted through the producer handle directly (the partition under
+/// test covers the producer↔subscriber edge, so emitting over that same
+/// wire would be refused too).
+struct PublisherService {
+    producer: NotificationProducer,
+}
+
+impl WebService for PublisherService {
+    fn handle(&self, op: &Operation, ctx: &OperationContext) -> Result<Element, Fault> {
+        match op.action_name() {
+            "Subscribe" => {
+                let req = SubscribeRequest::from_element(&op.body)
+                    .ok_or_else(|| Fault::client("malformed Subscribe"))?;
+                let epr = self.producer.store().subscribe(ctx, &req)?;
+                Ok(SubscribeRequest::response(&epr))
+            }
+            other => Err(Fault::client(format!("unknown op {other}"))),
+        }
+    }
+}
+
+/// Backoffs 100 ms, 200 ms, 400 ms — redelivery attempts at logical
+/// 0 ms, 100 ms, 300 ms, 700 ms after the send.
+fn policy() -> RetryPolicy {
+    RetryPolicy::default_redelivery(0)
+        .with_max_attempts(4)
+        .with_backoff(SimDuration::from_millis(100.0), SimDuration::from_millis(400.0))
+        .with_jitter(0.0)
+}
+
+fn setup(redeliver: bool) -> (Testbed, NotificationConsumer, NotificationProducer) {
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    if redeliver {
+        // Set before creating the producer: it captures its service agent
+        // (and with it the redelivery policy) at construction.
+        container.set_redelivery(Some(policy()));
+    }
+    let (_mgr_epr, store) = SubscriptionManagerService::deploy(&container, "/services/Pub/manager");
+    let producer = NotificationProducer::new(store, container.service_agent());
+    let publisher = container.deploy(
+        "/services/Pub",
+        Arc::new(PublisherService {
+            producer: producer.clone(),
+        }),
+    );
+
+    let client = tb.client("client-1", "CN=alice", SecurityPolicy::None);
+    let consumer = NotificationConsumer::listen(&client, "/consumer");
+    client
+        .invoke(
+            &publisher,
+            actions::SUBSCRIBE,
+            SubscribeRequest::new(
+                consumer.epr().clone(),
+                TopicExpression::concrete("counter/valueChanged"),
+            )
+            .to_element(),
+        )
+        .unwrap();
+    (tb, consumer, producer)
+}
+
+fn emit(producer: &NotificationProducer) {
+    let topic = TopicPath::parse("counter/valueChanged").unwrap();
+    let n = producer.notify(&topic, Element::text_element("V", "1"));
+    assert_eq!(n, 1, "one matching subscriber");
+}
+
+#[test]
+fn notifications_redeliver_through_a_partition_window() {
+    let (tb, consumer, producer) = setup(true);
+    tb.network().set_fault_plan(FaultPlan::seeded(2).with_partition(
+        "host-a",
+        "client-1",
+        SimInstant(0),
+        tb.clock().now().plus(SimDuration::from_millis(250.0)),
+    ));
+
+    emit(&producer);
+    assert!(tb.network().quiesce(DRAIN));
+
+    assert_eq!(consumer.drain().len(), 1, "healed subscriber gets the message");
+    assert_eq!(tb.network().stats().retries(), 2);
+    assert!(tb.network().dead_letters().is_empty());
+}
+
+#[test]
+fn exhausted_redelivery_dead_letters_the_notification() {
+    let (tb, consumer, producer) = setup(true);
+    tb.network().set_fault_plan(FaultPlan::seeded(2).with_partition(
+        "host-a",
+        "client-1",
+        SimInstant(0),
+        SimInstant(u64::MAX),
+    ));
+
+    emit(&producer);
+    assert!(tb.network().quiesce(DRAIN));
+
+    assert!(consumer.drain().is_empty());
+    let dead = tb.network().dead_letters();
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].to, consumer.epr().address);
+    assert_eq!(dead[0].attempts, 4);
+    assert_eq!(dead[0].reason, FaultKind::Partition);
+    assert_eq!(tb.network().stats().dead_letters(), 1);
+}
+
+#[test]
+fn without_redelivery_notifications_are_simply_lost() {
+    let (tb, consumer, producer) = setup(false);
+    tb.network().set_fault_plan(FaultPlan::seeded(2).with_partition(
+        "host-a",
+        "client-1",
+        SimInstant(0),
+        SimInstant(u64::MAX),
+    ));
+
+    emit(&producer);
+    assert!(tb.network().quiesce(DRAIN));
+
+    assert!(consumer.drain().is_empty());
+    assert_eq!(tb.network().stats().retries(), 0);
+    assert!(tb.network().dead_letters().is_empty());
+}

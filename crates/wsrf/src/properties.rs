@@ -99,6 +99,7 @@ pub fn parse_set_request(body: &Element) -> Vec<SetComponent> {
 
 /// Apply `GetResourceProperty`: all child elements of the RP document whose
 /// local name matches. Empty + unknown name → `InvalidResourcePropertyQNameFault`.
+#[allow(clippy::result_large_err)]
 pub fn get_property<'a>(
     rp_doc: &'a Element,
     property: &str,
@@ -145,6 +146,7 @@ pub fn apply_set(doc: &mut Element, components: &[SetComponent]) {
 }
 
 /// Apply `QueryResourceProperties`: evaluate the XPath against the RP doc.
+#[allow(clippy::result_large_err)]
 pub fn query(
     rp_doc: &Element,
     expression: &str,

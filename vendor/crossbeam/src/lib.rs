@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by this
+//! workspace, so that is all this shim provides. The implementation wraps
+//! `std::sync::mpsc`; the receiver is placed behind a mutex so it is `Sync`
+//! and cloneable like crossbeam's (clones share the queue).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn with<R>(&self, f: impl FnOnce(&mpsc::Receiver<T>) -> R) -> R {
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            f(&guard)
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.with(|rx| rx.recv())
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.with(|rx| rx.recv_timeout(timeout))
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.with(|rx| rx.try_recv())
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_receive() {
+            let (tx, rx) = unbounded();
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv().unwrap(), 5);
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_tx, rx) = unbounded::<i32>();
+            assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+        }
+
+        #[test]
+        fn dropping_all_senders_closes() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

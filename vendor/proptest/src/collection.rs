@@ -1,0 +1,24 @@
+//! `proptest::collection::vec` — vectors with a size drawn from a range.
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for collection::vec");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let n = self.size.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,284 @@
+//! A tiny generator for the regex subset test strategies actually use:
+//! literals, character classes (`[a-z0-9_.-]`, with ranges and literal `-`
+//! at either end), groups, alternation, and the quantifiers `?`, `*`, `+`,
+//! `{n}`, `{m,n}`. Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+pub enum Node {
+    Literal(char),
+    /// Inclusive scalar ranges; a literal char is a one-char range.
+    Class(Vec<(char, char)>),
+    /// A sequence of nodes (the body of a group or the whole pattern).
+    Seq(Vec<Node>),
+    /// Top-level alternation inside a group.
+    Alt(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub fn parse(pattern: &str) -> Result<Node, ParseError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (node, used) = parse_alt(&chars, 0)?;
+    if used != chars.len() {
+        return Err(ParseError(format!(
+            "trailing characters at {used} in `{pattern}`"
+        )));
+    }
+    Ok(node)
+}
+
+fn parse_alt(chars: &[char], mut i: usize) -> Result<(Node, usize), ParseError> {
+    let mut branches = Vec::new();
+    loop {
+        let (seq, next) = parse_seq(chars, i)?;
+        branches.push(seq);
+        i = next;
+        if i < chars.len() && chars[i] == '|' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let node = if branches.len() == 1 {
+        branches.pop().unwrap()
+    } else {
+        Node::Alt(branches)
+    };
+    Ok((node, i))
+}
+
+fn parse_seq(chars: &[char], mut i: usize) -> Result<(Node, usize), ParseError> {
+    let mut items = Vec::new();
+    while i < chars.len() && chars[i] != ')' && chars[i] != '|' {
+        let (atom, next) = parse_atom(chars, i)?;
+        i = next;
+        // Optional quantifier.
+        if i < chars.len() {
+            match chars[i] {
+                '?' => {
+                    items.push(Node::Repeat(Box::new(atom), 0, 1));
+                    i += 1;
+                    continue;
+                }
+                '*' => {
+                    items.push(Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP));
+                    i += 1;
+                    continue;
+                }
+                '+' => {
+                    items.push(Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP));
+                    i += 1;
+                    continue;
+                }
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| ParseError("unclosed {".into()))?
+                        + i;
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    let (lo, hi) = match spec.split_once(',') {
+                        None => {
+                            let n: u32 = spec
+                                .parse()
+                                .map_err(|_| ParseError(format!("bad repeat `{spec}`")))?;
+                            (n, n)
+                        }
+                        Some((a, b)) => {
+                            let lo: u32 = a
+                                .parse()
+                                .map_err(|_| ParseError(format!("bad repeat `{spec}`")))?;
+                            let hi: u32 = if b.is_empty() {
+                                lo + UNBOUNDED_CAP
+                            } else {
+                                b.parse()
+                                    .map_err(|_| ParseError(format!("bad repeat `{spec}`")))?
+                            };
+                            (lo, hi)
+                        }
+                    };
+                    items.push(Node::Repeat(Box::new(atom), lo, hi));
+                    i = close + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        items.push(atom);
+    }
+    Ok((Node::Seq(items), i))
+}
+
+fn parse_atom(chars: &[char], i: usize) -> Result<(Node, usize), ParseError> {
+    match chars[i] {
+        '[' => parse_class(chars, i + 1),
+        '(' => {
+            let (inner, next) = parse_alt(chars, i + 1)?;
+            if next >= chars.len() || chars[next] != ')' {
+                return Err(ParseError("unclosed (".into()));
+            }
+            Ok((inner, next + 1))
+        }
+        '\\' => {
+            let c = *chars
+                .get(i + 1)
+                .ok_or_else(|| ParseError("trailing backslash".into()))?;
+            Ok((Node::Literal(c), i + 2))
+        }
+        '.' => Ok((Node::Class(vec![(' ', '~')]), i + 1)),
+        c => Ok((Node::Literal(c), i + 1)),
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Node, usize), ParseError> {
+    let mut ranges = Vec::new();
+    let mut first = true;
+    while i < chars.len() && chars[i] != ']' {
+        let c = chars[i];
+        if c == '^' && first {
+            return Err(ParseError("negated classes unsupported".into()));
+        }
+        first = false;
+        // `a-z` range (but `-` just before `]` is a literal).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            if hi < c {
+                return Err(ParseError(format!("inverted range {c}-{hi}")));
+            }
+            ranges.push((c, hi));
+            i += 3;
+        } else {
+            ranges.push((c, c));
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        return Err(ParseError("unclosed [".into()));
+    }
+    if ranges.is_empty() {
+        return Err(ParseError("empty class".into()));
+    }
+    Ok((Node::Class(ranges), i + 1))
+}
+
+pub fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            // Weight by range width so wide ranges dominate, like a uniform
+            // draw over the union would.
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let width = u64::from(*hi as u32 - *lo as u32 + 1);
+                if pick < width {
+                    let scalar = *lo as u32 + pick as u32;
+                    out.push(char::from_u32(scalar).unwrap_or(*lo));
+                    return;
+                }
+                pick -= width;
+            }
+        }
+        Node::Seq(items) => {
+            for item in items {
+                generate(item, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            let i = rng.below(branches.len() as u64) as usize;
+            generate(&branches[i], rng, out);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo as u64 + rng.below(u64::from(hi - lo) + 1);
+            for _ in 0..n {
+                generate(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_one(pattern: &str, case: u64) -> String {
+        let node = parse(pattern).unwrap();
+        let mut rng = TestRng::for_case(case);
+        let mut out = String::new();
+        generate(&node, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn class_with_counted_repeat() {
+        for case in 0..50 {
+            let s = gen_one("[a-z]{1,10}", case);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn grouped_repeat_and_literal() {
+        for case in 0..50 {
+            let s = gen_one("[a-z]{1,8}(/[a-z]{1,8}){0,2}", case);
+            let segments: Vec<&str> = s.split('/').collect();
+            assert!((1..=3).contains(&segments.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let node = parse("[A-Za-z0-9_.-]").unwrap();
+        match node {
+            Node::Seq(items) => match items.as_slice() {
+                [Node::Class(ranges)] => assert!(ranges.contains(&('-', '-'))),
+                other => panic!("expected a single class, got {other:?}"),
+            },
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_class_members() {
+        for case in 0..50 {
+            let s = gen_one("[ -~é☃]{0,20}", case);
+            assert!(s.chars().count() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == 'é' || c == '☃'));
+        }
+    }
+
+    #[test]
+    fn alternation_picks_a_branch() {
+        for case in 0..20 {
+            let s = gen_one("(foo|ba)", case);
+            assert!(s == "foo" || s == "ba", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_syntax_errors_cleanly() {
+        assert!(parse("[^a]").is_err());
+        assert!(parse("(unclosed").is_err());
+        assert!(parse("[unclosed").is_err());
+    }
+}

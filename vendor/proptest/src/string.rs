@@ -1,0 +1,26 @@
+//! `proptest::string::string_regex` — strings matching a regex subset.
+
+use crate::regex_gen::{self, Node, ParseError};
+use crate::{Strategy, TestRng};
+
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    node: Node,
+}
+
+/// A strategy producing strings that match `pattern` (see
+/// [`crate::regex_gen`] for the supported subset).
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, ParseError> {
+    Ok(RegexGeneratorStrategy {
+        node: regex_gen::parse(pattern)?,
+    })
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        regex_gen::generate(&self.node, rng, &mut out);
+        out
+    }
+}
