@@ -105,7 +105,12 @@ impl MessageHeaders {
         let reference_properties = env
             .headers
             .iter()
-            .filter(|h| !h.name.in_ns(ns::WSA) && !h.name.in_ns(ns::WSSE) && !h.name.in_ns(ns::WSU))
+            .filter(|h| {
+                !h.name.in_ns(ns::WSA)
+                    && !h.name.in_ns(ns::WSSE)
+                    && !h.name.in_ns(ns::WSU)
+                    && !h.name.in_ns(ns::TEL)
+            })
             .cloned()
             .collect();
         Ok(MessageHeaders {
@@ -188,6 +193,19 @@ mod tests {
     fn extract_requires_to_and_action() {
         let env = Envelope::new(Element::new("X"));
         assert!(MessageHeaders::extract(&env).is_err());
+    }
+
+    #[test]
+    fn telemetry_headers_are_not_reference_properties() {
+        let h = MessageHeaders::request(&target(), "urn:get", "m");
+        let mut env = h.apply(Envelope::new(Element::new("Get")));
+        env.headers
+            .push(Element::text_element(QName::new(ns::TEL, "TraceId"), "00ff"));
+        env.headers
+            .push(Element::text_element(QName::new(ns::TEL, "SpanId"), "00aa"));
+        let back = MessageHeaders::extract(&env).unwrap();
+        assert_eq!(back.reference_properties.len(), 1);
+        assert_eq!(back.resource_id(), Some("c-7"));
     }
 
     #[test]

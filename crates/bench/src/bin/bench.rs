@@ -1,0 +1,107 @@
+//! The telemetry bench: counter + Grid-in-a-Box on both stacks under full
+//! causal tracing, written out as machine-readable artifacts:
+//!
+//! * `BENCH_counter.json` — the five counter operations, unsecured and
+//!   X.509-signed, each decomposed into db / security / wire / soap self
+//!   time plus wire-message counts, and the §3.1 demand-lifecycle message
+//!   amplification.
+//! * `BENCH_gridbox.json` — the six Grid-in-a-Box operations, decomposed
+//!   the same way.
+//! * `BENCH_trace.json` — a Chrome-trace (Perfetto / `chrome://tracing`)
+//!   dump of the signed counter run's span forest.
+//!
+//! Exits nonzero if any of the paper's ordinal claims regressed, so CI can
+//! gate on it. Pass an output directory as the first argument (default:
+//! current directory).
+
+use std::process::ExitCode;
+
+use ogsa_core::ablation;
+use ogsa_core::breakdown::{self, check_paper_invariants};
+use ogsa_core::grid::GridConfig;
+use ogsa_core::hello::HelloConfig;
+use ogsa_core::report;
+use ogsa_core::security::SecurityPolicy;
+use ogsa_core::telemetry::export::{json_escape, spans_to_chrome_trace};
+
+const COUNTER_ITERATIONS: usize = 8;
+const GRID_ITERATIONS: usize = 3;
+const LIFECYCLE_EVENTS: usize = 4;
+
+fn main() -> ExitCode {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+
+    let plain = breakdown::counter_breakdown(HelloConfig {
+        policy: SecurityPolicy::None,
+        iterations: COUNTER_ITERATIONS,
+    });
+    let signed = breakdown::counter_breakdown(HelloConfig {
+        policy: SecurityPolicy::X509Sign,
+        iterations: COUNTER_ITERATIONS,
+    });
+    let grid = breakdown::grid_breakdown(GridConfig {
+        iterations: GRID_ITERATIONS,
+        ..GridConfig::default()
+    });
+    let lifecycle = ablation::demand_lifecycle(LIFECYCLE_EVENTS);
+    let violations = check_paper_invariants(&plain, &signed, &lifecycle);
+
+    println!(
+        "{}",
+        report::render_breakdown("Counter, no security (distributed)", &plain.rows)
+    );
+    println!(
+        "{}",
+        report::render_breakdown("Counter, X.509 signing (distributed)", &signed.rows)
+    );
+    println!(
+        "{}",
+        report::render_breakdown("Grid-in-a-Box, X.509 signing", &grid.rows)
+    );
+    println!(
+        "demand lifecycle: {} brokered vs {} direct messages over {} events ({:.1}x)\n",
+        lifecycle.brokered_messages,
+        lifecycle.direct_messages,
+        lifecycle.events,
+        lifecycle.factor()
+    );
+
+    let violations_json: Vec<String> = violations
+        .iter()
+        .map(|v| format!("\"{}\"", json_escape(v)))
+        .collect();
+    let counter_json = format!(
+        "{{\"benchmark\":\"counter\",\"iterations\":{},\"sections\":{{\"none\":{},\"x509\":{}}},\"demand_lifecycle\":{},\"invariant_violations\":[{}]}}\n",
+        COUNTER_ITERATIONS,
+        report::breakdown_rows_json(&plain.rows),
+        report::breakdown_rows_json(&signed.rows),
+        report::demand_lifecycle_json(&lifecycle),
+        violations_json.join(",")
+    );
+    let grid_json = format!(
+        "{{\"benchmark\":\"gridbox\",\"policy\":\"x509\",\"iterations\":{},\"rows\":{}}}\n",
+        GRID_ITERATIONS,
+        report::breakdown_rows_json(&grid.rows)
+    );
+
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("mkdir {out_dir}: {e}"));
+    let write = |name: &str, contents: &str| {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    };
+    write("BENCH_counter.json", &counter_json);
+    write("BENCH_gridbox.json", &grid_json);
+    write("BENCH_trace.json", &spans_to_chrome_trace(&signed.spans));
+
+    if violations.is_empty() {
+        println!("paper invariants: all hold");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("paper invariants REGRESSED:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -10,6 +10,7 @@
 //! | `cargo run --release -p ogsa-bench --bin fig6` | Figure 6 (Grid-in-a-Box) |
 //! | `cargo run --release -p ogsa-bench --bin broker_messages` | §3.1 demand-based message estimate |
 //! | `cargo run --release -p ogsa-bench --bin ablations` | §4.1.3 mechanism claims |
+//! | `cargo run --release -p ogsa-bench --bin bench` | traced component breakdowns → `BENCH_*.json` + Chrome trace, exits nonzero on ordinal regressions |
 //!
 //! The Criterion benches (`cargo bench -p ogsa-bench`) measure the *real*
 //! compute cost of this implementation (XML parsing, canonicalisation,

@@ -15,6 +15,7 @@ use ogsa_security::{
 };
 use ogsa_sim::{CostModel, SimDuration, VirtualClock};
 use ogsa_soap::{Envelope, Fault};
+use ogsa_telemetry::{Span, SpanKind, Telemetry};
 use ogsa_transport::{Network, Port, RetryPolicy, TransportError};
 use ogsa_xml::Element;
 
@@ -179,6 +180,35 @@ impl ClientAgent {
         action: &str,
         body: Element,
     ) -> Result<Element, InvokeError> {
+        let tel = self.network().telemetry().clone();
+        let t0 = self.clock.now();
+        let mut span = tel.span(SpanKind::Client, "client:invoke");
+        span.set_attr("action", action);
+        span.set_attr("to", &target.address);
+        let result = self.invoke_attempts(target, action, body, &tel, &mut span);
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(InvokeError::Fault(_)) => "fault",
+            Err(InvokeError::Transport(_)) => "transport",
+            Err(InvokeError::Security(_)) => "security",
+        };
+        span.set_attr("outcome", outcome);
+        tel.metrics()
+            .inc("invoke.calls", &[("action", action), ("outcome", outcome)]);
+        tel.metrics()
+            .observe("invoke_ms", &[("action", action)], self.clock.now().since(t0));
+        result
+    }
+
+    /// The retry loop behind [`ClientAgent::invoke`], run inside its span.
+    fn invoke_attempts(
+        &self,
+        target: &EndpointReference,
+        action: &str,
+        body: Element,
+        tel: &Telemetry,
+        span: &mut Span,
+    ) -> Result<Element, InvokeError> {
         // `none()`'s sentinel "no budget" timeout means no deadline at all.
         let deadline = (self.retry.attempt_timeout != SimDuration(u64::MAX))
             .then_some(self.retry.attempt_timeout);
@@ -186,12 +216,19 @@ impl ClientAgent {
         loop {
             let headers = MessageHeaders::request(target, action, self.next_message_id());
             let mut env = headers.apply(Envelope::new(body.clone()));
+            // Trace context rides the wire next to the addressing headers,
+            // under the signature like everything else.
+            if let (Some(trace), Some(id)) = (span.trace_id(), span.id()) {
+                env = ogsa_telemetry::wire::inject(env, trace, id);
+            }
             if self.policy.signs_messages() {
+                let _s = tel.span(SpanKind::Security, "x509:sign");
                 sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
             }
             match self.port.call_with_deadline(&target.address, env, deadline) {
                 Ok(resp) => {
                     if self.policy.signs_messages() {
+                        let _s = tel.span(SpanKind::Security, "x509:verify");
                         verify_envelope(&resp, &self.cert_store, &self.clock, &self.model)?;
                     }
                     if let Some(fault) = resp.fault() {
@@ -200,8 +237,12 @@ impl ClientAgent {
                     return Ok(resp.body);
                 }
                 Err(e) if e.is_retryable() && attempt < self.retry.max_attempts => {
-                    self.clock.advance(self.retry.backoff(attempt));
+                    let backoff = self.retry.backoff(attempt);
+                    let backoff_us = backoff.as_micros().to_string();
+                    span.event_with("retry:backoff", &[("backoff_us", &backoff_us)]);
+                    self.clock.advance(backoff);
                     self.network().stats().record_retry();
+                    tel.metrics().inc("invoke.retries", &[("action", action)]);
                     attempt += 1;
                 }
                 Err(e) => return Err(e.into()),
@@ -214,9 +255,17 @@ impl ClientAgent {
     /// ([`ClientAgent::with_redelivery`]) lost sends are redelivered with
     /// backoff, then dead-lettered.
     pub fn send_oneway(&self, to: &EndpointReference, action: &str, body: Element) {
+        let tel = self.network().telemetry().clone();
+        let mut span = tel.span(SpanKind::Client, "client:send_oneway");
+        span.set_attr("action", action);
+        span.set_attr("to", &to.address);
         let headers = MessageHeaders::request(to, action, self.next_message_id());
         let mut env = headers.apply(Envelope::new(body));
+        if let (Some(trace), Some(id)) = (span.trace_id(), span.id()) {
+            env = ogsa_telemetry::wire::inject(env, trace, id);
+        }
         if self.policy.signs_messages() {
+            let _s = tel.span(SpanKind::Security, "x509:sign");
             sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
         }
         self.port
@@ -242,13 +291,18 @@ impl ClientAgent {
         let store = self.cert_store.clone();
         let clock = self.clock.clone();
         let model = self.model.clone();
+        let tel = self.network().telemetry().clone();
         self.port.network().bind_oneway(
             &address,
             Arc::new(move |env: Envelope| {
-                if policy.signs_messages()
-                    && verify_envelope(&env, &store, &clock, &model).is_err()
-                {
-                    return;
+                if policy.signs_messages() {
+                    let verified = {
+                        let _s = tel.span(SpanKind::Security, "x509:verify");
+                        verify_envelope(&env, &store, &clock, &model).is_ok()
+                    };
+                    if !verified {
+                        return;
+                    }
                 }
                 handler(env);
             }),

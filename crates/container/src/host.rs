@@ -9,6 +9,7 @@ use ogsa_addressing::{EndpointReference, MessageHeaders};
 use ogsa_security::{sign_envelope, verify_envelope, CertStore, Identity, SecurityPolicy};
 use ogsa_sim::{CostModel, SimDuration, VirtualClock};
 use ogsa_soap::{Envelope, Fault};
+use ogsa_telemetry::{SpanKind, Telemetry};
 use ogsa_transport::{Network, RetryPolicy};
 use ogsa_xmldb::Database;
 use parking_lot::RwLock;
@@ -103,6 +104,12 @@ impl Container {
 
     pub fn network(&self) -> &Network {
         &self.inner.network
+    }
+
+    /// The tracing/metrics handle this container records into (the
+    /// network's).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.inner.network.telemetry()
     }
 
     /// The scheme requests to this container use, derived from policy.
@@ -205,7 +212,11 @@ impl Container {
         self.inner.services.write().remove(path);
     }
 
-    /// The full request pipeline of Figure 1.
+    /// The full request pipeline of Figure 1. One `server` span per request:
+    /// dispatch, security handler, service code, and the response pass each
+    /// nest under it. Parentage comes from the thread's open context when
+    /// the call arrived inline, else from the `tel:` trace headers the
+    /// client stamped on the wire.
     fn pipeline(
         &self,
         ctx: &OperationContext,
@@ -213,20 +224,37 @@ impl Container {
         req: Envelope,
     ) -> Envelope {
         let inner = &self.inner;
+        let tel = self.telemetry().clone();
+        let mut span = match tel.current() {
+            Some(_) => tel.span(SpanKind::Server, "container:pipeline"),
+            None => match ogsa_telemetry::wire::extract(&req) {
+                Some((trace, parent)) => {
+                    tel.child_span(SpanKind::Server, "container:pipeline", trace, Some(parent))
+                }
+                None => tel.span(SpanKind::Server, "container:pipeline"),
+            },
+        };
+        span.set_attr("host", &inner.host);
 
         // Dispatch cost + lifetime sweep (scheduled terminations fire as
         // requests arrive — the container's background activity).
-        inner
-            .clock
-            .advance(SimDuration::from_micros(inner.model.dispatch_us));
-        inner.lifetime.sweep_now(&inner.clock);
+        {
+            let _d = tel.span(SpanKind::Dispatch, "container:dispatch");
+            inner
+                .clock
+                .advance(SimDuration::from_micros(inner.model.dispatch_us));
+            inner.lifetime.sweep_now(&inner.clock);
+        }
 
-        let result = self.run_service(ctx, service, &req);
+        let result = self.run_service(ctx, service, &req, &tel);
 
         // Build the response, passing back through the security handler.
         let (body, request_headers) = match result {
             Ok((body, headers)) => (body, Some(headers)),
-            Err(fault) => (fault.to_element(), None),
+            Err(fault) => {
+                span.event("soap_fault");
+                (fault.to_element(), None)
+            }
         };
         let msg_id = format!(
             "uuid:{}-{}",
@@ -238,6 +266,7 @@ impl Container {
             None => Envelope::new(body),
         };
         if inner.policy.signs_messages() {
+            let _s = tel.span(SpanKind::Security, "x509:sign");
             sign_envelope(&mut resp, &inner.identity, &inner.clock, &inner.model);
         }
         resp
@@ -248,6 +277,7 @@ impl Container {
         ctx: &OperationContext,
         service: &Arc<dyn WebService>,
         req: &Envelope,
+        tel: &Telemetry,
     ) -> Result<(ogsa_xml::Element, MessageHeaders), Fault> {
         let inner = &self.inner;
 
@@ -256,6 +286,7 @@ impl Container {
 
         // Security/policy handler: authenticate the client.
         let signer_dn = if inner.policy.signs_messages() {
+            let _s = tel.span(SpanKind::Security, "x509:verify");
             let signer = verify_envelope(req, &inner.cert_store, &inner.clock, &inner.model)
                 .map_err(|e| Fault::client(format!("security check failed: {e}")))?;
             Some(signer.dn().to_owned())
@@ -269,7 +300,11 @@ impl Container {
             headers: headers.clone(),
             signer_dn,
         };
-        let body = service.handle(&op, ctx)?;
+        let body = {
+            let mut s = tel.span(SpanKind::Service, "service:handle");
+            s.set_attr("action", &headers.action);
+            service.handle(&op, ctx)?
+        };
         Ok((body, headers))
     }
 }

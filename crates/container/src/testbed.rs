@@ -82,6 +82,12 @@ impl Testbed {
         &self.rng
     }
 
+    /// The telemetry sink every component in this testbed reports into (it
+    /// lives on the network, which everything already shares).
+    pub fn telemetry(&self) -> &ogsa_telemetry::Telemetry {
+        self.network.telemetry()
+    }
+
     /// The database on `host` (one Xindice instance per machine; containers
     /// on the same host share it).
     pub fn db(&self, host: &str) -> Database {
@@ -89,7 +95,12 @@ impl Testbed {
             .lock()
             .entry(host.to_owned())
             .or_insert_with(|| {
-                Database::new(self.clock.clone(), self.model.clone(), self.backend.clone())
+                Database::with_telemetry(
+                    self.clock.clone(),
+                    self.model.clone(),
+                    self.backend.clone(),
+                    self.network.telemetry().clone(),
+                )
             })
             .clone()
     }

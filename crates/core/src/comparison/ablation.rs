@@ -1,11 +1,19 @@
 //! Mechanism experiments: the design choices the paper credits for its
 //! performance results, each toggleable in isolation.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use ogsa_container::Testbed;
+use ogsa_addressing::EndpointReference;
+use ogsa_container::{Container, Testbed};
 use ogsa_counter::{CounterApi, TransferCounter, WsrfCounter};
 use ogsa_security::SecurityPolicy;
+use ogsa_wsn::base::{actions, SubscribeRequest};
+use ogsa_wsn::manager::{SubscriptionManagerService, SubscriptionProxy};
+use ogsa_wsn::{
+    BrokerService, NotificationConsumer, NotificationProducer, TopicExpression, TopicPath,
+};
+use ogsa_xml::Element;
 
 /// One ablation result: the same measurement with a mechanism on and off.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,51 +128,47 @@ pub fn notify_transport(iterations: usize) -> Ablation {
     }
 }
 
+/// A minimal publisher service — a notification producer plus a Subscribe
+/// operation — shared by the broker experiments.
+struct Publisher {
+    producer: NotificationProducer,
+}
+
+impl ogsa_container::WebService for Publisher {
+    fn handle(
+        &self,
+        op: &ogsa_container::Operation,
+        ctx: &ogsa_container::OperationContext,
+    ) -> Result<Element, ogsa_soap::Fault> {
+        match op.action_name() {
+            "Subscribe" => {
+                let req = SubscribeRequest::from_element(&op.body)
+                    .ok_or_else(|| ogsa_soap::Fault::client("bad subscribe"))?;
+                let epr = self.producer.store().subscribe(ctx, &req)?;
+                Ok(SubscribeRequest::response(&epr))
+            }
+            _ => Err(ogsa_soap::Fault::client("unknown")),
+        }
+    }
+}
+
+fn deploy_publisher(container: &Container) -> (EndpointReference, NotificationProducer) {
+    let (_m, store) = SubscriptionManagerService::deploy(container, "/services/Pub/manager");
+    let producer = NotificationProducer::new(store, container.service_agent());
+    let epr = container.deploy(
+        "/services/Pub",
+        Arc::new(Publisher {
+            producer: producer.clone(),
+        }),
+    );
+    (epr, producer)
+}
+
 /// Demand-based brokered publishing vs direct notification: messages on the
 /// wire for one registration + subscription + event + teardown. Reproduces
 /// the §3.1 estimate of "an order of magnitude at a minimum" with a handful
 /// of consumers.
 pub fn broker_amplification(consumers: usize) -> BrokerAmplification {
-    use ogsa_container::Container;
-    use ogsa_wsn::base::{actions, SubscribeRequest};
-    use ogsa_wsn::manager::{SubscriptionManagerService, SubscriptionProxy};
-    use ogsa_wsn::{BrokerService, NotificationConsumer, NotificationProducer, TopicExpression, TopicPath};
-    use ogsa_xml::Element;
-    use std::sync::Arc;
-
-    struct Publisher {
-        producer: NotificationProducer,
-    }
-    impl ogsa_container::WebService for Publisher {
-        fn handle(
-            &self,
-            op: &ogsa_container::Operation,
-            ctx: &ogsa_container::OperationContext,
-        ) -> Result<Element, ogsa_soap::Fault> {
-            match op.action_name() {
-                "Subscribe" => {
-                    let req = SubscribeRequest::from_element(&op.body)
-                        .ok_or_else(|| ogsa_soap::Fault::client("bad subscribe"))?;
-                    let epr = self.producer.store().subscribe(ctx, &req)?;
-                    Ok(SubscribeRequest::response(&epr))
-                }
-                _ => Err(ogsa_soap::Fault::client("unknown")),
-            }
-        }
-    }
-
-    let deploy_publisher = |container: &Container| {
-        let (_m, store) = SubscriptionManagerService::deploy(container, "/services/Pub/manager");
-        let producer = NotificationProducer::new(store, container.service_agent());
-        let epr = container.deploy(
-            "/services/Pub",
-            Arc::new(Publisher {
-                producer: producer.clone(),
-            }),
-        );
-        (epr, producer)
-    };
-
     let topic = TopicPath::parse("counter/valueChanged").expect("static");
 
     // Direct: N consumers subscribe straight to the publisher; one emit.
@@ -251,6 +255,95 @@ impl BrokerAmplification {
     }
 }
 
+/// §3.1's sharper per-event estimate ("an order of magnitude at a
+/// minimum"): messages on the wire per *delivered event* when consumer
+/// interest lives only as long as one event — subscribe, receive,
+/// unsubscribe, demand rechecked at each edge — versus a standing direct
+/// subscription, where an event is exactly one message. Every lifecycle
+/// edge costs a request/response pair, and each one flips the broker's
+/// upstream subscription (a pause or resume outcall pair), so one
+/// delivered event costs ~10 messages instead of 1.
+pub fn demand_lifecycle(events: usize) -> DemandLifecycle {
+    let topic = TopicPath::parse("counter/valueChanged").expect("static");
+    let events = events.max(1);
+
+    // Direct baseline: one standing subscriber; each event is one one-way.
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (pub_epr, producer) = deploy_publisher(&container);
+    let client = tb.client("client-1", "CN=a", SecurityPolicy::None);
+    let consumer = NotificationConsumer::listen(&client, "/c0");
+    let req = SubscribeRequest::new(
+        consumer.epr().clone(),
+        TopicExpression::concrete("counter/valueChanged"),
+    );
+    client
+        .invoke(&pub_epr, actions::SUBSCRIBE, req.to_element())
+        .unwrap();
+    let before = tb.network().stats().messages();
+    for i in 0..events {
+        producer.notify(&topic, Element::text_element("NewValue", i.to_string()));
+        consumer.recv_timeout(WAIT).unwrap();
+    }
+    let direct = tb.network().stats().messages() - before;
+
+    // Demand-based brokered lifecycle: interest appears and disappears
+    // around every event, so the broker resumes and pauses its upstream
+    // subscription each time.
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (pub_epr, producer) = deploy_publisher(&container);
+    let broker = BrokerService::deploy(&container, "/services/Broker");
+    let client = tb.client("client-1", "CN=a", SecurityPolicy::None);
+    client
+        .invoke(
+            broker.epr(),
+            "urn:wsbn/RegisterPublisher",
+            BrokerService::register_request(&pub_epr, &topic, true),
+        )
+        .unwrap();
+    // Settle: no demand yet, so the upstream subscription starts paused.
+    broker.recheck_demand();
+    let before = tb.network().stats().messages();
+    for i in 0..events {
+        let consumer = NotificationConsumer::listen(&client, &format!("/bc{i}"));
+        let req = SubscribeRequest::new(
+            consumer.epr().clone(),
+            TopicExpression::concrete("counter/valueChanged"),
+        );
+        let resp = client
+            .invoke(broker.epr(), actions::SUBSCRIBE, req.to_element())
+            .unwrap();
+        let sub = SubscribeRequest::parse_response(&resp).unwrap();
+        producer.notify(&topic, Element::text_element("NewValue", i.to_string()));
+        consumer.recv_timeout(WAIT).unwrap();
+        SubscriptionProxy::new(&client).unsubscribe(&sub).unwrap();
+        broker.recheck_demand();
+    }
+    let brokered = tb.network().stats().messages() - before;
+
+    DemandLifecycle {
+        events,
+        direct_messages: direct,
+        brokered_messages: brokered,
+    }
+}
+
+/// Message counts for the per-event demand-lifecycle experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandLifecycle {
+    pub events: usize,
+    pub direct_messages: u64,
+    pub brokered_messages: u64,
+}
+
+impl DemandLifecycle {
+    /// Wire-message amplification per delivered event.
+    pub fn factor(&self) -> f64 {
+        self.brokered_messages as f64 / self.direct_messages.max(1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +367,15 @@ mod tests {
     fn notify_transport_gap() {
         let a = notify_transport(4);
         assert!(a.with_ms < a.without_ms, "{a:?}");
+    }
+
+    #[test]
+    fn demand_lifecycle_is_an_order_of_magnitude() {
+        let d = demand_lifecycle(3);
+        assert!(
+            d.factor() >= 8.0,
+            "per-event amplification should be ~10x: {d:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The comparison harness: scenario runners producing the paper's figures.
 
 pub mod ablation;
+pub mod breakdown;
 pub mod grid;
 pub mod hello;
 
@@ -24,5 +25,13 @@ impl Stack {
 
     pub fn all() -> [Stack; 2] {
         [Stack::Transfer, Stack::Wsrf]
+    }
+
+    /// Short machine-readable key for JSON artifacts.
+    pub fn key(self) -> &'static str {
+        match self {
+            Stack::Wsrf => "wsrf",
+            Stack::Transfer => "transfer",
+        }
     }
 }

@@ -13,6 +13,10 @@
 //!   paper's explanations: write-through cache, TLS session cache, TCP vs
 //!   HTTP notification delivery, and demand-based broker message
 //!   amplification.
+//! * [`comparison::breakdown`] — the same scenarios under full causal
+//!   tracing: every bar decomposed into db / security / wire / soap self
+//!   time plus message counts, with the paper's ordinal claims
+//!   machine-checked.
 //! * [`report`] — fixed-width tables shaped like the paper's figures, plus
 //!   machine-checkable "shape" assertions (who wins, by what factor).
 //!
@@ -30,6 +34,7 @@ pub use ogsa_gridbox as gridbox;
 pub use ogsa_security as security;
 pub use ogsa_sim as sim;
 pub use ogsa_soap as soap;
+pub use ogsa_telemetry as telemetry;
 pub use ogsa_transfer as transfer;
 pub use ogsa_transport as transport;
 pub use ogsa_wsn as wsn;
@@ -38,5 +43,6 @@ pub use ogsa_xml as xml;
 pub use ogsa_xmldb as xmldb;
 
 pub use comparison::ablation;
+pub use comparison::breakdown;
 pub use comparison::grid;
 pub use comparison::hello;

@@ -8,7 +8,10 @@ use std::fmt::Write;
 
 use ogsa_transport::Deployment;
 
-use crate::comparison::ablation::{Ablation, BrokerAmplification};
+use ogsa_telemetry::export::json_escape;
+
+use crate::comparison::ablation::{Ablation, BrokerAmplification, DemandLifecycle};
+use crate::comparison::breakdown::OpBreakdown;
 use crate::comparison::grid::{self, GridRow};
 use crate::comparison::hello::{self, HelloRow};
 use crate::comparison::Stack;
@@ -80,6 +83,76 @@ pub fn render_ablation(a: &Ablation) -> String {
     )
 }
 
+/// Render a component-breakdown table: per operation and stack, the total
+/// and where it went.
+pub fn render_breakdown(title: &str, rows: &[OpBreakdown]) -> String {
+    const NAMED: [&str; 4] = ["db", "security", "wire", "soap"];
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "{:<24} {:<9} {:>9} {:>8} {:>9} {:>8} {:>8} {:>8} {:>6}",
+        "operation (ms)", "stack", "total", "db", "security", "wire", "soap", "other", "msgs"
+    );
+    for r in rows {
+        // `+ 0.0` normalises an IEEE negative zero out of the sum.
+        let other: f64 = r
+            .components_ms
+            .iter()
+            .filter(|(k, _)| !NAMED.contains(*k))
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            + 0.0;
+        let _ = writeln!(
+            out,
+            "{:<24} {:<9} {:>9.2} {:>8.2} {:>9.2} {:>8.2} {:>8.2} {:>8.2} {:>6.1}",
+            r.operation,
+            r.stack.key(),
+            r.total_ms,
+            r.component_ms("db"),
+            r.component_ms("security"),
+            r.component_ms("wire"),
+            r.component_ms("soap"),
+            other,
+            r.messages,
+        );
+    }
+    out
+}
+
+/// One breakdown row as a JSON object.
+fn breakdown_row_json(r: &OpBreakdown) -> String {
+    let comps: Vec<String> = r
+        .components_ms
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{:.3}", json_escape(k), v))
+        .collect();
+    format!(
+        "{{\"operation\":\"{}\",\"stack\":\"{}\",\"total_ms\":{:.3},\"messages\":{:.2},\"components_ms\":{{{}}}}}",
+        json_escape(r.operation),
+        r.stack.key(),
+        r.total_ms,
+        r.messages,
+        comps.join(",")
+    )
+}
+
+/// Breakdown rows as a JSON array.
+pub fn breakdown_rows_json(rows: &[OpBreakdown]) -> String {
+    let rendered: Vec<String> = rows.iter().map(breakdown_row_json).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+/// The demand-lifecycle experiment as a JSON object.
+pub fn demand_lifecycle_json(d: &DemandLifecycle) -> String {
+    format!(
+        "{{\"events\":{},\"direct_messages\":{},\"brokered_messages\":{},\"factor\":{:.2}}}",
+        d.events, d.direct_messages, d.brokered_messages,
+        d.factor()
+    )
+}
+
 /// Render the broker message-amplification result.
 pub fn render_broker(b: &BrokerAmplification) -> String {
     format!(
@@ -133,6 +206,42 @@ mod tests {
             without_ms: 10.0,
         });
         assert!(line.contains("2.00x"));
+    }
+
+    #[test]
+    fn breakdown_table_and_json_render_components() {
+        let mut components_ms = std::collections::BTreeMap::new();
+        components_ms.insert("db", 11.25);
+        components_ms.insert("security", 74.0);
+        components_ms.insert("dispatch", 0.35);
+        let rows = vec![OpBreakdown {
+            operation: "Create",
+            stack: Stack::Wsrf,
+            total_ms: 90.5,
+            components_ms,
+            messages: 2.0,
+        }];
+        let table = render_breakdown("Create breakdown", &rows);
+        assert!(table.contains("Create"));
+        assert!(table.contains("wsrf"));
+        assert!(table.contains("11.25"));
+        assert!(table.contains("74.00"));
+        let json = breakdown_rows_json(&rows);
+        assert!(json.contains("\"operation\":\"Create\""));
+        assert!(json.contains("\"stack\":\"wsrf\""));
+        assert!(json.contains("\"db\":11.250"));
+        assert!(json.contains("\"security\":74.000"));
+        assert!(json.contains("\"messages\":2.00"));
+    }
+
+    #[test]
+    fn demand_lifecycle_json_has_factor() {
+        let json = demand_lifecycle_json(&DemandLifecycle {
+            events: 3,
+            direct_messages: 3,
+            brokered_messages: 30,
+        });
+        assert!(json.contains("\"factor\":10.00"));
     }
 
     #[test]

@@ -39,6 +39,11 @@ impl DeliveryMode for PushDelivery {
         // WS-Eventing notifications are plain application messages; the
         // action URI is the application's own (here a generic event action).
         agent.send_oneway(&sub.notify_to, EVENT_ACTION, event);
+        agent
+            .network()
+            .telemetry()
+            .metrics()
+            .inc("notify.sent", &[("stack", "eventing")]);
     }
 }
 

@@ -1,0 +1,134 @@
+//! Span-forest analysis: fold finished spans into per-kind *self time* —
+//! the component breakdowns (db / security / wire / soap / ...) the paper's
+//! Figures 2–6 report per operation.
+//!
+//! Self time is a span's duration minus the durations of its direct
+//! children, so nested costs are counted exactly once: the X.509 verify
+//! inside a server pipeline lands in `security`, not in `server`.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use ogsa_sim::SimDuration;
+
+use crate::span::{SpanId, SpanKind, SpanRecord};
+
+/// Per-kind self-time totals over a set of spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KindBreakdown {
+    /// Summed self time per span kind (kinds with zero time are absent).
+    pub self_time: BTreeMap<&'static str, SimDuration>,
+    /// Summed duration of root spans (spans with no parent) — the
+    /// end-to-end cost the components decompose.
+    pub total: SimDuration,
+    /// Number of root spans.
+    pub roots: usize,
+}
+
+impl KindBreakdown {
+    /// Self time for one kind (zero if absent).
+    pub fn kind(&self, kind: SpanKind) -> SimDuration {
+        self.self_time
+            .get(kind.as_str())
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sum of all component self times.
+    pub fn component_sum(&self) -> SimDuration {
+        self.self_time.values().copied().sum()
+    }
+}
+
+/// Fold a span forest into per-kind self time.
+///
+/// Works on any subset of spans: a child whose parent is not in the set is
+/// treated as a root for `total` purposes only if it has no parent at all,
+/// but its self time still contributes to its kind.
+pub fn self_time_breakdown(spans: &[SpanRecord]) -> KindBreakdown {
+    let mut child_time: HashMap<SpanId, SimDuration> = HashMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_time.entry(p).or_insert(SimDuration::ZERO) += s.duration();
+        }
+    }
+    let mut out = KindBreakdown::default();
+    for s in spans {
+        let children = child_time
+            .get(&s.id)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        let self_time = s.duration().saturating_sub(children);
+        if self_time > SimDuration::ZERO {
+            *out.self_time
+                .entry(s.kind.as_str())
+                .or_insert(SimDuration::ZERO) += self_time;
+        }
+        if s.parent.is_none() {
+            out.total += s.duration();
+            out.roots += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceId;
+    use ogsa_sim::SimInstant;
+
+    fn rec(id: u64, parent: Option<u64>, kind: SpanKind, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(1),
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name: "s",
+            kind,
+            start: SimInstant(start),
+            end: SimInstant(end),
+            attrs: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        // root client [0,100] > server [10,90] > db [20,50] + security [50,80]
+        let spans = vec![
+            rec(1, None, SpanKind::Client, 0, 100),
+            rec(2, Some(1), SpanKind::Server, 10, 90),
+            rec(3, Some(2), SpanKind::Db, 20, 50),
+            rec(4, Some(2), SpanKind::Security, 50, 80),
+        ];
+        let b = self_time_breakdown(&spans);
+        assert_eq!(b.total, SimDuration(100));
+        assert_eq!(b.roots, 1);
+        assert_eq!(b.kind(SpanKind::Client), SimDuration(20));
+        assert_eq!(b.kind(SpanKind::Server), SimDuration(20));
+        assert_eq!(b.kind(SpanKind::Db), SimDuration(30));
+        assert_eq!(b.kind(SpanKind::Security), SimDuration(30));
+        assert_eq!(b.component_sum(), SimDuration(100));
+    }
+
+    #[test]
+    fn same_kind_accumulates_and_overconsumed_parent_saturates() {
+        let spans = vec![
+            rec(1, None, SpanKind::Client, 0, 10),
+            // Children sum past the parent: parent self time saturates to 0.
+            rec(2, Some(1), SpanKind::Db, 0, 8),
+            rec(3, Some(1), SpanKind::Db, 2, 10),
+        ];
+        let b = self_time_breakdown(&spans);
+        assert_eq!(b.kind(SpanKind::Client), SimDuration::ZERO);
+        assert_eq!(b.kind(SpanKind::Db), SimDuration(16));
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let b = self_time_breakdown(&[]);
+        assert_eq!(b.total, SimDuration::ZERO);
+        assert_eq!(b.roots, 0);
+        assert!(b.self_time.is_empty());
+    }
+}

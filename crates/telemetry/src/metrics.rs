@@ -1,0 +1,258 @@
+//! The metrics registry: monotonic counters and virtual-time latency
+//! histograms, keyed by name plus sorted labels.
+//!
+//! Keys render to the conventional `name{k=v,...}` form and live in
+//! `BTreeMap`s, so snapshots iterate in a deterministic order — two runs of
+//! the same seed serialise to identical JSON.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ogsa_sim::SimDuration;
+use parking_lot::Mutex;
+
+/// Histogram bucket upper bounds, in virtual microseconds. Chosen to bracket
+/// the paper's operation range: sub-millisecond cache hits up to multi-second
+/// X.509 grid steps.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// A fixed-bucket latency histogram over virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    /// One count per bound in [`LATENCY_BUCKETS_US`], plus an overflow slot.
+    pub buckets: [u64; LATENCY_BUCKETS_US.len() + 1],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            buckets: [0; LATENCY_BUCKETS_US.len() + 1],
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, us: u64) {
+        self.count += 1;
+        self.sum_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean observation in virtual milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64 / 1000.0
+        }
+    }
+}
+
+/// A point-in-time copy of every counter and histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Value of one rendered counter key (`name{k=v,...}`), 0 if absent.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter series with this metric name, across all label
+    /// sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let prefix = format!("{name}{{");
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.as_str() == name || k.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// Shared registry of counters and histograms. Cloning shares the store.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// `name{k=v,...}` with labels sorted by key — the canonical series key.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort();
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add 1 to a counter series.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Add `delta` to a counter series.
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self
+            .inner
+            .counters
+            .lock()
+            .entry(series_key(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Current value of a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .get(&series_key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record one virtual-time observation in a histogram series.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], d: SimDuration) {
+        self.inner
+            .histograms
+            .lock()
+            .entry(series_key(name, labels))
+            .or_default()
+            .observe(d.as_micros());
+    }
+
+    /// Current state of a histogram series, if it has observations.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        self.inner
+            .histograms
+            .lock()
+            .get(&series_key(name, labels))
+            .cloned()
+    }
+
+    /// A deterministic-order copy of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        // Take both locks before copying either map so the snapshot is a
+        // single consistent cut, not two cuts a writer can slip between.
+        let counters = self.inner.counters.lock();
+        let histograms = self.inner.histograms.lock();
+        MetricsSnapshot {
+            counters: counters.clone(),
+            histograms: histograms.clone(),
+        }
+    }
+
+    /// Drop every series (a fresh measurement window).
+    pub fn clear(&self) {
+        let mut counters = self.inner.counters.lock();
+        let mut histograms = self.inner.histograms.lock();
+        counters.clear();
+        histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_keys_sort_labels() {
+        assert_eq!(series_key("hits", &[]), "hits");
+        assert_eq!(
+            series_key("hits", &[("z", "1"), ("a", "2")]),
+            "hits{a=2,z=1}"
+        );
+        assert_eq!(
+            series_key("hits", &[("a", "2"), ("z", "1")]),
+            "hits{a=2,z=1}"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_per_series() {
+        let m = MetricsRegistry::new();
+        m.inc("msgs", &[("stack", "wsrf")]);
+        m.inc("msgs", &[("stack", "wsrf")]);
+        m.add("msgs", &[("stack", "wxf")], 5);
+        assert_eq!(m.counter("msgs", &[("stack", "wsrf")]), 2);
+        assert_eq!(m.counter("msgs", &[("stack", "wxf")]), 5);
+        assert_eq!(m.counter("msgs", &[]), 0);
+        assert_eq!(m.snapshot().counter_total("msgs"), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let m = MetricsRegistry::new();
+        for us in [50, 900, 2_000_000] {
+            m.observe("lat", &[], SimDuration::from_micros(us));
+        }
+        let h = m.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min_us, 50);
+        assert_eq!(h.max_us, 2_000_000);
+        assert_eq!(h.buckets[0], 1); // <=100
+        assert_eq!(h.buckets[3], 1); // <=1000
+        assert_eq!(h.buckets[LATENCY_BUCKETS_US.len()], 1); // overflow
+        assert!((h.mean_ms() - (2_000_950.0 / 3.0 / 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_clear_resets() {
+        let m = MetricsRegistry::new();
+        m.inc("b", &[]);
+        m.inc("a", &[("x", "1")]);
+        let keys: Vec<_> = m.snapshot().counters.keys().cloned().collect();
+        assert_eq!(keys, ["a{x=1}", "b"]);
+        m.clear();
+        assert!(m.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        m.clone().inc("n", &[]);
+        assert_eq!(m.counter("n", &[]), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Trace-context propagation over the simulated wire.
+//!
+//! The active (trace, span) pair rides every outgoing envelope as two `tel:`
+//! SOAP headers next to the WS-Addressing `MessageID`/`RelatesTo` headers,
+//! so a receiving container — possibly on the one-way delivery worker
+//! thread — can re-join the sender's causal tree. Values are fixed-width
+//! hex ([`TraceId::to_hex`]) so the wire size of a message does not depend
+//! on how many spans a run happened to allocate first: byte counts, and the
+//! size-derived SOAP/sign/wire costs, stay identical across runs.
+
+use ogsa_soap::Envelope;
+use ogsa_xml::{ns, Element, QName};
+
+use crate::span::{SpanId, TraceId};
+
+fn trace_qname() -> QName {
+    QName::new(ns::TEL, "TraceId")
+}
+
+fn span_qname() -> QName {
+    QName::new(ns::TEL, "SpanId")
+}
+
+/// Stamp the context onto an envelope (before signing: the headers are
+/// covered by the WS-Security digest like any addressing header).
+pub fn inject(env: Envelope, trace: TraceId, span: SpanId) -> Envelope {
+    env.with_header(Element::text_element(trace_qname(), trace.to_hex()))
+        .with_header(Element::text_element(span_qname(), span.to_hex()))
+}
+
+/// Read the propagated context, if present and well-formed.
+pub fn extract(env: &Envelope) -> Option<(TraceId, SpanId)> {
+    let trace = TraceId::from_hex(&env.header(&trace_qname())?.text())?;
+    let span = SpanId::from_hex(&env.header(&span_qname())?.text())?;
+    Some((trace, span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_extract_roundtrip_survives_the_wire() {
+        let env = Envelope::new(Element::text_element("Ping", "x"));
+        let env = inject(env, TraceId(0xBEEF), SpanId(7));
+        let back = Envelope::from_wire(&env.to_wire()).unwrap();
+        assert_eq!(extract(&back), Some((TraceId(0xBEEF), SpanId(7))));
+    }
+
+    #[test]
+    fn missing_or_malformed_headers_extract_none() {
+        let env = Envelope::new(Element::new("Ping"));
+        assert_eq!(extract(&env), None);
+        let env = env.with_header(Element::text_element(trace_qname(), "zz"));
+        assert_eq!(extract(&env), None);
+    }
+
+    #[test]
+    fn wire_size_is_invariant_in_the_ids() {
+        let env = |t: u64, s: u64| {
+            inject(
+                Envelope::new(Element::text_element("Ping", "x")),
+                TraceId(t),
+                SpanId(s),
+            )
+            .wire_size()
+        };
+        assert_eq!(env(1, 2), env(u64::MAX, u64::MAX - 9));
+    }
+}

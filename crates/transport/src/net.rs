@@ -1,13 +1,14 @@
 //! The network: endpoint registry, ports, and the three bindings.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 use ogsa_sim::rng::mix64;
 use ogsa_sim::{CostModel, SimDuration, SimInstant, VirtualClock};
 use ogsa_soap::Envelope;
+use ogsa_telemetry::{Span, SpanId, SpanKind, Telemetry, TraceId};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::TransportError;
@@ -48,6 +49,18 @@ struct OnewayJob {
     /// `policy.max_attempts`, then dead-lettered. When absent the message
     /// is fire-and-forget: a lost attempt is simply lost.
     policy: Option<RetryPolicy>,
+    /// The sender's causal context, captured at send time: every delivery
+    /// attempt of this message becomes a child span of the span that sent
+    /// it, even when delivery happens on the worker thread.
+    trace: Option<(TraceId, SpanId)>,
+}
+
+/// Result of one delivery attempt of a one-way job.
+enum OnewayOutcome {
+    /// Delivered, lost for good, or dead-lettered.
+    Terminal,
+    /// Failed within the redelivery budget: deliver this job again.
+    Retry(OnewayJob),
 }
 
 struct NetInner {
@@ -72,6 +85,13 @@ struct NetInner {
     /// One-way messages accepted but not yet terminally resolved
     /// (delivered, dropped for good, or dead-lettered).
     pending_oneways: AtomicU64,
+    /// Causal tracing + metrics handle shared with the rest of the substrate.
+    tel: Telemetry,
+    /// When set, one-way sends deliver inline on the sender's thread instead
+    /// of the background worker, making a whole run single-threaded — the
+    /// mode the bench and determinism tests use so span timestamps (virtual
+    /// clock reads) are reproducible.
+    sync_oneways: AtomicBool,
 }
 
 /// The simulated network. Cloning shares the wire.
@@ -82,6 +102,14 @@ pub struct Network {
 
 impl Network {
     pub fn new(clock: VirtualClock, model: Arc<CostModel>) -> Self {
+        let tel = Telemetry::new(clock.clone());
+        Network::with_telemetry(clock, model, tel)
+    }
+
+    /// A network recording spans and metrics into a caller-provided
+    /// [`Telemetry`] handle (which should share `clock`, so span timestamps
+    /// and wire costs land on the same timeline).
+    pub fn with_telemetry(clock: VirtualClock, model: Arc<CostModel>, tel: Telemetry) -> Self {
         let inner = Arc::new(NetInner {
             clock,
             model,
@@ -95,6 +123,8 @@ impl Network {
             edge_seqs: Mutex::new(HashMap::new()),
             dead_letters: Mutex::new(Vec::new()),
             pending_oneways: AtomicU64::new(0),
+            tel,
+            sync_oneways: AtomicBool::new(false),
         });
         let net = Network { inner };
         net.start_oneway_worker();
@@ -117,8 +147,22 @@ impl Network {
                 while let Ok(job) = rx.recv() {
                     let Some(inner) = weak.upgrade() else { break };
                     let net = Network { inner };
-                    if net.deliver_oneway(job) {
-                        net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+                    match net.deliver_oneway(job) {
+                        OnewayOutcome::Terminal => {
+                            net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        OnewayOutcome::Retry(job) => {
+                            let requeued = net
+                                .inner
+                                .oneway_tx
+                                .lock()
+                                .as_ref()
+                                .map(|tx| tx.send(job).is_ok())
+                                .unwrap_or(false);
+                            if !requeued {
+                                net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
                     }
                 }
             })
@@ -166,6 +210,24 @@ impl Network {
 
     pub fn stats(&self) -> &NetStats {
         &self.inner.stats
+    }
+
+    /// The causal-tracing and metrics handle wired to this network.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.tel
+    }
+
+    /// Deliver one-way messages inline on the sender's thread instead of on
+    /// the background worker. The whole run becomes single-threaded, so the
+    /// virtual-clock timestamps in spans are deterministic and two runs of
+    /// the same seed produce byte-identical span dumps.
+    pub fn set_synchronous_oneways(&self, on: bool) {
+        self.inner.sync_oneways.store(on, Ordering::SeqCst);
+    }
+
+    /// Is inline (synchronous) one-way delivery active?
+    pub fn synchronous_oneways(&self) -> bool {
+        self.inner.sync_oneways.load(Ordering::SeqCst)
     }
 
     /// Enable/disable the HTTPS session cache (the paper's "socket caching").
@@ -263,11 +325,13 @@ impl Network {
             let cache_enabled = *self.inner.tls_session_cache.read();
             let mut sessions = self.inner.tls_sessions.lock();
             if cache_enabled && sessions.contains(&session_key) {
+                let _s = self.inner.tel.span(SpanKind::Security, "tls:resume");
                 self.inner
                     .clock
                     .advance(SimDuration::from_micros(m.tls_resume_us));
                 self.inner.stats.record_tls_resumption();
             } else {
+                let _s = self.inner.tel.span(SpanKind::Security, "tls:handshake");
                 self.inner
                     .clock
                     .advance(SimDuration::from_micros(m.tls_handshake_us));
@@ -290,15 +354,29 @@ impl Network {
         }
     }
 
-    /// Deliver one attempt of a one-way job. Returns `true` when the job
-    /// reached a terminal state (delivered, lost for good, or
-    /// dead-lettered); `false` when it was re-enqueued for redelivery.
-    fn deliver_oneway(&self, job: OnewayJob) -> bool {
+    /// Deliver one attempt of a one-way job. [`OnewayOutcome::Terminal`]
+    /// means the job resolved (delivered, lost for good, or dead-lettered);
+    /// [`OnewayOutcome::Retry`] hands the job back for its next attempt.
+    /// Each attempt is one `Delivery` span, joined to the sender's trace
+    /// when the job carries one; injected faults, backoffs, and dead
+    /// letters become span events.
+    fn deliver_oneway(&self, job: OnewayJob) -> OnewayOutcome {
         let m = self.inner.model.clone();
         let (scheme, to_host) = {
             let (s, h) = Self::scheme_and_host(&job.to);
             (s.to_owned(), h.to_owned())
         };
+        let tel = self.inner.tel.clone();
+        let mut span = match job.trace {
+            Some((trace, parent)) => {
+                tel.child_span(SpanKind::Delivery, "oneway:deliver", trace, Some(parent))
+            }
+            None => tel.span(SpanKind::Delivery, "oneway:deliver"),
+        };
+        span.set_attr("to", &job.to);
+        let attempt = job.attempt.to_string();
+        span.set_attr("attempt", &attempt);
+        tel.metrics().inc("oneway.attempts", &[("scheme", &scheme)]);
 
         // Judge this attempt. The draw folds the attempt number into the
         // sequence so each redelivery is judged independently, and salts
@@ -319,7 +397,8 @@ impl Network {
                 .clock
                 .advance(SimDuration::from_micros(m.tcp_connect_us));
             self.inner.stats.record_partition_refusal();
-            return self.fail_oneway_attempt(job, FaultKind::Partition);
+            span.event("fault:partition");
+            return self.fail_oneway_attempt(job, FaultKind::Partition, &mut span);
         }
 
         // Connection + per-send overhead: raw TCP (the WSE SoapReceiver
@@ -346,18 +425,22 @@ impl Network {
         if let Some(extra) = decision.delay {
             self.inner.clock.advance(extra);
             self.inner.stats.record_injected_delay();
+            let extra_us = extra.as_micros().to_string();
+            span.event_with("fault:delay", &[("extra_us", &extra_us)]);
         }
         self.charge_wire(job.wire.len(), &job.from_host, &to_host, &scheme);
         self.inner.stats.record_oneway(job.wire.len());
 
         if decision.drop {
             self.inner.stats.record_injected_drop();
-            return self.fail_oneway_attempt(job, FaultKind::Drop);
+            span.event("fault:drop");
+            return self.fail_oneway_attempt(job, FaultKind::Drop, &mut span);
         }
 
         // Receiver-side parse (of corrupted bytes, if garbled in flight).
         let parsed = if decision.garble {
             self.inner.stats.record_injected_garble();
+            span.event("fault:garble");
             let bad = plan
                 .as_ref()
                 .expect("garble implies an armed plan")
@@ -371,7 +454,7 @@ impl Network {
             // Fire-and-forget garbage is dropped silently, like UDP-ish
             // one-ways; reliable sends treat the missing ack as a failed
             // attempt and redeliver.
-            Err(_) => return self.fail_oneway_attempt(job, FaultKind::Garble),
+            Err(_) => return self.fail_oneway_attempt(job, FaultKind::Garble, &mut span),
         };
         self.inner.clock.advance(m.soap_time(job.wire.len()));
         let handler = {
@@ -384,7 +467,8 @@ impl Network {
         let Some(h) = handler else {
             // Nobody bound. A reliable send keeps trying — the subscriber
             // may heal within the redelivery budget.
-            return self.fail_oneway_attempt(job, FaultKind::Drop);
+            span.event("unbound_consumer");
+            return self.fail_oneway_attempt(job, FaultKind::Drop, &mut span);
         };
         if decision.duplicate {
             // A second copy of the same bytes arrives back-to-back.
@@ -395,22 +479,39 @@ impl Network {
             self.inner.stats.record_oneway(job.wire.len());
             self.inner.stats.record_injected_duplicate();
             self.inner.clock.advance(m.soap_time(job.wire.len()));
+            span.event("fault:duplicate");
+            tel.metrics().inc("oneway.delivered", &[("scheme", &scheme)]);
             h(env.clone());
         }
+        tel.metrics().inc("oneway.delivered", &[("scheme", &scheme)]);
         h(env);
-        true
+        OnewayOutcome::Terminal
     }
 
     /// A delivery attempt failed. Fire-and-forget jobs are simply lost;
-    /// reliable jobs back off and re-enqueue until the policy's budget is
-    /// exhausted, then land in the dead-letter record. Returns `true` when
-    /// the job is terminally resolved.
-    fn fail_oneway_attempt(&self, mut job: OnewayJob, reason: FaultKind) -> bool {
+    /// reliable jobs back off and come back as [`OnewayOutcome::Retry`]
+    /// until the policy's budget is exhausted, then land in the dead-letter
+    /// record. Every backoff and every dead letter is stamped on the
+    /// attempt's span and counted in the metrics registry.
+    fn fail_oneway_attempt(
+        &self,
+        mut job: OnewayJob,
+        reason: FaultKind,
+        span: &mut Span,
+    ) -> OnewayOutcome {
+        let metrics = self.inner.tel.metrics();
         let Some(policy) = job.policy.clone() else {
-            return true;
+            metrics.inc("oneway.lost", &[("reason", reason.label())]);
+            return OnewayOutcome::Terminal;
         };
         if job.attempt >= policy.max_attempts {
             self.inner.stats.record_dead_letter();
+            let attempts = job.attempt.to_string();
+            span.event_with(
+                "dead_letter",
+                &[("reason", reason.label()), ("attempts", &attempts)],
+            );
+            metrics.inc("oneway.dead_letters", &[("reason", reason.label())]);
             self.inner.dead_letters.lock().push(DeadLetter {
                 to: job.to.clone(),
                 from_host: job.from_host.clone(),
@@ -419,19 +520,20 @@ impl Network {
                 enqueued_at: job.enqueued_at,
                 wire_bytes: job.wire.len(),
             });
-            return true;
+            return OnewayOutcome::Terminal;
         }
         let backoff = policy.backoff(job.attempt);
+        let backoff_us = backoff.as_micros().to_string();
+        span.event_with(
+            "retry:backoff",
+            &[("reason", reason.label()), ("backoff_us", &backoff_us)],
+        );
         self.inner.clock.advance(backoff);
         self.inner.stats.record_retry();
+        metrics.inc("oneway.redeliveries", &[("reason", reason.label())]);
         job.logical_at = job.logical_at.plus(backoff);
         job.attempt += 1;
-        if let Some(tx) = self.inner.oneway_tx.lock().as_ref() {
-            let _ = tx.send(job);
-            false
-        } else {
-            true
-        }
+        OnewayOutcome::Retry(job)
     }
 }
 
@@ -491,9 +593,20 @@ impl Port {
             (s.to_owned(), h.to_owned())
         };
 
+        // One Wire span per exchange: connection, overhead, both wire
+        // crossings, and injected faults are its self time; SOAP codec work
+        // and the server pipeline nest under it as children.
+        let mut span = inner.tel.span(SpanKind::Wire, "net:call");
+        span.set_attr("to", address);
+        span.set_attr("scheme", &scheme);
+
         // Client-side serialisation.
-        let mut wire = request.to_wire();
-        inner.clock.advance(m.soap_time(wire.len()));
+        let mut wire = {
+            let _s = inner.tel.span(SpanKind::Soap, "soap:encode");
+            let wire = request.to_wire();
+            inner.clock.advance(m.soap_time(wire.len()));
+            wire
+        };
 
         // Judge this attempt before anything crosses the wire.
         let plan = inner.fault_plan.read().clone();
@@ -511,7 +624,8 @@ impl Port {
                 .clock
                 .advance(SimDuration::from_micros(m.tcp_connect_us));
             inner.stats.record_partition_refusal();
-            return self.lost_request(address, deadline);
+            span.event("fault:partition");
+            return self.lost_request(address, deadline, &mut span);
         }
 
         // Connection + HTTP round-trip overhead.
@@ -527,15 +641,20 @@ impl Port {
         if decision.drop {
             // The request vanished in flight; the client waits in vain.
             inner.stats.record_injected_drop();
-            return self.lost_request(address, deadline);
+            span.event("fault:drop");
+            return self.lost_request(address, deadline, &mut span);
         }
         if let Some(extra) = decision.delay {
             inner.stats.record_injected_delay();
+            let extra_us = extra.as_micros().to_string();
+            span.event_with("fault:delay", &[("extra_us", &extra_us)]);
             if let Some(d) = deadline {
                 if extra >= d {
                     // The reply would land after the caller gave up.
                     inner.clock.advance(d);
                     inner.stats.record_timeout();
+                    span.event("timeout");
+                    inner.tel.metrics().inc("net.timeouts", &[]);
                     return Err(TransportError::Timeout {
                         address: address.to_owned(),
                         after: d,
@@ -546,6 +665,7 @@ impl Port {
         }
         if decision.garble {
             inner.stats.record_injected_garble();
+            span.event("fault:garble");
             wire = plan
                 .as_ref()
                 .expect("garble implies an armed plan")
@@ -553,10 +673,14 @@ impl Port {
         }
 
         // Server-side parse.
-        let parsed = Envelope::from_wire(&wire).map_err(|e| TransportError::WireGarbage {
-            detail: e.to_string(),
-        })?;
-        inner.clock.advance(m.soap_time(wire.len()));
+        let parsed = {
+            let _s = inner.tel.span(SpanKind::Soap, "soap:decode");
+            let parsed = Envelope::from_wire(&wire).map_err(|e| TransportError::WireGarbage {
+                detail: e.to_string(),
+            })?;
+            inner.clock.advance(m.soap_time(wire.len()));
+            parsed
+        };
 
         // Locate and invoke the handler without holding the registry lock
         // (handlers make nested outcalls).
@@ -574,11 +698,16 @@ impl Port {
         let response = handler(parsed);
 
         // Server-side serialisation, response wire, client-side parse.
-        let resp_wire = response.to_wire();
-        inner.clock.advance(m.soap_time(resp_wire.len()));
+        let resp_wire = {
+            let _s = inner.tel.span(SpanKind::Soap, "soap:encode");
+            let resp_wire = response.to_wire();
+            inner.clock.advance(m.soap_time(resp_wire.len()));
+            resp_wire
+        };
         self.net
             .charge_wire(resp_wire.len(), &to_host, &self.host, &scheme);
         inner.stats.record_response(resp_wire.len());
+        let _s = inner.tel.span(SpanKind::Soap, "soap:decode");
         let resp = Envelope::from_wire(&resp_wire).map_err(|e| TransportError::WireGarbage {
             detail: e.to_string(),
         })?;
@@ -593,19 +722,25 @@ impl Port {
         &self,
         address: &str,
         deadline: Option<SimDuration>,
+        span: &mut Span,
     ) -> Result<Envelope, TransportError> {
         match deadline {
             Some(d) => {
                 self.net.inner.clock.advance(d);
                 self.net.inner.stats.record_timeout();
+                span.event("timeout");
+                self.net.inner.tel.metrics().inc("net.timeouts", &[]);
                 Err(TransportError::Timeout {
                     address: address.to_owned(),
                     after: d,
                 })
             }
-            None => Err(TransportError::Dropped {
-                address: address.to_owned(),
-            }),
+            None => {
+                span.event("dropped");
+                Err(TransportError::Dropped {
+                    address: address.to_owned(),
+                })
+            }
         }
     }
 
@@ -626,14 +761,24 @@ impl Port {
         message: Envelope,
         policy: Option<RetryPolicy>,
     ) {
-        let wire = message.to_wire();
+        let inner = &self.net.inner;
+        let (scheme, _) = Network::scheme_and_host(address);
+        // Capture the sender's causal context now: delivery attempts — on
+        // whatever thread — become children of the span doing the send.
+        let trace = inner.tel.current();
         // Sender-side serialisation happens on the caller's thread, and so
         // does the sequence draw — fault decisions for this message are
         // fixed at send time, whatever the worker thread is up to.
-        self.net.inner.clock.advance(self.net.inner.model.soap_time(wire.len()));
+        let wire = {
+            let _s = inner.tel.span(SpanKind::Soap, "soap:encode");
+            let wire = message.to_wire();
+            inner.clock.advance(inner.model.soap_time(wire.len()));
+            wire
+        };
+        inner.tel.metrics().inc("oneway.sent", &[("scheme", scheme)]);
         let seq = self.net.next_edge_seq(&self.host, address);
-        let now = self.net.inner.clock.now();
-        let job = OnewayJob {
+        let now = inner.clock.now();
+        let mut job = OnewayJob {
             to: address.to_owned(),
             wire,
             from_host: self.host.clone(),
@@ -642,12 +787,23 @@ impl Port {
             logical_at: now,
             attempt: 1,
             policy,
+            trace,
         };
-        self.net.inner.pending_oneways.fetch_add(1, Ordering::SeqCst);
-        if let Some(tx) = self.net.inner.oneway_tx.lock().as_ref() {
+        if inner.sync_oneways.load(Ordering::SeqCst) {
+            // Inline delivery: the attempt (and any redeliveries) resolve
+            // before this send returns, on the caller's thread and clock.
+            loop {
+                match self.net.deliver_oneway(job) {
+                    OnewayOutcome::Terminal => return,
+                    OnewayOutcome::Retry(next) => job = next,
+                }
+            }
+        }
+        inner.pending_oneways.fetch_add(1, Ordering::SeqCst);
+        if let Some(tx) = inner.oneway_tx.lock().as_ref() {
             let _ = tx.send(job);
         } else {
-            self.net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+            inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -1035,6 +1191,88 @@ mod tests {
         assert_eq!(dead.len(), 1);
         assert_eq!(dead[0].attempts, 3);
         assert_eq!(dead[0].reason, FaultKind::Drop);
+    }
+
+    #[test]
+    fn synchronous_oneways_deliver_inline_with_spans() {
+        let net = Network::free();
+        net.set_synchronous_oneways(true);
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = hits.clone();
+        net.bind_oneway(
+            "tcp://c/notify",
+            Arc::new(move |_| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        net.port("h")
+            .send_oneway("tcp://c/notify", Envelope::new(Element::new("N")));
+        // No quiesce needed: inline delivery resolved before send returned.
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(net.pending_oneways(), 0);
+        let spans = net.telemetry().finished_spans();
+        assert!(spans.iter().any(|s| s.name == "oneway:deliver"));
+        assert_eq!(
+            net.telemetry().metrics().counter("oneway.delivered", &[("scheme", "tcp")]),
+            1
+        );
+    }
+
+    #[test]
+    fn calls_open_wire_spans_with_fault_events() {
+        let net = Network::free();
+        net.bind("http://h/svc", echo_handler());
+        net.set_fault_plan(FaultPlan::seeded(1).with_drops(1.0));
+        let _ = net
+            .port("h")
+            .call("http://h/svc", Envelope::new(Element::new("X")));
+        let spans = net.telemetry().finished_spans();
+        let wire = spans.iter().find(|s| s.name == "net:call").unwrap();
+        assert!(wire.has_event("fault:drop"));
+        assert!(wire.has_event("dropped"));
+    }
+
+    #[test]
+    fn dead_letters_reach_metrics_and_span_events() {
+        let net = Network::free();
+        net.set_synchronous_oneways(true);
+        let policy = RetryPolicy::default_redelivery(9).with_max_attempts(2);
+        net.port("h").send_oneway_with_policy(
+            "tcp://c/nobody",
+            Envelope::new(Element::new("N")),
+            Some(policy),
+        );
+        assert_eq!(net.dead_letters().len(), 1);
+        let m = net.telemetry().metrics().snapshot();
+        assert_eq!(m.counter_total("oneway.dead_letters"), 1);
+        assert_eq!(m.counter_total("oneway.redeliveries"), 1);
+        assert_eq!(m.counter_total("oneway.attempts"), 2);
+        let spans = net.telemetry().finished_spans();
+        assert!(spans.iter().any(|s| s.has_event("dead_letter")));
+        assert!(spans.iter().any(|s| s.has_event("retry:backoff")));
+        // The exhausted budget must survive into the exported artifacts.
+        let trace = ogsa_telemetry::export::spans_to_chrome_trace(&spans);
+        assert!(trace.contains("\"name\":\"dead_letter\""));
+        assert!(trace.contains("\"name\":\"retry:backoff\""));
+        let metrics = ogsa_telemetry::export::metrics_to_json(&m);
+        assert!(metrics.contains("oneway.dead_letters"));
+    }
+
+    #[test]
+    fn oneway_attempts_join_the_senders_trace() {
+        let net = Network::free();
+        net.set_synchronous_oneways(true);
+        net.bind_oneway("tcp://c/notify", Arc::new(|_| {}));
+        let tel = net.telemetry().clone();
+        let root = tel.span(ogsa_telemetry::SpanKind::Client, "send");
+        let root_trace = root.trace_id().unwrap();
+        net.port("h")
+            .send_oneway("tcp://c/notify", Envelope::new(Element::new("N")));
+        drop(root);
+        let spans = tel.finished_spans();
+        let deliver = spans.iter().find(|s| s.name == "oneway:deliver").unwrap();
+        assert_eq!(deliver.trace, root_trace);
+        assert!(deliver.parent.is_some());
     }
 
     #[test]

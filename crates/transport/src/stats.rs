@@ -1,34 +1,19 @@
 //! Message counters — the instrument behind the paper's §3.1 claim that
 //! demand-based brokered publishing generates "an order of magnitude" more
 //! messages than any other interaction.
+//!
+//! The counters live behind a single mutex rather than per-field atomics so
+//! [`NetStats::snapshot`] is a *consistent cut*: no snapshot can observe a
+//! request whose bytes have not landed yet, which the chaos and determinism
+//! tests compare snapshots across runs rely on.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Shared counters for everything that crosses the simulated wire.
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
-    inner: Arc<Inner>,
-}
-
-#[derive(Debug, Default)]
-struct Inner {
-    requests: AtomicU64,
-    responses: AtomicU64,
-    oneways: AtomicU64,
-    bytes: AtomicU64,
-    tls_handshakes: AtomicU64,
-    tls_resumptions: AtomicU64,
-    connects: AtomicU64,
-    // Fault-injection and recovery counters.
-    injected_drops: AtomicU64,
-    injected_delays: AtomicU64,
-    injected_duplicates: AtomicU64,
-    injected_garbles: AtomicU64,
-    partition_refusals: AtomicU64,
-    timeouts: AtomicU64,
-    retries: AtomicU64,
-    dead_letters: AtomicU64,
+    inner: Arc<Mutex<NetStatsSnapshot>>,
 }
 
 /// A plain-data copy of every counter, for equality assertions in
@@ -69,133 +54,133 @@ impl NetStats {
     }
 
     pub(crate) fn record_request(&self, bytes: usize) {
-        self.inner.requests.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut s = self.inner.lock();
+        s.requests += 1;
+        s.bytes += bytes as u64;
     }
 
     pub(crate) fn record_response(&self, bytes: usize) {
-        self.inner.responses.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut s = self.inner.lock();
+        s.responses += 1;
+        s.bytes += bytes as u64;
     }
 
     pub(crate) fn record_oneway(&self, bytes: usize) {
-        self.inner.oneways.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut s = self.inner.lock();
+        s.oneways += 1;
+        s.bytes += bytes as u64;
     }
 
     pub(crate) fn record_tls_handshake(&self) {
-        self.inner.tls_handshakes.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().tls_handshakes += 1;
     }
 
     pub(crate) fn record_tls_resumption(&self) {
-        self.inner.tls_resumptions.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().tls_resumptions += 1;
     }
 
     pub(crate) fn record_connect(&self) {
-        self.inner.connects.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().connects += 1;
     }
 
     pub fn requests(&self) -> u64 {
-        self.inner.requests.load(Ordering::Relaxed)
+        self.inner.lock().requests
     }
 
     pub fn responses(&self) -> u64 {
-        self.inner.responses.load(Ordering::Relaxed)
+        self.inner.lock().responses
     }
 
     pub fn oneways(&self) -> u64 {
-        self.inner.oneways.load(Ordering::Relaxed)
+        self.inner.lock().oneways
     }
 
     /// Total SOAP messages on the wire (requests + responses + one-ways).
     pub fn messages(&self) -> u64 {
-        self.requests() + self.responses() + self.oneways()
+        let s = self.inner.lock();
+        s.requests + s.responses + s.oneways
     }
 
     pub fn bytes(&self) -> u64 {
-        self.inner.bytes.load(Ordering::Relaxed)
+        self.inner.lock().bytes
     }
 
     pub fn tls_handshakes(&self) -> u64 {
-        self.inner.tls_handshakes.load(Ordering::Relaxed)
+        self.inner.lock().tls_handshakes
     }
 
     pub fn tls_resumptions(&self) -> u64 {
-        self.inner.tls_resumptions.load(Ordering::Relaxed)
+        self.inner.lock().tls_resumptions
     }
 
     pub fn connects(&self) -> u64 {
-        self.inner.connects.load(Ordering::Relaxed)
+        self.inner.lock().connects
     }
 
     pub(crate) fn record_injected_drop(&self) {
-        self.inner.injected_drops.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().injected_drops += 1;
     }
 
     pub(crate) fn record_injected_delay(&self) {
-        self.inner.injected_delays.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().injected_delays += 1;
     }
 
     pub(crate) fn record_injected_duplicate(&self) {
-        self.inner
-            .injected_duplicates
-            .fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().injected_duplicates += 1;
     }
 
     pub(crate) fn record_injected_garble(&self) {
-        self.inner.injected_garbles.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().injected_garbles += 1;
     }
 
     pub(crate) fn record_partition_refusal(&self) {
-        self.inner
-            .partition_refusals
-            .fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().partition_refusals += 1;
     }
 
     pub(crate) fn record_timeout(&self) {
-        self.inner.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().timeouts += 1;
     }
 
     /// Public: the retry layer lives above the transport (`ClientAgent`),
     /// but its attempts belong in the same wire-level ledger.
     pub fn record_retry(&self) {
-        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().retries += 1;
     }
 
     pub(crate) fn record_dead_letter(&self) {
-        self.inner.dead_letters.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().dead_letters += 1;
     }
 
     pub fn injected_drops(&self) -> u64 {
-        self.inner.injected_drops.load(Ordering::Relaxed)
+        self.inner.lock().injected_drops
     }
 
     pub fn injected_delays(&self) -> u64 {
-        self.inner.injected_delays.load(Ordering::Relaxed)
+        self.inner.lock().injected_delays
     }
 
     pub fn injected_duplicates(&self) -> u64 {
-        self.inner.injected_duplicates.load(Ordering::Relaxed)
+        self.inner.lock().injected_duplicates
     }
 
     pub fn injected_garbles(&self) -> u64 {
-        self.inner.injected_garbles.load(Ordering::Relaxed)
+        self.inner.lock().injected_garbles
     }
 
     pub fn partition_refusals(&self) -> u64 {
-        self.inner.partition_refusals.load(Ordering::Relaxed)
+        self.inner.lock().partition_refusals
     }
 
     pub fn timeouts(&self) -> u64 {
-        self.inner.timeouts.load(Ordering::Relaxed)
+        self.inner.lock().timeouts
     }
 
     pub fn retries(&self) -> u64 {
-        self.inner.retries.load(Ordering::Relaxed)
+        self.inner.lock().retries
     }
 
     pub fn dead_letters(&self) -> u64 {
-        self.inner.dead_letters.load(Ordering::Relaxed)
+        self.inner.lock().dead_letters
     }
 
     /// Total injected faults of every kind.
@@ -203,25 +188,9 @@ impl NetStats {
         self.snapshot().faults_injected()
     }
 
-    /// A plain-data copy of every counter.
+    /// An atomically-consistent plain-data copy of every counter.
     pub fn snapshot(&self) -> NetStatsSnapshot {
-        NetStatsSnapshot {
-            requests: self.requests(),
-            responses: self.responses(),
-            oneways: self.oneways(),
-            bytes: self.bytes(),
-            tls_handshakes: self.tls_handshakes(),
-            tls_resumptions: self.tls_resumptions(),
-            connects: self.connects(),
-            injected_drops: self.injected_drops(),
-            injected_delays: self.injected_delays(),
-            injected_duplicates: self.injected_duplicates(),
-            injected_garbles: self.injected_garbles(),
-            partition_refusals: self.partition_refusals(),
-            timeouts: self.timeouts(),
-            retries: self.retries(),
-            dead_letters: self.dead_letters(),
-        }
+        *self.inner.lock()
     }
 }
 
@@ -279,5 +248,28 @@ mod tests {
         assert_eq!(a.snapshot(), b.snapshot());
         b.record_retry();
         assert_ne!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_is_a_consistent_cut() {
+        // A request's count and bytes land together: concurrent snapshots
+        // never see requests advanced without the matching bytes.
+        let s = NetStats::new();
+        let writer = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    s.record_request(7);
+                }
+            })
+        };
+        for _ in 0..200 {
+            let snap = s.snapshot();
+            assert_eq!(snap.bytes, snap.requests * 7);
+        }
+        writer.join().unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 1_000);
+        assert_eq!(snap.bytes, 7_000);
     }
 }

@@ -89,6 +89,11 @@ impl NotificationProducer {
                 message.clone()
             };
             self.agent.send_oneway(&sub.consumer, actions::NOTIFY, body);
+            self.agent
+                .network()
+                .telemetry()
+                .metrics()
+                .inc("notify.sent", &[("stack", "wsn")]);
             delivered += 1;
         }
         delivered

@@ -58,6 +58,9 @@ pub mod ns {
     pub const GRIDBOX: &str = "http://virginia.edu/ogsa/gridbox";
     /// Namespace used by the counter ("hello world") services.
     pub const COUNTER: &str = "http://virginia.edu/ogsa/counter";
+    /// Telemetry trace-context headers (trace/span ids riding alongside the
+    /// WS-Addressing message-information headers).
+    pub const TEL: &str = "http://virginia.edu/ogsa/telemetry";
 
     /// Suggested serialisation prefix for a well-known namespace, if any.
     pub fn preferred_prefix(uri: &str) -> Option<&'static str> {
@@ -79,6 +82,7 @@ pub mod ns {
             XSI => "xsi",
             GRIDBOX => "gib",
             COUNTER => "cnt",
+            TEL => "tel",
             _ => return None,
         })
     }

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ogsa_sim::SimDuration;
+use ogsa_telemetry::SpanKind;
 use ogsa_xml::Element;
 use parking_lot::Mutex;
 
@@ -51,6 +52,11 @@ impl ResourceCache {
     pub fn get(&self, key: &str) -> Option<Element> {
         if self.enabled {
             if let Some(doc) = self.cache.lock().get(key) {
+                let mut s = self
+                    .collection
+                    .telemetry()
+                    .span(SpanKind::Db, "db:cache_hit");
+                s.set_attr("collection", self.collection.name());
                 self.collection.clock().advance(self.hit_cost);
                 self.collection.stats().bump_cache_hits();
                 return Some(doc.clone());

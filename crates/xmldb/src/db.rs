@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use ogsa_sim::{CostModel, VirtualClock};
+use ogsa_telemetry::{SpanKind, Telemetry};
 use ogsa_xml::{Element, XPath, XPathContext};
 use parking_lot::RwLock;
 
@@ -25,12 +26,24 @@ struct DbInner {
     model: Arc<CostModel>,
     default_backend: BackendKind,
     stats: DbStats,
+    tel: Telemetry,
 }
 
 impl Database {
     /// A database with the given clock/model and default backend for new
-    /// collections.
+    /// collections. Not traced — see [`Database::with_telemetry`].
     pub fn new(clock: VirtualClock, model: Arc<CostModel>, default_backend: BackendKind) -> Self {
+        Database::with_telemetry(clock, model, default_backend, Telemetry::disabled())
+    }
+
+    /// A database whose operations open `db` spans in `tel` (which should
+    /// share `clock`, so span durations line up with charged costs).
+    pub fn with_telemetry(
+        clock: VirtualClock,
+        model: Arc<CostModel>,
+        default_backend: BackendKind,
+        tel: Telemetry,
+    ) -> Self {
         Database {
             inner: Arc::new(DbInner {
                 collections: RwLock::new(HashMap::new()),
@@ -38,6 +51,7 @@ impl Database {
                 model,
                 default_backend,
                 stats: DbStats::new(),
+                tel,
             }),
         }
     }
@@ -72,6 +86,7 @@ impl Database {
                     profile: backend.cost_profile(&self.inner.model),
                     backend,
                     stats: self.inner.stats.clone(),
+                    tel: self.inner.tel.clone(),
                 })
             })
             .clone()
@@ -121,6 +136,7 @@ pub struct Collection {
     profile: CostProfile,
     backend: BackendKind,
     stats: DbStats,
+    tel: Telemetry,
 }
 
 impl Collection {
@@ -128,8 +144,16 @@ impl Collection {
         &self.name
     }
 
+    /// One `db` span per charged operation, labelled with the collection.
+    fn op_span(&self, name: &'static str) -> ogsa_telemetry::Span {
+        let mut span = self.tel.span(SpanKind::Db, name);
+        span.set_attr("collection", &self.name);
+        span
+    }
+
     /// Insert a new document; fails on duplicate key.
     pub fn insert(&self, key: &str, doc: Element) -> Result<(), DbError> {
+        let _s = self.op_span("db:insert");
         self.clock.advance(self.profile.insert);
         self.stats.bump_inserts();
         let mut docs = self.docs.write();
@@ -146,6 +170,7 @@ impl Collection {
 
     /// Read a document by key.
     pub fn get(&self, key: &str) -> Option<Element> {
+        let _s = self.op_span("db:read");
         self.clock.advance(self.profile.read);
         self.stats.bump_reads();
         self.docs.read().get(key).cloned()
@@ -153,6 +178,7 @@ impl Collection {
 
     /// Replace an existing document; fails if the key is absent.
     pub fn update(&self, key: &str, doc: Element) -> Result<(), DbError> {
+        let _s = self.op_span("db:update");
         self.clock.advance(self.profile.update);
         self.stats.bump_updates();
         let mut docs = self.docs.write();
@@ -181,6 +207,7 @@ impl Collection {
 
     /// Delete a document, returning it if present.
     pub fn remove(&self, key: &str) -> Option<Element> {
+        let _s = self.op_span("db:delete");
         self.clock.advance(self.profile.delete);
         self.stats.bump_deletes();
         let removed = self.docs.write().remove(key);
@@ -192,6 +219,7 @@ impl Collection {
 
     /// True if the key exists (charged as a read).
     pub fn contains(&self, key: &str) -> bool {
+        let _s = self.op_span("db:read");
         self.clock.advance(self.profile.read);
         self.stats.bump_reads();
         self.docs.read().contains_key(key)
@@ -254,6 +282,7 @@ impl Collection {
     }
 
     fn charge_query(&self, ndocs: usize) {
+        let _s = self.op_span("db:query");
         self.clock
             .advance(self.profile.query_fixed + self.profile.query_per_doc * ndocs as u64);
         self.stats.bump_queries();
@@ -261,6 +290,10 @@ impl Collection {
 
     pub(crate) fn stats(&self) -> &DbStats {
         &self.stats
+    }
+
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     pub(crate) fn clock(&self) -> &VirtualClock {

@@ -49,3 +49,60 @@ fn broker_amplification_is_deterministic() {
     let b = ogsa_grid::ablation::broker_amplification(2);
     assert_eq!(a, b);
 }
+
+/// Run a chaotic counter workload under full tracing and dump the span
+/// forest. In synchronous-delivery mode every delivery (and every injected
+/// fault, backoff, and redelivery) happens inline on one thread against the
+/// virtual clock, so the dump is a pure function of the seed.
+fn traced_span_dump(seed: u64) -> String {
+    use ogsa_grid::container::Testbed;
+    use ogsa_grid::counter::{CounterApi, WsrfCounter};
+    use ogsa_grid::sim::SimDuration;
+    use ogsa_grid::telemetry::export::spans_to_jsonl;
+    use ogsa_grid::transport::{FaultPlan, RetryPolicy};
+    use std::time::Duration;
+
+    let tb = Testbed::calibrated();
+    tb.network().set_synchronous_oneways(true);
+    tb.network().set_fault_plan(
+        FaultPlan::seeded(seed)
+            .with_drops(0.15)
+            .with_delays(0.2, SimDuration::from_millis(5.0))
+            .with_duplicates(0.1),
+    );
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let agent = tb
+        .client("host-b", "CN=alice,O=UVA-VO", SecurityPolicy::None)
+        .with_retry(RetryPolicy::default_call(seed).with_max_attempts(10))
+        .with_redelivery(RetryPolicy::default_redelivery(seed).with_max_attempts(6));
+    let api = WsrfCounter::deploy(&container).client(agent);
+
+    let c = api.create().expect("create");
+    let waiter = api.subscribe(&c).expect("subscribe");
+    for i in 0..6 {
+        api.set(&c, i).expect("set");
+        // A notification can be legitimately lost to an exhausted
+        // redelivery budget; the dump still records every attempt.
+        let _ = waiter.wait(Duration::from_millis(100));
+    }
+    api.get(&c).expect("get");
+    api.destroy(&c).expect("destroy");
+    spans_to_jsonl(&tb.telemetry().take_spans())
+}
+
+#[test]
+fn same_seed_span_dumps_are_byte_identical() {
+    let a = traced_span_dump(11);
+    let b = traced_span_dump(11);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must replay byte-identically");
+}
+
+#[test]
+fn different_seeds_produce_different_span_dumps() {
+    assert_ne!(
+        traced_span_dump(11),
+        traced_span_dump(12),
+        "different fault schedules must leave different traces"
+    );
+}
