@@ -212,8 +212,8 @@ mod tests {
 
     #[test]
     fn empty_resource_id_reads_as_empty_string() {
-        let epr = EndpointReference::service("http://h/s")
-            .with_ref_property(Element::new(RESOURCE_ID));
+        let epr =
+            EndpointReference::service("http://h/s").with_ref_property(Element::new(RESOURCE_ID));
         assert_eq!(epr.resource_id(), Some(""));
     }
 

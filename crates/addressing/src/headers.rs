@@ -26,7 +26,11 @@ pub struct MessageHeaders {
 
 impl MessageHeaders {
     /// Headers for a request to `target` with the given action URI.
-    pub fn request(target: &EndpointReference, action: impl Into<String>, message_id: impl Into<String>) -> Self {
+    pub fn request(
+        target: &EndpointReference,
+        action: impl Into<String>,
+        message_id: impl Into<String>,
+    ) -> Self {
         MessageHeaders {
             to: target.address.clone(),
             action: action.into(),
@@ -72,8 +76,10 @@ impl MessageHeaders {
             .push(Element::text_element(q("To"), self.to.clone()));
         env.headers
             .push(Element::text_element(q("Action"), self.action.clone()));
-        env.headers
-            .push(Element::text_element(q("MessageID"), self.message_id.clone()));
+        env.headers.push(Element::text_element(
+            q("MessageID"),
+            self.message_id.clone(),
+        ));
         if let Some(r) = &self.reply_to {
             env.headers.push(r.to_element_named(q("ReplyTo")));
         }
@@ -94,8 +100,7 @@ impl MessageHeaders {
         let q = |l: &str| QName::new(ns::WSA, l);
         let text = |l: &str| env.header(&q(l)).map(|h| h.text());
         let to = text("To").ok_or_else(|| XmlError::Schema("missing wsa:To".into()))?;
-        let action =
-            text("Action").ok_or_else(|| XmlError::Schema("missing wsa:Action".into()))?;
+        let action = text("Action").ok_or_else(|| XmlError::Schema("missing wsa:Action".into()))?;
         let message_id = text("MessageID").unwrap_or_default();
         let reply_to = env
             .header(&q("ReplyTo"))
@@ -166,10 +171,7 @@ mod tests {
         assert_eq!(back.action, "urn:get");
         assert_eq!(back.message_id, "msg-1");
         assert_eq!(back.resource_id(), Some("c-7"));
-        assert_eq!(
-            back.reply_to.unwrap().address,
-            "http://client/notify"
-        );
+        assert_eq!(back.reply_to.unwrap().address, "http://client/notify");
     }
 
     #[test]
@@ -199,8 +201,10 @@ mod tests {
     fn telemetry_headers_are_not_reference_properties() {
         let h = MessageHeaders::request(&target(), "urn:get", "m");
         let mut env = h.apply(Envelope::new(Element::new("Get")));
-        env.headers
-            .push(Element::text_element(QName::new(ns::TEL, "TraceId"), "00ff"));
+        env.headers.push(Element::text_element(
+            QName::new(ns::TEL, "TraceId"),
+            "00ff",
+        ));
         env.headers
             .push(Element::text_element(QName::new(ns::TEL, "SpanId"), "00aa"));
         let back = MessageHeaders::extract(&env).unwrap();

@@ -19,7 +19,13 @@ fn arb_epr() -> impl Strategy<Value = EndpointReference> {
         arb_host(),
         proptest::string::string_regex("[a-z]{1,8}(/[a-z]{1,8}){0,2}").unwrap(),
         proptest::option::of(arb_id()),
-        proptest::collection::vec((proptest::string::string_regex("[A-Za-z]{1,10}").unwrap(), arb_id()), 0..3),
+        proptest::collection::vec(
+            (
+                proptest::string::string_regex("[A-Za-z]{1,10}").unwrap(),
+                arb_id(),
+            ),
+            0..3,
+        ),
     )
         .prop_map(|(host, path, rid, props)| {
             let mut epr = EndpointReference::service(format!("http://{host}/{path}"));

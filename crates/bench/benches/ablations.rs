@@ -12,8 +12,11 @@ fn bench_resource_cache(c: &mut Criterion) {
     for (label, enabled) in [("set_with_cache", true), ("set_without_cache", false)] {
         let tb = Testbed::calibrated();
         let container = tb.container("host-a", SecurityPolicy::None);
-        let api = WsrfCounter::deploy_with_cache(&container, enabled)
-            .client(tb.client("host-b", "CN=a", SecurityPolicy::None));
+        let api = WsrfCounter::deploy_with_cache(&container, enabled).client(tb.client(
+            "host-b",
+            "CN=a",
+            SecurityPolicy::None,
+        ));
         let counter = api.create().expect("create");
         let mut i = 0i64;
         group.bench_function(label, |b| {
@@ -33,8 +36,11 @@ fn bench_tls_session_cache(c: &mut Criterion) {
         let tb = Testbed::calibrated();
         tb.network().set_tls_session_cache(enabled);
         let container = tb.container("host-a", SecurityPolicy::Https);
-        let api = TransferCounter::deploy(&container)
-            .client(tb.client("host-b", "CN=a", SecurityPolicy::Https));
+        let api = TransferCounter::deploy(&container).client(tb.client(
+            "host-b",
+            "CN=a",
+            SecurityPolicy::Https,
+        ));
         let counter = api.create().expect("create");
         group.bench_function(label, |b| {
             b.iter(|| {

@@ -16,7 +16,8 @@ fn full_flow(s: &mut dyn GridScenario) {
     s.get_available_resource("blast").expect("discover");
     s.make_reservation().expect("reserve");
     s.upload_file("input.dat", 8 * 1024).expect("upload");
-    s.instantiate_job(SimDuration::from_millis(100.0)).expect("start");
+    s.instantiate_job(SimDuration::from_millis(100.0))
+        .expect("start");
     s.finish_job(Duration::from_secs(10)).expect("finish");
     s.delete_file("input.dat").expect("delete");
     s.unreserve_resource().expect("unreserve");

@@ -16,9 +16,21 @@ fn main() {
     println!("ogsa-grid: full evaluation regeneration\n");
 
     for (figure, caption, policy) in [
-        ("Figure 2", "Testing \"Hello World\" with no security", SecurityPolicy::None),
-        ("Figure 3", "Testing \"Hello World\" over HTTPS", SecurityPolicy::Https),
-        ("Figure 4", "Testing \"Hello World\" with X.509 Signing", SecurityPolicy::X509Sign),
+        (
+            "Figure 2",
+            "Testing \"Hello World\" with no security",
+            SecurityPolicy::None,
+        ),
+        (
+            "Figure 3",
+            "Testing \"Hello World\" over HTTPS",
+            SecurityPolicy::Https,
+        ),
+        (
+            "Figure 4",
+            "Testing \"Hello World\" with X.509 Signing",
+            SecurityPolicy::X509Sign,
+        ),
     ] {
         let rows = print_hello_figure(figure, caption, policy);
         print_hello_summary(&rows);
@@ -33,7 +45,10 @@ fn main() {
 
     println!("§3.1 demand-based broker message amplification");
     for consumers in [1, 2, 4] {
-        println!("  {}", report::render_broker(&ablation::broker_amplification(consumers)));
+        println!(
+            "  {}",
+            report::render_broker(&ablation::broker_amplification(consumers))
+        );
     }
     println!();
 

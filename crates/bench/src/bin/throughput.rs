@@ -1,0 +1,66 @@
+//! The throughput bench: the multi-client closed-loop sweep over client
+//! count × storage shard count, per stack, written to
+//! `BENCH_throughput.json`.
+//!
+//! Exits nonzero if the scaling invariant regressed — for the counter
+//! workload at ≥ 8 clients, requests per virtual second must be
+//! non-decreasing in the shard count and strictly better at the largest
+//! shard count than at the smallest, for both stacks. Pass an output
+//! directory as the first argument (default: current directory).
+
+use std::process::ExitCode;
+
+use ogsa_core::throughput::{self, ThroughputConfig};
+
+fn main() -> ExitCode {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+
+    let config = ThroughputConfig::default();
+    let rows = throughput::run(&config);
+    let violations = throughput::check_scaling_invariants(&rows);
+
+    println!(
+        "{:<8} {:<26} {:>7} {:>6} {:>8} {:>12} {:>12} {:>10}",
+        "workload", "stack", "clients", "shards", "requests", "demand ms", "busy ms", "rps"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<26} {:>7} {:>6} {:>8} {:>12.1} {:>12.1} {:>10.1}",
+            r.workload,
+            r.stack.label(),
+            r.clients,
+            r.shards,
+            r.requests,
+            r.max_client_demand_ms,
+            r.max_shard_busy_ms,
+            r.rps
+        );
+    }
+
+    let violations_json: Vec<String> = violations
+        .iter()
+        .map(|v| format!("\"{}\"", ogsa_core::telemetry::export::json_escape(v)))
+        .collect();
+    let json = format!(
+        "{{\"benchmark\":\"throughput\",\"iterations\":{},\"model\":\"makespan\",\"rows\":{},\"invariant_violations\":[{}]}}\n",
+        config.iterations,
+        throughput::rows_json(&rows),
+        violations_json.join(",")
+    );
+
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("mkdir {out_dir}: {e}"));
+    let path = format!("{out_dir}/BENCH_throughput.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+
+    if violations.is_empty() {
+        println!("scaling invariants: all hold");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scaling invariants REGRESSED:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -195,8 +195,11 @@ impl ClientAgent {
         span.set_attr("outcome", outcome);
         tel.metrics()
             .inc("invoke.calls", &[("action", action), ("outcome", outcome)]);
-        tel.metrics()
-            .observe("invoke_ms", &[("action", action)], self.clock.now().since(t0));
+        tel.metrics().observe(
+            "invoke_ms",
+            &[("action", action)],
+            self.clock.now().since(t0),
+        );
         result
     }
 

@@ -198,9 +198,8 @@ impl Container {
 
         let this = self.clone();
         let ctx = self.context_for(path);
-        let handler: ogsa_transport::net::Handler = Arc::new(move |req: Envelope| {
-            this.pipeline(&ctx, &service, req)
-        });
+        let handler: ogsa_transport::net::Handler =
+            Arc::new(move |req: Envelope| this.pipeline(&ctx, &service, req));
         self.inner.network.bind(&address, handler);
         EndpointReference::service(address)
     }
@@ -371,7 +370,9 @@ mod tests {
         );
         let epr = c.deploy("/services/Who", svc);
         let client = tb.client("host-b", "CN=alice,O=VO", SecurityPolicy::X509Sign);
-        client.invoke(&epr, "urn:whoami", Element::new("Q")).unwrap();
+        client
+            .invoke(&epr, "urn:whoami", Element::new("Q"))
+            .unwrap();
         assert_eq!(seen.lock().as_deref(), Some("CN=alice,O=VO"));
     }
 
@@ -426,10 +427,11 @@ mod tests {
             },
         );
         let service_epr = c.deploy("/services/R", svc);
-        let resource_epr =
-            EndpointReference::resource(service_epr.address.clone(), "res-99");
+        let resource_epr = EndpointReference::resource(service_epr.address.clone(), "res-99");
         let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
-        let resp = client.invoke(&resource_epr, "urn:get", Element::new("G")).unwrap();
+        let resp = client
+            .invoke(&resource_epr, "urn:get", Element::new("G"))
+            .unwrap();
         assert_eq!(resp.text(), "res-99");
     }
 
@@ -532,7 +534,9 @@ mod tests {
         );
         tb.clock().advance(ogsa_sim::SimDuration::from_micros(1));
         let client = tb.client("host-b", "CN=a", SecurityPolicy::None);
-        client.invoke(&epr, "urn:test/Ping", Element::new("In")).unwrap();
+        client
+            .invoke(&epr, "urn:test/Ping", Element::new("In"))
+            .unwrap();
         assert_eq!(destroyed.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use ogsa_security::{CertAuthority, CertStore, SecurityPolicy};
 use ogsa_sim::{CostModel, DetRng, VirtualClock};
 use ogsa_transport::Network;
-use ogsa_xmldb::{BackendKind, Database};
+use ogsa_xmldb::{BackendKind, Database, DbConfig};
 use parking_lot::Mutex;
 
 use crate::client::ClientAgent;
@@ -24,6 +24,7 @@ pub struct Testbed {
     ca: CertAuthority,
     rng: DetRng,
     backend: BackendKind,
+    db_config: DbConfig,
     dbs: Arc<Mutex<HashMap<String, Database>>>,
 }
 
@@ -43,8 +44,23 @@ impl Testbed {
             ca,
             rng: DetRng::default(),
             backend,
+            db_config: DbConfig::default(),
             dbs: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Reconfigure the per-host databases to use `shards` key shards — the
+    /// knob the throughput harness sweeps. Must be set before the first call
+    /// to [`Testbed::db`] for a host; already-built databases keep their
+    /// shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.db_config = DbConfig { shards };
+        self
+    }
+
+    /// The shard count freshly-built per-host databases will use.
+    pub fn shards(&self) -> usize {
+        self.db_config.shards
     }
 
     /// The configuration all figures are regenerated under: calibrated 2005
@@ -95,11 +111,12 @@ impl Testbed {
             .lock()
             .entry(host.to_owned())
             .or_insert_with(|| {
-                Database::with_telemetry(
+                Database::with_config(
                     self.clock.clone(),
                     self.model.clone(),
                     self.backend.clone(),
                     self.network.telemetry().clone(),
+                    self.db_config,
                 )
             })
             .clone()
@@ -156,6 +173,18 @@ mod tests {
         let b = tb.container("host-b", SecurityPolicy::None);
         tb.clock().advance(ogsa_sim::SimDuration::from_micros(5));
         assert_eq!(a.clock().now(), b.clock().now());
+    }
+
+    #[test]
+    fn shard_knob_reaches_the_per_host_database() {
+        let tb = Testbed::free().with_shards(2);
+        assert_eq!(tb.shards(), 2);
+        assert_eq!(tb.db("host-a").config().shards, 2);
+        // Default testbeds keep the default shard count.
+        assert_eq!(
+            Testbed::free().db("host-a").config().shards,
+            ogsa_xmldb::DEFAULT_SHARDS
+        );
     }
 
     #[test]

@@ -100,15 +100,17 @@ pub fn notify_transport(iterations: usize) -> Ablation {
         let tb = Testbed::calibrated();
         let container = tb.container("host-a", SecurityPolicy::None);
         let api: Box<dyn CounterApi> = if tcp {
-            Box::new(
-                TransferCounter::deploy(&container)
-                    .client(tb.client("host-b", "CN=a", SecurityPolicy::None)),
-            )
+            Box::new(TransferCounter::deploy(&container).client(tb.client(
+                "host-b",
+                "CN=a",
+                SecurityPolicy::None,
+            )))
         } else {
-            Box::new(
-                WsrfCounter::deploy(&container)
-                    .client(tb.client("host-b", "CN=a", SecurityPolicy::None)),
-            )
+            Box::new(WsrfCounter::deploy(&container).client(tb.client(
+                "host-b",
+                "CN=a",
+                SecurityPolicy::None,
+            )))
         };
         let c = api.create().unwrap();
         let waiter = api.subscribe(&c).unwrap();

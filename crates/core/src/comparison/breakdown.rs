@@ -206,9 +206,13 @@ fn grid_one(config: GridConfig, stack: Stack, out: &mut BreakdownRun) {
     }
     let grid = match stack {
         Stack::Wsrf => Grid::Wsrf(WsrfGrid::deploy(&tb, config.policy, &hosts, &apps, &users)),
-        Stack::Transfer => {
-            Grid::Transfer(TransferGrid::deploy(&tb, config.policy, &hosts, &apps, &users))
-        }
+        Stack::Transfer => Grid::Transfer(TransferGrid::deploy(
+            &tb,
+            config.policy,
+            &hosts,
+            &apps,
+            &users,
+        )),
     };
 
     let tel = tb.telemetry().clone();
@@ -259,7 +263,9 @@ fn grid_one(config: GridConfig, stack: Stack, out: &mut BreakdownRun) {
         });
         // Drive the job to completion between the measured steps.
         scenario.finish_job(WAIT).expect("finish job");
-        step(4, &mut || scenario.delete_file("input.dat").expect("delete"));
+        step(4, &mut || {
+            scenario.delete_file("input.dat").expect("delete")
+        });
         step(5, &mut || scenario.unreserve_resource().expect("unreserve"));
         automatic_unreserve = scenario.unreserve_is_automatic();
     }

@@ -81,9 +81,13 @@ fn run_one(config: GridConfig, stack: Stack) -> Vec<GridRow> {
     }
     let grid = match stack {
         Stack::Wsrf => Grid::Wsrf(WsrfGrid::deploy(&tb, config.policy, &hosts, &apps, &users)),
-        Stack::Transfer => {
-            Grid::Transfer(TransferGrid::deploy(&tb, config.policy, &hosts, &apps, &users))
-        }
+        Stack::Transfer => Grid::Transfer(TransferGrid::deploy(
+            &tb,
+            config.policy,
+            &hosts,
+            &apps,
+            &users,
+        )),
     };
 
     let clock = tb.clock().clone();
@@ -109,7 +113,10 @@ fn run_one(config: GridConfig, stack: Stack) -> Vec<GridRow> {
             }};
         }
 
-        step!(0, scenario.get_available_resource("blast").expect("discover"));
+        step!(
+            0,
+            scenario.get_available_resource("blast").expect("discover")
+        );
         step!(1, scenario.make_reservation().expect("reserve"));
         step!(
             2,
@@ -119,7 +126,9 @@ fn run_one(config: GridConfig, stack: Stack) -> Vec<GridRow> {
         );
         step!(
             3,
-            scenario.instantiate_job(config.job_runtime).expect("instantiate")
+            scenario
+                .instantiate_job(config.job_runtime)
+                .expect("instantiate")
         );
         // Drive the job to completion between the measured steps (not a
         // Figure 6 operation).

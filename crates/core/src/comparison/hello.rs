@@ -172,7 +172,10 @@ mod tests {
         for op in OPERATIONS {
             for stack in Stack::all() {
                 for dep in Deployment::all() {
-                    assert!(cell(&rows, op, stack, dep).is_some(), "{op}/{stack:?}/{dep:?}");
+                    assert!(
+                        cell(&rows, op, stack, dep).is_some(),
+                        "{op}/{stack:?}/{dep:?}"
+                    );
                 }
             }
         }
@@ -188,7 +191,10 @@ mod tests {
                 let set = cell(&rows, "Set", stack, dep).unwrap();
                 // "Creating resources ... is always slower than reading or
                 // updating them."
-                assert!(create > get, "{stack:?}/{dep:?}: create {create} vs get {get}");
+                assert!(
+                    create > get,
+                    "{stack:?}/{dep:?}: create {create} vs get {get}"
+                );
                 assert!(create > set, "{stack:?}/{dep:?}");
                 // Everything fits the paper's 0-50 ms scale.
                 for op in OPERATIONS {

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod breakdown;
 pub mod grid;
 pub mod hello;
+pub mod throughput;
 
 /// Which software stack a measurement belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -46,3 +46,4 @@ pub use comparison::ablation;
 pub use comparison::breakdown;
 pub use comparison::grid;
 pub use comparison::hello;
+pub use comparison::throughput;

@@ -148,7 +148,9 @@ pub fn breakdown_rows_json(rows: &[OpBreakdown]) -> String {
 pub fn demand_lifecycle_json(d: &DemandLifecycle) -> String {
     format!(
         "{{\"events\":{},\"direct_messages\":{},\"brokered_messages\":{},\"factor\":{:.2}}}",
-        d.events, d.direct_messages, d.brokered_messages,
+        d.events,
+        d.direct_messages,
+        d.brokered_messages,
         d.factor()
     )
 }

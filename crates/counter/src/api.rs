@@ -21,6 +21,17 @@ pub trait CounterApi: Send + Sync {
     /// Create a new counter (initial value 0); returns its EPR.
     fn create(&self) -> Result<EndpointReference, InvokeError>;
 
+    /// Create `n` counters; returns their EPRs in creation order.
+    ///
+    /// The default is a loop of single `create` calls — the honest baseline
+    /// for a stack whose wire protocol has no batch factory operation
+    /// (WS-Transfer defines only single-resource `Create`). Stacks with a
+    /// batch WebMethod (WSRF.NET's `createBatch`) override this to issue one
+    /// round trip and one amortised store transaction.
+    fn create_many(&self, n: usize) -> Result<Vec<EndpointReference>, InvokeError> {
+        (0..n).map(|_| self.create()).collect()
+    }
+
     /// Read the current value.
     fn get(&self, counter: &EndpointReference) -> Result<i64, InvokeError>;
 

@@ -14,10 +14,10 @@ use ogsa_container::{ClientAgent, Container, InvokeError, Operation, OperationCo
 use ogsa_soap::Fault;
 use ogsa_wsn::base::{actions as wsn_actions, SubscribeRequest};
 use ogsa_wsn::consumer::Delivery;
-use ogsa_wsn::{NotificationConsumer, NotificationProducer, TopicExpression, TopicPath};
 use ogsa_wsn::manager::SubscriptionManagerService;
-use ogsa_wsrf::service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHost};
+use ogsa_wsn::{NotificationConsumer, NotificationProducer, TopicExpression, TopicPath};
 use ogsa_wsrf::properties::SetComponent;
+use ogsa_wsrf::service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHost};
 use ogsa_wsrf::{ResourceDocument, TerminationTime, WsrfProxy};
 use ogsa_xml::Element;
 
@@ -40,12 +40,29 @@ impl WsrfService for CounterService {
             // The author-defined Create: ServiceBase.Create() places a new
             // resource (cv = 0) in the backing store.
             "create" => {
-                let doc = Element::new("CounterResource")
-                    .with_child(Element::text_element("cv", "0"));
+                let doc =
+                    Element::new("CounterResource").with_child(Element::text_element("cv", "0"));
                 let res = base.create(ctx, doc)?;
                 base.schedule_termination(ctx, &res.id, TerminationTime::Never);
                 let epr = base.resource_epr(ctx, &res.id);
                 Ok(Element::new("createResponse").with_child(epr.to_element()))
+            }
+            // The batch Create the throughput harness uses: one WebMethod
+            // round trip, one amortised store transaction, N new resources.
+            "createBatch" => {
+                let count: usize = op
+                    .body
+                    .child_parse("count")
+                    .ok_or_else(|| Fault::client("createBatch requires a <count>"))?;
+                let doc =
+                    Element::new("CounterResource").with_child(Element::text_element("cv", "0"));
+                let resources = base.create_batch(ctx, count, doc)?;
+                let mut resp = Element::new("createBatchResponse");
+                for res in resources {
+                    base.schedule_termination(ctx, &res.id, TerminationTime::Never);
+                    resp.add_child(base.resource_epr(ctx, &res.id).to_element());
+                }
+                Ok(resp)
             }
             // The producer role: Subscribe creates a subscription resource.
             "Subscribe" => {
@@ -149,15 +166,37 @@ impl crate::api::CounterApi for WsrfCounterClient {
     }
 
     fn create(&self) -> Result<EndpointReference, InvokeError> {
-        let resp = self
-            .agent
-            .invoke(&self.service_epr, "urn:counter/create", Element::new("create"))?;
+        let resp = self.agent.invoke(
+            &self.service_epr,
+            "urn:counter/create",
+            Element::new("create"),
+        )?;
         let epr_elem = resp
             .child_elements()
             .next()
             .ok_or_else(|| InvokeError::Fault(Fault::server("createResponse without EPR")))?;
         EndpointReference::from_element(epr_elem)
             .map_err(|e| InvokeError::Fault(Fault::server(e.to_string())))
+    }
+
+    fn create_many(&self, n: usize) -> Result<Vec<EndpointReference>, InvokeError> {
+        let resp = self.agent.invoke(
+            &self.service_epr,
+            "urn:counter/createBatch",
+            Element::new("createBatch").with_child(Element::text_element("count", n.to_string())),
+        )?;
+        let eprs: Result<Vec<_>, _> = resp
+            .child_elements()
+            .map(EndpointReference::from_element)
+            .collect();
+        let eprs = eprs.map_err(|e| InvokeError::Fault(Fault::server(e.to_string())))?;
+        if eprs.len() != n {
+            return Err(InvokeError::Fault(Fault::server(format!(
+                "createBatch returned {} EPRs for a count of {n}",
+                eprs.len()
+            ))));
+        }
+        Ok(eprs)
     }
 
     fn get(&self, counter: &EndpointReference) -> Result<i64, InvokeError> {

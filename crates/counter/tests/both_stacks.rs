@@ -132,3 +132,68 @@ fn notify_latency_tcp_beats_http_under_calibrated_costs() {
         "WS-Eventing notify ({wse_ms} ms) should beat WS-Notification ({wsrf_ms} ms)"
     );
 }
+
+#[test]
+fn create_many_yields_independent_counters_on_both_stacks() {
+    // WSRF.NET answers through its batch WebMethod; WS-Transfer has no batch
+    // Create on the wire and falls back to the single-create loop — both must
+    // produce N fully independent resources.
+    let tb = Testbed::free();
+    for api in clients(&tb, SecurityPolicy::None, "host-b") {
+        let eprs = api.create_many(5).expect("create_many");
+        assert_eq!(eprs.len(), 5, "{}", api.stack_name());
+        for (i, epr) in eprs.iter().enumerate() {
+            api.set(epr, i as i64 * 10).unwrap();
+        }
+        for (i, epr) in eprs.iter().enumerate() {
+            assert_eq!(api.get(epr).unwrap(), i as i64 * 10, "{}", api.stack_name());
+        }
+        api.destroy(&eprs[0]).unwrap();
+        assert!(api.get(&eprs[0]).is_err());
+        assert_eq!(api.get(&eprs[1]).unwrap(), 10, "{}", api.stack_name());
+    }
+}
+
+#[test]
+fn wsrf_batch_create_amortises_and_leaves_single_create_cost_alone() {
+    let tb = Testbed::calibrated();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let wsrf = WsrfCounter::deploy(&container);
+    let api = wsrf.client(tb.client("host-b", "CN=a", SecurityPolicy::None));
+
+    // Warm the connection so TLS/TCP setup does not pollute the comparison.
+    let warm = CounterApi::create(&api).unwrap();
+    api.destroy(&warm).unwrap();
+
+    const N: usize = 10;
+    let t0 = tb.clock().now();
+    for _ in 0..N {
+        CounterApi::create(&api).unwrap();
+    }
+    let singles = tb.clock().now().since(t0);
+
+    let t0 = tb.clock().now();
+    let eprs = api.create_many(N).unwrap();
+    let batch = tb.clock().now().since(t0);
+    assert_eq!(eprs.len(), N);
+
+    assert!(
+        batch.as_micros() * 2 < singles.as_micros(),
+        "batch create ({batch:?}) should amortise well below {N} singles ({singles:?})"
+    );
+
+    // The batch path must not have changed what a lone create costs: it still
+    // pays the full per-transaction insert price.
+    let t0 = tb.clock().now();
+    let one = CounterApi::create(&api).unwrap();
+    let single_after = tb.clock().now().since(t0);
+    assert!(api.get(&one).is_ok());
+    assert!(
+        single_after.as_micros() * (N as u64) >= batch.as_micros(),
+        "a single create ({single_after:?}) must not be cheaper than its share of the batch"
+    );
+    assert!(
+        single_after.as_micros() >= tb.model().db_insert_us,
+        "single create must still pay the full insert cost"
+    );
+}

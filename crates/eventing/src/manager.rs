@@ -19,10 +19,7 @@ impl EventingSubscriptionManager {
         EventingSubscriptionManager { store }
     }
 
-    fn require_sub(
-        &self,
-        op: &Operation,
-    ) -> Result<crate::store::EventSubscription, Fault> {
+    fn require_sub(&self, op: &Operation) -> Result<crate::store::EventSubscription, Fault> {
         let id = op.require_resource_id()?;
         self.store
             .get(id)

@@ -46,12 +46,8 @@ impl EventSourceService {
             Arc::new(EventingSubscriptionManager::new(store.clone())),
         );
 
-        let mode_map: Arc<HashMap<String, Arc<dyn DeliveryMode>>> = Arc::new(
-            modes
-                .into_iter()
-                .map(|m| (m.uri().to_owned(), m))
-                .collect(),
-        );
+        let mode_map: Arc<HashMap<String, Arc<dyn DeliveryMode>>> =
+            Arc::new(modes.into_iter().map(|m| (m.uri().to_owned(), m)).collect());
 
         let source = EventSourceService {
             store: store.clone(),
@@ -86,8 +82,7 @@ impl WebService for EventSourceService {
                 // Validate the filter eagerly so bad XPath faults at
                 // subscribe time, not delivery time.
                 if let Some(f) = &req.filter {
-                    XPath::compile(f)
-                        .map_err(|e| Fault::client(format!("invalid filter: {e}")))?;
+                    XPath::compile(f).map_err(|e| Fault::client(format!("invalid filter: {e}")))?;
                 }
                 let id = format!("es-{}", self.seq.fetch_add(1, Ordering::Relaxed));
                 self.store.insert(EventSubscription {
@@ -98,8 +93,7 @@ impl WebService for EventSourceService {
                     expires: req.expires,
                     end_to: req.end_to.clone(),
                 });
-                let manager =
-                    EndpointReference::resource(self.manager_address.clone(), id);
+                let manager = EndpointReference::resource(self.manager_address.clone(), id);
                 let _ = ctx;
                 Ok(SubscribeRequest::response(&manager, req.expires))
             }

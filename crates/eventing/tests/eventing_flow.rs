@@ -144,7 +144,10 @@ fn getstatus_renew_unsubscribe() {
     let renewed = client
         .invoke(&mgr, actions::RENEW, messages::renew_request(later))
         .unwrap();
-    assert_eq!(SubscriptionStatus::from_element(&renewed).expires, Some(later));
+    assert_eq!(
+        SubscriptionStatus::from_element(&renewed).expires,
+        Some(later)
+    );
 
     // Unsubscribe stops delivery.
     client

@@ -20,7 +20,10 @@ const DRAIN: Duration = Duration::from_secs(5);
 fn policy() -> RetryPolicy {
     RetryPolicy::default_redelivery(0)
         .with_max_attempts(4)
-        .with_backoff(SimDuration::from_millis(100.0), SimDuration::from_millis(400.0))
+        .with_backoff(
+            SimDuration::from_millis(100.0),
+            SimDuration::from_millis(400.0),
+        )
         .with_jitter(0.0)
 }
 
@@ -54,12 +57,13 @@ fn pushes_redeliver_through_a_partition_window() {
 
     // The subscriber's host is unreachable for the first two logical
     // attempts (0 ms and 100 ms); the third (300 ms) lands.
-    tb.network().set_fault_plan(FaultPlan::seeded(1).with_partition(
-        "host-a",
-        "client-1",
-        SimInstant(0),
-        SimInstant(0).plus(SimDuration::from_millis(250.0)),
-    ));
+    tb.network()
+        .set_fault_plan(FaultPlan::seeded(1).with_partition(
+            "host-a",
+            "client-1",
+            SimInstant(0),
+            SimInstant(0).plus(SimDuration::from_millis(250.0)),
+        ));
 
     assert_eq!(notifier.trigger(event(7)), 1);
     assert!(tb.network().quiesce(DRAIN));
@@ -81,12 +85,13 @@ fn exhausted_redelivery_dead_letters_the_event() {
     let (_client, consumer) = subscribe(&tb, &source);
 
     // Partition that never lifts within the redelivery budget.
-    tb.network().set_fault_plan(FaultPlan::seeded(1).with_partition(
-        "host-a",
-        "client-1",
-        SimInstant(0),
-        SimInstant(u64::MAX),
-    ));
+    tb.network()
+        .set_fault_plan(FaultPlan::seeded(1).with_partition(
+            "host-a",
+            "client-1",
+            SimInstant(0),
+            SimInstant(u64::MAX),
+        ));
 
     assert_eq!(notifier.trigger(event(9)), 1);
     assert!(tb.network().quiesce(DRAIN));
@@ -111,12 +116,13 @@ fn fire_and_forget_pushes_are_simply_lost() {
     let (source, notifier) = EventSourceService::deploy(&container, "/services/Events");
     let (_client, consumer) = subscribe(&tb, &source);
 
-    tb.network().set_fault_plan(FaultPlan::seeded(1).with_partition(
-        "host-a",
-        "client-1",
-        SimInstant(0),
-        SimInstant(u64::MAX),
-    ));
+    tb.network()
+        .set_fault_plan(FaultPlan::seeded(1).with_partition(
+            "host-a",
+            "client-1",
+            SimInstant(0),
+            SimInstant(u64::MAX),
+        ));
 
     assert_eq!(notifier.trigger(event(3)), 1);
     assert!(tb.network().quiesce(DRAIN));

@@ -24,8 +24,7 @@ impl<'g> WsrfAdminClient<'g> {
 
     /// `addAccount(dn, privileges)`.
     pub fn add_account(&self, dn: &str, privileges: &[&str]) -> Result<(), InvokeError> {
-        let mut body =
-            Element::new("addAccount").with_child(Element::text_element("dn", dn));
+        let mut body = Element::new("addAccount").with_child(Element::text_element("dn", dn));
         for p in privileges {
             body.add_child(Element::text_element("privilege", *p));
         }
@@ -92,7 +91,11 @@ impl<'g> TransferAdminClient<'g> {
     }
 
     /// Create an account resource (id = the user's DN).
-    pub fn add_account(&self, dn: &str, privileges: &[&str]) -> Result<EndpointReference, InvokeError> {
+    pub fn add_account(
+        &self,
+        dn: &str,
+        privileges: &[&str],
+    ) -> Result<EndpointReference, InvokeError> {
         let mut rep = Element::new("account")
             .with_child(Element::text_element("dn", dn))
             .with_child(Element::text_element("owner", self.agent.dn()));

@@ -38,7 +38,10 @@ impl JobSpec {
     /// XML form (the representation submitted to either stack).
     pub fn to_element(&self) -> Element {
         let mut e = Element::new("job");
-        e.add_child(Element::text_element("application", self.application.clone()));
+        e.add_child(Element::text_element(
+            "application",
+            self.application.clone(),
+        ));
         for a in &self.arguments {
             e.add_child(Element::text_element("argument", a.clone()));
         }
@@ -46,7 +49,10 @@ impl JobSpec {
             "runtimeMicros",
             self.runtime.as_micros().to_string(),
         ));
-        e.add_child(Element::text_element("exitCode", self.exit_code.to_string()));
+        e.add_child(Element::text_element(
+            "exitCode",
+            self.exit_code.to_string(),
+        ));
         e
     }
 

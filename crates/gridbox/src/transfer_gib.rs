@@ -80,7 +80,9 @@ impl TransferLogic for AccountLogic {
     ) -> Result<CreateOutcome, Fault> {
         let requester = requester_of(op)?;
         if !is_admin(&requester) {
-            return Err(Fault::client("only the administrative client may create accounts"));
+            return Err(Fault::client(
+                "only the administrative client may create accounts",
+            ));
         }
         // "the EPR containing the X509 DN of the user" — the account's own
         // DN becomes the resource id.
@@ -107,7 +109,9 @@ impl TransferLogic for AccountLogic {
     ) -> Result<(), Fault> {
         let requester = requester_of(op)?;
         if !is_admin(&requester) {
-            return Err(Fault::client("only the administrative client may remove accounts"));
+            return Err(Fault::client(
+                "only the administrative client may remove accounts",
+            ));
         }
         store
             .remove(id)
@@ -277,7 +281,9 @@ impl TransferLogic for AllocationLogic {
     ) -> Result<CreateOutcome, Fault> {
         let requester = requester_of(op)?;
         if !is_admin(&requester) {
-            return Err(Fault::client("only the administrative client may register sites"));
+            return Err(Fault::client(
+                "only the administrative client may register sites",
+            ));
         }
         let name = representation
             .attr_local("name")
@@ -400,19 +406,19 @@ impl TransferLogic for AllocationLogic {
                         "until",
                         replacement.child_text("until").unwrap_or("0").to_owned(),
                     ));
-                store.insert(&key, doc).map_err(|e| Fault::server(e.to_string()))?;
+                store
+                    .insert(&key, doc)
+                    .map_err(|e| Fault::server(e.to_string()))?;
                 Ok(None)
             }
             // Remove a reservation — "A failure to destroy a reservation
             // after a job is finished would prevent the subsequent use of
             // that execution resource" (§4.2.3): this is the manual step
             // WSRF gets for free.
-            "U" => {
-                store
-                    .remove(&Self::reservation_key(site))
-                    .map(|_| None)
-                    .ok_or_else(|| Fault::client(format!("site `{site}` is not reserved")))
-            }
+            "U" => store
+                .remove(&Self::reservation_key(site))
+                .map(|_| None)
+                .ok_or_else(|| Fault::client(format!("site `{site}` is not reserved"))),
             // Change the time to which a site is reserved.
             "T" => {
                 let key = Self::reservation_key(site);
@@ -425,7 +431,9 @@ impl TransferLogic for AllocationLogic {
                     .to_owned();
                 doc.remove_children(&"until".into());
                 doc.add_child(Element::text_element("until", until));
-                store.update(&key, doc).map_err(|e| Fault::server(e.to_string()))?;
+                store
+                    .update(&key, doc)
+                    .map_err(|e| Fault::server(e.to_string()))?;
                 Ok(None)
             }
             _ => Err(Fault::client(format!(
@@ -479,7 +487,10 @@ impl ExecutionLogic {
             notifier.trigger(
                 Element::new("JobEnded")
                     .with_attr("job", id.clone())
-                    .with_attr("owner", doc.child_text("owner").unwrap_or_default().to_owned())
+                    .with_attr(
+                        "owner",
+                        doc.child_text("owner").unwrap_or_default().to_owned(),
+                    )
                     .with_child(Element::text_element(
                         "exitCode",
                         exit.unwrap_or_default().to_string(),
@@ -517,7 +528,9 @@ impl TransferLogic for ExecutionLogic {
             .get(&site_epr)
             .map_err(|e| Fault::client(format!("reservation check failed: {e}")))?;
         if holder.text() != owner {
-            return Err(Fault::client(format!("`{owner}` holds no reservation here")));
+            return Err(Fault::client(format!(
+                "`{owner}` holds no reservation here"
+            )));
         }
 
         let pid = self.procs.spawn(spec.runtime, spec.exit_code);
@@ -625,11 +638,15 @@ impl TransferGrid {
         let allocation_logic = Arc::new(AllocationLogic {
             account_epr: OnceLock::new(),
         });
-        let (allocation_epr, _) =
-            TransferService::deploy(&vo, "/services/ResourceAllocation", allocation_logic.clone());
+        let (allocation_epr, _) = TransferService::deploy(
+            &vo,
+            "/services/ResourceAllocation",
+            allocation_logic.clone(),
+        );
         allocation_logic
             .account_epr
-            .set(account_epr.clone()).expect("wired once");
+            .set(account_epr.clone())
+            .expect("wired once");
 
         let admin = tb.client("vo-host", "CN=admin,O=VO", policy);
         let admin_proxy = TransferProxy::new(&admin);
@@ -668,7 +685,8 @@ impl TransferGrid {
                 TransferService::deploy(&container, "/services/Data", data_logic.clone());
             data_logic
                 .allocation_epr
-                .set(allocation_epr.clone()).expect("wired once");
+                .set(allocation_epr.clone())
+                .expect("wired once");
 
             let exec_logic = Arc::new(ExecutionLogic {
                 procs,
@@ -683,7 +701,10 @@ impl TransferGrid {
                 TransferService::deploy(&container, "/services/Execution", exec_logic.clone());
             let (events_epr, notifier) =
                 EventSourceService::deploy(&container, "/services/ExecutionEvents");
-            exec_logic.allocation_epr.set(allocation_epr.clone()).expect("wired once");
+            exec_logic
+                .allocation_epr
+                .set(allocation_epr.clone())
+                .expect("wired once");
             exec_logic.notifier.set(notifier).ok().expect("wired once");
             exec_logic.store.set(exec_store).expect("wired once");
 
@@ -691,8 +712,14 @@ impl TransferGrid {
             let mut site = Element::new("site")
                 .with_attr("name", site_name.clone())
                 .with_child(Element::text_element("host", *host))
-                .with_child(Element::text_element("execAddress", exec_epr.address.clone()))
-                .with_child(Element::text_element("dataAddress", data_epr.address.clone()))
+                .with_child(Element::text_element(
+                    "execAddress",
+                    exec_epr.address.clone(),
+                ))
+                .with_child(Element::text_element(
+                    "dataAddress",
+                    data_epr.address.clone(),
+                ))
                 .with_child(Element::text_element("owner", admin.dn()));
             for app in applications {
                 site.add_child(Element::text_element("application", *app));
@@ -725,7 +752,10 @@ impl TransferGrid {
 
     /// Tick every site's completion monitor.
     pub fn pump_completions(&self) -> usize {
-        self.sites.iter().map(|s| s.exec_logic.pump_completions()).sum()
+        self.sites
+            .iter()
+            .map(|s| s.exec_logic.pump_completions())
+            .sum()
     }
 
     /// Start a user scenario session.
@@ -810,8 +840,14 @@ impl GridScenario for TransferGridScenario<'_> {
             .next()
             .ok_or_else(|| ScenarioError::State(format!("no site offers `{application}`")))?;
         let name = site.attr_local("name").unwrap_or_default().to_owned();
-        let exec_address = site.child_text("execAddress").unwrap_or_default().to_owned();
-        let data_address = site.child_text("dataAddress").unwrap_or_default().to_owned();
+        let exec_address = site
+            .child_text("execAddress")
+            .unwrap_or_default()
+            .to_owned();
+        let data_address = site
+            .child_text("dataAddress")
+            .unwrap_or_default()
+            .to_owned();
         let events_address = format!("{exec_address}Events");
         self.chosen = Some(ChosenSite {
             name,
@@ -860,7 +896,10 @@ impl GridScenario for TransferGridScenario<'_> {
         static CONSUMER_SEQ: AtomicU64 = AtomicU64::new(0);
         let consumer = EventConsumer::listen(
             &self.agent,
-            &format!("/gib-events/{}", CONSUMER_SEQ.fetch_add(1, Ordering::Relaxed)),
+            &format!(
+                "/gib-events/{}",
+                CONSUMER_SEQ.fetch_add(1, Ordering::Relaxed)
+            ),
         );
         let req = SubscribeRequest::new(consumer.epr().clone())
             .with_filter(&format!("/JobEnded[@owner='{}']", self.agent.dn()));

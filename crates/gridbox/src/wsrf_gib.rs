@@ -23,9 +23,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use ogsa_addressing::EndpointReference;
-use ogsa_container::{
-    ClientAgent, InvokeError, Operation, OperationContext, Testbed, WebService,
-};
+use ogsa_container::{ClientAgent, InvokeError, Operation, OperationContext, Testbed, WebService};
 use ogsa_security::SecurityPolicy;
 use ogsa_sim::SimDuration;
 use ogsa_soap::Fault;
@@ -74,7 +72,11 @@ impl WebService for AccountService {
                     .child_text("dn")
                     .ok_or_else(|| Fault::client("addAccount without dn"))?;
                 let mut doc = Element::new("account").with_attr("dn", dn);
-                for p in op.body.child_elements().filter(|e| &*e.name.local == "privilege") {
+                for p in op
+                    .body
+                    .child_elements()
+                    .filter(|e| &*e.name.local == "privilege")
+                {
                     doc.add_child(p.clone());
                 }
                 accounts.upsert(dn, doc);
@@ -86,7 +88,10 @@ impl WebService for AccountService {
                     .child_text("dn")
                     .ok_or_else(|| Fault::client("accountExists without dn"))?;
                 let exists = accounts.contains(dn);
-                Ok(Element::text_element("accountExistsResponse", exists.to_string()))
+                Ok(Element::text_element(
+                    "accountExistsResponse",
+                    exists.to_string(),
+                ))
             }
             "removeAccount" => {
                 let dn = op
@@ -140,8 +145,7 @@ impl WebService for ResourceAllocationService {
                         Element::new("listReservedSites"),
                     )
                     .map_err(|e| Fault::server(format!("reservation lookup failed: {e}")))?;
-                let reserved: Vec<String> =
-                    resp.child_elements().map(|e| e.text()).collect();
+                let reserved: Vec<String> = resp.child_elements().map(|e| e.text()).collect();
 
                 let xp = ogsa_xml::XPath::compile("/registerSite").expect("static");
                 let docs = sites
@@ -230,7 +234,9 @@ impl WsrfService for ReservationService {
                     .map_err(|e| Fault::server(e.to_string()))?;
                 Ok(Element::new("listReservedSitesResponse").with_children(sites))
             }
-            other => Err(Fault::client(format!("ReservationService has no `{other}`"))),
+            other => Err(Fault::client(format!(
+                "ReservationService has no `{other}`"
+            ))),
         }
     }
 }
@@ -268,7 +274,12 @@ impl WsrfService for DataService {
                     .child_text("fileName")
                     .ok_or_else(|| Fault::client("upload without fileName"))?
                     .to_owned();
-                let content = op.body.child_text("content").unwrap_or("").as_bytes().to_vec();
+                let content = op
+                    .body
+                    .child_text("content")
+                    .unwrap_or("")
+                    .as_bytes()
+                    .to_vec();
                 self.fs.write_file(id, &name, content);
                 Ok(Element::new("uploadResponse"))
             }
@@ -406,25 +417,24 @@ impl WsrfService for ExecService {
 
                 // Outcall 4: check the staged data directory exists (its
                 // file-list property answers).
-                proxy
-                    .get_property(&data, "file")
-                    .or_else(|e| match e {
-                        // An empty directory is fine; a missing resource is
-                        // not — empty dirs raise InvalidResourceProperty.
-                        InvokeError::Fault(f) if f.reason.contains("file") => Ok(vec![]),
-                        other => Err(Fault::client(format!("data directory invalid: {other}"))),
-                    })?;
+                proxy.get_property(&data, "file").or_else(|e| match e {
+                    // An empty directory is fine; a missing resource is
+                    // not — empty dirs raise InvalidResourceProperty.
+                    InvokeError::Fault(f) if f.reason.contains("file") => Ok(vec![]),
+                    other => Err(Fault::client(format!("data directory invalid: {other}"))),
+                })?;
 
                 // Spawn and persist the job resource.
                 let pid = self.procs.spawn(spec.runtime, spec.exit_code);
                 let doc = Element::new("JobResource")
-                    .with_child(Element::text_element("application", spec.application.clone()))
+                    .with_child(Element::text_element(
+                        "application",
+                        spec.application.clone(),
+                    ))
                     .with_child(Element::text_element("owner", owner))
                     .with_child(Element::text_element("pid", pid.to_string()))
                     .with_child(Element::text_element("notified", "false"))
-                    .with_child(
-                        Element::new("reservation").with_child(reservation.to_element()),
-                    )
+                    .with_child(Element::new("reservation").with_child(reservation.to_element()))
                     .with_child(Element::new("data").with_child(data.to_element()));
                 let res = base.create(ctx, doc)?;
                 base.schedule_termination(ctx, &res.id, TerminationTime::Never);
@@ -449,8 +459,8 @@ impl WsrfService for ExecService {
                     .producer
                     .get()
                     .ok_or_else(|| Fault::server("producer not wired"))?;
-                let xp = ogsa_xml::XPath::compile("/JobResource[notified='false']")
-                    .expect("static");
+                let xp =
+                    ogsa_xml::XPath::compile("/JobResource[notified='false']").expect("static");
                 let pending = base
                     .store()
                     .collection()
@@ -491,7 +501,10 @@ impl WsrfService for ExecService {
                     base.save(ctx, &res)?;
                     fired += 1;
                 }
-                Ok(Element::text_element("pumpCompletionsResponse", fired.to_string()))
+                Ok(Element::text_element(
+                    "pumpCompletionsResponse",
+                    fired.to_string(),
+                ))
             }
             other => Err(Fault::client(format!("ExecService has no `{other}`"))),
         }
@@ -581,7 +594,8 @@ impl WsrfGrid {
         );
         reservation_service
             .account_epr
-            .set(account_epr.clone()).expect("wired once");
+            .set(account_epr.clone())
+            .expect("wired once");
 
         let allocation_service = Arc::new(ResourceAllocationService {
             reservation_epr: OnceLock::new(),
@@ -589,7 +603,8 @@ impl WsrfGrid {
         let allocation_epr = vo.deploy("/services/ResourceAllocation", allocation_service.clone());
         allocation_service
             .reservation_epr
-            .set(reservation_epr.clone()).expect("wired once");
+            .set(reservation_epr.clone())
+            .expect("wired once");
 
         let admin = tb.client("vo-host", "CN=admin,O=VO", policy);
         for user in users {
@@ -648,7 +663,8 @@ impl WsrfGrid {
                 .expect("wired once");
             exec_service
                 .account_epr
-                .set(account_epr.clone()).expect("wired once");
+                .set(account_epr.clone())
+                .expect("wired once");
 
             // Register the site with the allocation service.
             let mut reg = Element::new("registerSite")
@@ -900,7 +916,9 @@ impl GridScenario for WsrfGridScenario<'_> {
         let chosen_exec = self.chosen()?.exec_epr.clone();
         // Let the job's virtual runtime elapse, then tick the completion
         // monitor.
-        self.agent.clock().advance(self.job_runtime + SimDuration::from_micros(1));
+        self.agent
+            .clock()
+            .advance(self.job_runtime + SimDuration::from_micros(1));
         self.agent.invoke(
             &chosen_exec,
             "urn:gib/pumpCompletions",

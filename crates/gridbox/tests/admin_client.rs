@@ -3,9 +3,7 @@
 //! client").
 
 use ogsa_container::Testbed;
-use ogsa_gridbox::{
-    GridScenario, TransferAdminClient, TransferGrid, WsrfAdminClient, WsrfGrid,
-};
+use ogsa_gridbox::{GridScenario, TransferAdminClient, TransferGrid, WsrfAdminClient, WsrfGrid};
 use ogsa_security::SecurityPolicy;
 
 const ADMIN: &str = "CN=admin,O=UVA-VO";
@@ -54,8 +52,7 @@ fn wsrf_admin_registers_additional_sites() {
 fn transfer_admin_manages_accounts_via_crud() {
     let tb = Testbed::free();
     let grid = TransferGrid::deploy(&tb, SecurityPolicy::None, &["site-a"], &["blast"], &[]);
-    let admin =
-        TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
+    let admin = TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
 
     assert!(!admin.account_exists(ALICE));
     let epr = admin.add_account(ALICE, &["submit", "stage"]).unwrap();
@@ -86,8 +83,7 @@ fn transfer_non_admin_cannot_administrate() {
 fn transfer_admin_site_lifecycle() {
     let tb = Testbed::free();
     let grid = TransferGrid::deploy(&tb, SecurityPolicy::None, &["site-a"], &["blast"], &[ALICE]);
-    let admin =
-        TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
+    let admin = TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::None));
 
     // Add a site offering a new application...
     admin
@@ -121,13 +117,17 @@ fn signed_admin_identity_is_authenticated_not_asserted() {
         &["blast"],
         &[ALICE],
     );
-    let masquerader =
-        TransferAdminClient::new(&grid, tb.client("client-1", ALICE, SecurityPolicy::X509Sign));
+    let masquerader = TransferAdminClient::new(
+        &grid,
+        tb.client("client-1", ALICE, SecurityPolicy::X509Sign),
+    );
     // add_account writes `owner = agent DN` into the body, but even a
     // hand-crafted body cannot help: the signer DN wins.
     assert!(masquerader.add_account("CN=eve", &["submit"]).is_err());
 
     let real_admin =
         TransferAdminClient::new(&grid, tb.client("vo-host", ADMIN, SecurityPolicy::X509Sign));
-    assert!(real_admin.add_account("CN=eve,O=UVA-VO", &["submit"]).is_ok());
+    assert!(real_admin
+        .add_account("CN=eve,O=UVA-VO", &["submit"])
+        .is_ok());
 }

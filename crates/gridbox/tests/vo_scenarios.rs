@@ -18,7 +18,8 @@ fn run_full_flow(s: &mut dyn GridScenario) {
     s.get_available_resource("blast").expect("discover");
     s.make_reservation().expect("reserve");
     s.upload_file("input.dat", 8 * 1024).expect("upload");
-    s.instantiate_job(SimDuration::from_millis(500.0)).expect("start");
+    s.instantiate_job(SimDuration::from_millis(500.0))
+        .expect("start");
     let exit = s.finish_job(WAIT).expect("finish");
     assert_eq!(exit, 0);
     s.delete_file("input.dat").expect("delete file");
@@ -104,7 +105,8 @@ fn reserved_sites_disappear_from_availability() {
     bob.get_available_resource("blast").unwrap();
     bob.make_reservation().unwrap();
     // ...but a third user finds nothing.
-    let mut carol_agent = grid.scenario(tb.client("client-3", "CN=carol,O=UVA-VO", SecurityPolicy::None));
+    let mut carol_agent =
+        grid.scenario(tb.client("client-3", "CN=carol,O=UVA-VO", SecurityPolicy::None));
     assert!(matches!(
         carol_agent.get_available_resource("blast"),
         Err(ScenarioError::State(_))
@@ -125,7 +127,9 @@ fn transfer_unreserve_leak_blocks_the_site() {
     alice.get_available_resource("blast").unwrap();
     alice.make_reservation().unwrap();
     alice.upload_file("in.dat", 1024).unwrap();
-    alice.instantiate_job(SimDuration::from_millis(10.0)).unwrap();
+    alice
+        .instantiate_job(SimDuration::from_millis(10.0))
+        .unwrap();
     alice.finish_job(WAIT).unwrap();
     // Alice forgets to unreserve. Bob is locked out indefinitely.
     let mut bob = grid.scenario(tb.client("client-2", BOB, SecurityPolicy::None));
@@ -142,7 +146,9 @@ fn wsrf_reservation_autodestroys_after_job() {
     alice.get_available_resource("blast").unwrap();
     alice.make_reservation().unwrap();
     alice.upload_file("in.dat", 1024).unwrap();
-    alice.instantiate_job(SimDuration::from_millis(10.0)).unwrap();
+    alice
+        .instantiate_job(SimDuration::from_millis(10.0))
+        .unwrap();
     alice.finish_job(WAIT).unwrap();
     // No explicit unreserve — the site is free anyway.
     let mut bob = grid.scenario(tb.client("client-2", BOB, SecurityPolicy::None));

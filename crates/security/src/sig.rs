@@ -120,24 +120,19 @@ pub fn sign_envelope(
         );
     let signature_value = mac(identity.secret(), &canonicalize(&signed_info));
 
-    let signature = Element::new(QName::new(ns::DS, "Signature"))
-        .with_child(signed_info)
-        .with_child(Element::text_element(
-            QName::new(ns::DS, "SignatureValue"),
-            signature_value,
-        ))
-        .with_child(
-            Element::new(QName::new(ns::DS, "KeyInfo")).with_child(Element::text_element(
-                QName::new(ns::DS, "KeyName"),
-                identity.cert.key_id.clone(),
-            )),
-        );
+    let signature =
+        Element::new(QName::new(ns::DS, "Signature"))
+            .with_child(signed_info)
+            .with_child(Element::text_element(
+                QName::new(ns::DS, "SignatureValue"),
+                signature_value,
+            ))
+            .with_child(Element::new(QName::new(ns::DS, "KeyInfo")).with_child(
+                Element::text_element(QName::new(ns::DS, "KeyName"), identity.cert.key_id.clone()),
+            ));
 
     let timestamp = Element::new(QName::new(ns::WSU, "Timestamp")).with_child(
-        Element::text_element(
-            QName::new(ns::WSU, "Created"),
-            clock.now().0.to_string(),
-        ),
+        Element::text_element(QName::new(ns::WSU, "Created"), clock.now().0.to_string()),
     );
 
     let security = Element::new(QName::new(ns::WSSE, "Security"))
@@ -249,13 +244,24 @@ mod tests {
         let store = CertStore::new();
         let ca = store.authority("CN=UVA-CA");
         let alice = ca.issue("CN=alice,O=UVA-VO");
-        (store, alice, VirtualClock::new(), CostModel::calibrated_2005())
+        (
+            store,
+            alice,
+            VirtualClock::new(),
+            CostModel::calibrated_2005(),
+        )
     }
 
     fn sample_env() -> Envelope {
         Envelope::new(Element::text_element("SetCounter", "41"))
-            .with_header(Element::text_element(QName::new(ns::WSA, "Action"), "urn:set"))
-            .with_header(Element::text_element(QName::new(ns::WSA, "To"), "http://h/s"))
+            .with_header(Element::text_element(
+                QName::new(ns::WSA, "Action"),
+                "urn:set",
+            ))
+            .with_header(Element::text_element(
+                QName::new(ns::WSA, "To"),
+                "http://h/s",
+            ))
     }
 
     #[test]
@@ -276,9 +282,7 @@ mod tests {
         let after_sign = clock.now();
         assert!(after_sign.since(t0) >= SimDuration::from_micros(model.x509_sign_us));
         verify_envelope(&env, &store, &clock, &model).unwrap();
-        assert!(
-            clock.now().since(after_sign) >= SimDuration::from_micros(model.x509_verify_us)
-        );
+        assert!(clock.now().since(after_sign) >= SimDuration::from_micros(model.x509_verify_us));
     }
 
     #[test]
@@ -317,7 +321,10 @@ mod tests {
         let mallory = store.authority("CN=UVA-CA").issue("CN=mallory");
         let sec = env.header_mut(&QName::new(ns::WSSE, "Security")).unwrap();
         let sig = sec.child_mut(&QName::new(ns::DS, "Signature")).unwrap();
-        let si = sig.child(&QName::new(ns::DS, "SignedInfo")).unwrap().clone();
+        let si = sig
+            .child(&QName::new(ns::DS, "SignedInfo"))
+            .unwrap()
+            .clone();
         let forged = mac(mallory.secret(), &canonicalize(&si));
         sig.child_mut(&QName::new(ns::DS, "SignatureValue"))
             .unwrap()

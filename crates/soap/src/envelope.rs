@@ -162,7 +162,10 @@ mod tests {
         assert!(Envelope::from_wire("<NotSoap/>").is_err());
         let no_body = format!("<s:Envelope xmlns:s=\"{}\"/>", ns::SOAP);
         assert!(Envelope::from_wire(&no_body).is_err());
-        let empty_body = format!("<s:Envelope xmlns:s=\"{0}\"><s:Body/></s:Envelope>", ns::SOAP);
+        let empty_body = format!(
+            "<s:Envelope xmlns:s=\"{0}\"><s:Body/></s:Envelope>",
+            ns::SOAP
+        );
         assert!(Envelope::from_wire(&empty_body).is_err());
     }
 

@@ -123,8 +123,8 @@ mod tests {
 
     #[test]
     fn roundtrip_with_detail() {
-        let f = Fault::server("backend down")
-            .with_detail(Element::text_element("retry-after", "30"));
+        let f =
+            Fault::server("backend down").with_detail(Element::text_element("retry-after", "30"));
         let back = Fault::from_element(&f.to_element()).unwrap();
         assert_eq!(f, back);
         assert_eq!(back.detail.unwrap().text(), "30");
@@ -144,8 +144,14 @@ mod tests {
         assert_eq!(FaultCode::parse("soap:Client"), FaultCode::Client);
         assert_eq!(FaultCode::parse("Client"), FaultCode::Client);
         assert_eq!(FaultCode::parse("env:Unknown"), FaultCode::Server);
-        assert_eq!(FaultCode::parse("MustUnderstand"), FaultCode::MustUnderstand);
-        assert_eq!(FaultCode::parse("VersionMismatch"), FaultCode::VersionMismatch);
+        assert_eq!(
+            FaultCode::parse("MustUnderstand"),
+            FaultCode::MustUnderstand
+        );
+        assert_eq!(
+            FaultCode::parse("VersionMismatch"),
+            FaultCode::VersionMismatch
+        );
     }
 
     #[test]

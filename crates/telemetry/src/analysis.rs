@@ -54,10 +54,7 @@ pub fn self_time_breakdown(spans: &[SpanRecord]) -> KindBreakdown {
     }
     let mut out = KindBreakdown::default();
     for s in spans {
-        let children = child_time
-            .get(&s.id)
-            .copied()
-            .unwrap_or(SimDuration::ZERO);
+        let children = child_time.get(&s.id).copied().unwrap_or(SimDuration::ZERO);
         let self_time = s.duration().saturating_sub(children);
         if self_time > SimDuration::ZERO {
             *out.self_time

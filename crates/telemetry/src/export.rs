@@ -92,10 +92,7 @@ pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
 pub fn spans_to_chrome_trace(spans: &[SpanRecord]) -> String {
     let mut events = Vec::new();
     for s in sorted(spans) {
-        let mut args = vec![
-            ("trace", s.trace.to_hex()),
-            ("span", s.id.to_hex()),
-        ];
+        let mut args = vec![("trace", s.trace.to_hex()), ("span", s.id.to_hex())];
         for (k, v) in &s.attrs {
             args.push((k, v.clone()));
         }
@@ -201,7 +198,9 @@ mod tests {
         assert!(lines[0].contains("\"parent\":\"0000000000000002\""));
         assert!(lines[1].contains("\"parent\":null"));
         assert!(lines[0].contains("va\\\"lue"));
-        assert!(lines[0].contains("\"events\":[{\"at_us\":11,\"name\":\"fault:drop\",\"attrs\":{}}]"));
+        assert!(
+            lines[0].contains("\"events\":[{\"at_us\":11,\"name\":\"fault:drop\",\"attrs\":{}}]")
+        );
     }
 
     #[test]

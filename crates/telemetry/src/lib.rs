@@ -145,7 +145,13 @@ impl Telemetry {
         SpanId(self.inner.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
-    fn open(&self, kind: SpanKind, name: &'static str, trace: TraceId, parent: Option<SpanId>) -> Span {
+    fn open(
+        &self,
+        kind: SpanKind,
+        name: &'static str,
+        trace: TraceId,
+        parent: Option<SpanId>,
+    ) -> Span {
         let id = self.next_id();
         self.open_with_id(kind, name, trace, parent, id)
     }
@@ -374,7 +380,12 @@ mod tests {
         let remote_trace = TraceId(99);
         let remote_parent = SpanId(7);
         {
-            let s = tel.child_span(SpanKind::Delivery, "deliver", remote_trace, Some(remote_parent));
+            let s = tel.child_span(
+                SpanKind::Delivery,
+                "deliver",
+                remote_trace,
+                Some(remote_parent),
+            );
             assert_eq!(tel.current(), Some((remote_trace, s.id().unwrap())));
             // Nested spans inherit the joined context.
             let inner = tel.span(SpanKind::Security, "verify");

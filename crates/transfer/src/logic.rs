@@ -98,8 +98,7 @@ pub trait TransferLogic: Send + Sync + 'static {
                 .out_of_band(id, ctx)
                 .ok_or_else(|| Fault::client(format!("no resource `{id}`")))?,
         };
-        store
-            .upsert(id, replacement);
+        store.upsert(id, replacement);
         Ok(None)
     }
 

@@ -40,8 +40,8 @@ pub fn create_request(representation: Element) -> Element {
 /// the client if the resource representation is modified from the user's
 /// input", §3.2).
 pub fn create_response(epr: &EndpointReference, modified: Option<Element>) -> Element {
-    let mut e = Element::new(q("CreateResponse"))
-        .with_child(epr.to_element_named(q("ResourceCreated")));
+    let mut e =
+        Element::new(q("CreateResponse")).with_child(epr.to_element_named(q("ResourceCreated")));
     if let Some(rep) = modified {
         e.add_child(Element::new(q("Representation")).with_child(rep));
     }

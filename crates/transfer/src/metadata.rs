@@ -76,9 +76,7 @@ impl ResourceSchema {
         }
         for f in &self.fields {
             match representation.child_text(&f.name) {
-                None if f.required => {
-                    return Err(format!("missing required element <{}>", f.name))
-                }
+                None if f.required => return Err(format!("missing required element <{}>", f.name)),
                 None => {}
                 Some(text) => {
                     let ok = match f.datatype.as_str() {
@@ -184,14 +182,16 @@ mod tests {
         assert!(s.validate(&wrong_root).unwrap_err().contains("root"));
         let missing = Element::new("counter");
         assert!(s.validate(&missing).unwrap_err().contains("value"));
-        let wrong_type =
-            Element::new("counter").with_child(Element::text_element("value", "lots"));
+        let wrong_type = Element::new("counter").with_child(Element::text_element("value", "lots"));
         assert!(s.validate(&wrong_type).unwrap_err().contains("integer"));
     }
 
     #[test]
     fn metadata_response_roundtrip() {
-        let schemas = vec![counter_schema(), ResourceSchema::new("job").with_field("application", "string")];
+        let schemas = vec![
+            counter_schema(),
+            ResourceSchema::new("job").with_field("application", "string"),
+        ];
         let body = metadata_response(&schemas);
         assert_eq!(parse_metadata_response(&body), schemas);
     }

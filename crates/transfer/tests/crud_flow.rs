@@ -2,20 +2,25 @@
 
 use std::sync::Arc;
 
+use ogsa_addressing::EndpointReference;
 use ogsa_container::{InvokeError, Operation, OperationContext, Testbed};
 use ogsa_security::SecurityPolicy;
 use ogsa_sim::DetRng;
 use ogsa_soap::Fault;
-use ogsa_transfer::{CreateOutcome, DefaultTransferLogic, TransferLogic, TransferProxy, TransferService};
+use ogsa_transfer::{
+    CreateOutcome, DefaultTransferLogic, TransferLogic, TransferProxy, TransferService,
+};
 use ogsa_xml::Element;
 use ogsa_xmldb::Collection;
-use ogsa_addressing::EndpointReference;
 
 fn default_setup() -> (Testbed, EndpointReference) {
     let tb = Testbed::free();
     let container = tb.container("host-a", SecurityPolicy::None);
-    let (epr, _store) =
-        TransferService::deploy(&container, "/services/Store", Arc::new(DefaultTransferLogic));
+    let (epr, _store) = TransferService::deploy(
+        &container,
+        "/services/Store",
+        Arc::new(DefaultTransferLogic),
+    );
     (tb, epr)
 }
 
@@ -37,13 +42,18 @@ fn crud_lifecycle_over_the_wire() {
     let rep = proxy.get(&resource).unwrap();
     assert_eq!(rep.text(), "0");
 
-    proxy.put(&resource, Element::text_element("counter", "41")).unwrap();
+    proxy
+        .put(&resource, Element::text_element("counter", "41"))
+        .unwrap();
     assert_eq!(proxy.get(&resource).unwrap().text(), "41");
 
     proxy.delete(&resource).unwrap();
     assert!(matches!(proxy.get(&resource), Err(InvokeError::Fault(_))));
     // Delete of a deleted resource faults too.
-    assert!(matches!(proxy.delete(&resource), Err(InvokeError::Fault(_))));
+    assert!(matches!(
+        proxy.delete(&resource),
+        Err(InvokeError::Fault(_))
+    ));
 }
 
 #[test]
@@ -52,15 +62,22 @@ fn put_performs_the_extra_read() {
     // ... to be read from the database and updated ... before being stored."
     let tb = Testbed::free();
     let container = tb.container("host-a", SecurityPolicy::None);
-    let (factory, _) =
-        TransferService::deploy(&container, "/services/Store", Arc::new(DefaultTransferLogic));
+    let (factory, _) = TransferService::deploy(
+        &container,
+        "/services/Store",
+        Arc::new(DefaultTransferLogic),
+    );
     let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
     let proxy = TransferProxy::new(&client);
-    let (resource, _) = proxy.create(&factory, Element::text_element("c", "0")).unwrap();
+    let (resource, _) = proxy
+        .create(&factory, Element::text_element("c", "0"))
+        .unwrap();
 
     let reads_before = tb.db("host-a").stats().reads();
     let updates_before = tb.db("host-a").stats().updates();
-    proxy.put(&resource, Element::text_element("c", "1")).unwrap();
+    proxy
+        .put(&resource, Element::text_element("c", "1"))
+        .unwrap();
     assert_eq!(tb.db("host-a").stats().reads(), reads_before + 1);
     assert_eq!(tb.db("host-a").stats().updates(), updates_before + 1);
 }
@@ -109,7 +126,8 @@ impl TransferLogic for CustomLogic {
 fn create_may_modify_the_representation() {
     let tb = Testbed::free();
     let container = tb.container("host-a", SecurityPolicy::None);
-    let (factory, _) = TransferService::deploy(&container, "/services/Custom", Arc::new(CustomLogic));
+    let (factory, _) =
+        TransferService::deploy(&container, "/services/Custom", Arc::new(CustomLogic));
     let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
     let proxy = TransferProxy::new(&client);
 
@@ -125,7 +143,8 @@ fn out_of_band_resources_are_gettable() {
     // corresponding Create() had not been previously issued" (§3.2).
     let tb = Testbed::free();
     let container = tb.container("host-a", SecurityPolicy::None);
-    let (factory, _) = TransferService::deploy(&container, "/services/Custom", Arc::new(CustomLogic));
+    let (factory, _) =
+        TransferService::deploy(&container, "/services/Custom", Arc::new(CustomLogic));
     let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
     let proxy = TransferProxy::new(&client);
 
@@ -170,11 +189,16 @@ fn works_under_https_and_x509() {
     for policy in [SecurityPolicy::Https, SecurityPolicy::X509Sign] {
         let tb = Testbed::free();
         let container = tb.container("host-a", policy);
-        let (factory, _) =
-            TransferService::deploy(&container, "/services/Store", Arc::new(DefaultTransferLogic));
+        let (factory, _) = TransferService::deploy(
+            &container,
+            "/services/Store",
+            Arc::new(DefaultTransferLogic),
+        );
         let client = tb.client("host-b", "CN=alice", policy);
         let proxy = TransferProxy::new(&client);
-        let (resource, _) = proxy.create(&factory, Element::text_element("c", "5")).unwrap();
+        let (resource, _) = proxy
+            .create(&factory, Element::text_element("c", "5"))
+            .unwrap();
         assert_eq!(proxy.get(&resource).unwrap().text(), "5");
         proxy.delete(&resource).unwrap();
     }
@@ -188,7 +212,9 @@ fn multiple_resource_types_can_coexist_in_one_service() {
     let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
     let proxy = TransferProxy::new(&client);
 
-    let (counter, _) = proxy.create(&factory, Element::text_element("counter", "1")).unwrap();
+    let (counter, _) = proxy
+        .create(&factory, Element::text_element("counter", "1"))
+        .unwrap();
     let (job, _) = proxy
         .create(
             &factory,

@@ -33,14 +33,15 @@ fn client_discovers_schema_instead_of_hardcoding() {
     assert_eq!(schema.root, "counter");
 
     // Build a conforming representation *from the discovered schema*.
-    let rep = Element::new(schema.root.as_str())
-        .with_child(Element::text_element("value", "7"));
+    let rep = Element::new(schema.root.as_str()).with_child(Element::text_element("value", "7"));
     schema.validate(&rep).expect("conforms");
     let (resource, _) = proxy.create(&factory, rep).unwrap();
 
     // And validate what comes back.
     let fetched = proxy.get(&resource).unwrap();
-    schema.validate(&fetched).expect("server representation conforms");
+    schema
+        .validate(&fetched)
+        .expect("server representation conforms");
 }
 
 #[test]
@@ -74,7 +75,9 @@ fn services_without_metadata_keep_the_papers_behaviour() {
         Arc::new(DefaultTransferLogic),
     );
     let client = tb.client("host-b", "CN=alice", SecurityPolicy::None);
-    let err = TransferProxy::new(&client).get_metadata(&factory).unwrap_err();
+    let err = TransferProxy::new(&client)
+        .get_metadata(&factory)
+        .unwrap_err();
     assert!(matches!(err, InvokeError::Fault(f) if f.reason.contains("does not define")));
 }
 

@@ -84,9 +84,15 @@ mod tests {
             after: SimDuration::ZERO
         }
         .is_retryable());
-        assert!(TransportError::Dropped { address: "a".into() }.is_retryable());
+        assert!(TransportError::Dropped {
+            address: "a".into()
+        }
+        .is_retryable());
         assert!(TransportError::WireGarbage { detail: "x".into() }.is_retryable());
-        assert!(!TransportError::NoEndpoint { address: "a".into() }.is_retryable());
+        assert!(!TransportError::NoEndpoint {
+            address: "a".into()
+        }
+        .is_retryable());
         assert!(!TransportError::Closed.is_retryable());
     }
 }

@@ -164,13 +164,7 @@ impl FaultPlan {
     }
 
     /// Partition `a` and `b` (symmetric) for `[from, until)` simulated time.
-    pub fn with_partition(
-        mut self,
-        a: &str,
-        b: &str,
-        from: SimInstant,
-        until: SimInstant,
-    ) -> Self {
+    pub fn with_partition(mut self, a: &str, b: &str, from: SimInstant, until: SimInstant) -> Self {
         self.partitions.push(Partition {
             a: a.to_owned(),
             b: b.to_owned(),
@@ -236,7 +230,10 @@ impl FaultPlan {
             let word = mix64(&[self.seed, seq, 6]);
             let at = (word % wire.len() as u64) as usize;
             // Stay on a char boundary.
-            (0..=at).rev().find(|i| wire.is_char_boundary(*i)).unwrap_or(0)
+            (0..=at)
+                .rev()
+                .find(|i| wire.is_char_boundary(*i))
+                .unwrap_or(0)
         };
         format!("{}<&garbled", &wire[..cut])
     }
@@ -277,8 +274,12 @@ mod tests {
 
     #[test]
     fn decisions_are_replayable() {
-        let a = FaultPlan::seeded(42).with_drops(0.3).with_delays(0.3, SimDuration::from_millis(5.0));
-        let b = FaultPlan::seeded(42).with_drops(0.3).with_delays(0.3, SimDuration::from_millis(5.0));
+        let a = FaultPlan::seeded(42)
+            .with_drops(0.3)
+            .with_delays(0.3, SimDuration::from_millis(5.0));
+        let b = FaultPlan::seeded(42)
+            .with_drops(0.3)
+            .with_delays(0.3, SimDuration::from_millis(5.0));
         for seq in 0..200 {
             assert_eq!(
                 a.decide("h1", "h2", seq, SimInstant(seq)),

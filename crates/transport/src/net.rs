@@ -1,7 +1,7 @@
 //! The network: endpoint registry, ports, and the three bindings.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
@@ -63,6 +63,68 @@ enum OnewayOutcome {
     Retry(OnewayJob),
 }
 
+/// In-flight one-way message count with a worker-idle signal: the delivery
+/// worker notifies the condvar whenever the count drains to zero, so
+/// [`Network::quiesce`] blocks on the signal instead of sleep-polling
+/// wall-clock time (which flaked on slow machines and put a wall-clock
+/// dependency inside an otherwise virtual-time simulation).
+#[derive(Default)]
+struct PendingOneways {
+    count: std::sync::Mutex<u64>,
+    idle: std::sync::Condvar,
+}
+
+impl PendingOneways {
+    fn count(&self) -> std::sync::MutexGuard<'_, u64> {
+        self.count.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// A one-way message was accepted for background delivery.
+    fn accept(&self) {
+        *self.count() += 1;
+    }
+
+    /// A previously accepted message reached a terminal state.
+    fn resolve(&self) {
+        let mut count = self.count();
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn current(&self) -> u64 {
+        *self.count()
+    }
+
+    /// Wait for the count to drain to zero, or `timeout`.
+    fn wait_idle(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut count = self.count();
+        while *count > 0 {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return false;
+            };
+            count = match self.idle.wait_timeout(count, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        true
+    }
+
+    /// Wait for the count to drain to zero, without a timeout.
+    fn wait_idle_forever(&self) {
+        let mut count = self.count();
+        while *count > 0 {
+            count = match self.idle.wait(count) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
 struct NetInner {
     clock: VirtualClock,
     model: Arc<CostModel>,
@@ -83,8 +145,9 @@ struct NetInner {
     /// Messages that exhausted their redelivery budget.
     dead_letters: Mutex<Vec<DeadLetter>>,
     /// One-way messages accepted but not yet terminally resolved
-    /// (delivered, dropped for good, or dead-lettered).
-    pending_oneways: AtomicU64,
+    /// (delivered, dropped for good, or dead-lettered), with the
+    /// worker-idle signal `quiesce` drains on.
+    pending_oneways: PendingOneways,
     /// Causal tracing + metrics handle shared with the rest of the substrate.
     tel: Telemetry,
     /// When set, one-way sends deliver inline on the sender's thread instead
@@ -122,7 +185,7 @@ impl Network {
             fault_plan: RwLock::new(None),
             edge_seqs: Mutex::new(HashMap::new()),
             dead_letters: Mutex::new(Vec::new()),
-            pending_oneways: AtomicU64::new(0),
+            pending_oneways: PendingOneways::default(),
             tel,
             sync_oneways: AtomicBool::new(false),
         });
@@ -149,7 +212,7 @@ impl Network {
                     let net = Network { inner };
                     match net.deliver_oneway(job) {
                         OnewayOutcome::Terminal => {
-                            net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+                            net.inner.pending_oneways.resolve();
                         }
                         OnewayOutcome::Retry(job) => {
                             let requeued = net
@@ -160,7 +223,7 @@ impl Network {
                                 .map(|tx| tx.send(job).is_ok())
                                 .unwrap_or(false);
                             if !requeued {
-                                net.inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+                                net.inner.pending_oneways.resolve();
                             }
                         }
                     }
@@ -270,31 +333,29 @@ impl Network {
     /// How many one-way messages are accepted but not yet terminally
     /// resolved (delivered, dropped for good, or dead-lettered).
     pub fn pending_oneways(&self) -> u64 {
-        self.inner.pending_oneways.load(Ordering::SeqCst)
+        self.inner.pending_oneways.current()
     }
 
-    /// Block (wall-clock) until every accepted one-way message reaches a
-    /// terminal state, or `timeout` elapses. Returns `true` when drained.
-    /// Tests use this instead of sleep-polling: after `quiesce`, delivery
-    /// counts, dead letters, and stats are final.
+    /// Block until every accepted one-way message reaches a terminal state,
+    /// woken by the delivery worker's idle signal (no sleep-polling, no
+    /// machine-speed sensitivity). Returns `true` when drained; the timeout
+    /// is purely a liveness backstop against a wedged worker. After a `true`
+    /// return, delivery counts, dead letters, and stats are final.
     pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while self.pending_oneways() > 0 {
-            if std::time::Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(std::time::Duration::from_micros(200));
-        }
-        true
+        self.inner.pending_oneways.wait_idle(timeout)
+    }
+
+    /// [`Network::quiesce`] without the backstop: wait on the worker-idle
+    /// signal however long the drain takes.
+    pub fn drain(&self) {
+        self.inner.pending_oneways.wait_idle_forever();
     }
 
     /// Next per-edge sequence number for a message from `from` to the
     /// destination address `to`.
     fn next_edge_seq(&self, from: &str, to: &str) -> u64 {
         let mut seqs = self.inner.edge_seqs.lock();
-        let seq = seqs
-            .entry((from.to_owned(), to.to_owned()))
-            .or_insert(0);
+        let seq = seqs.entry((from.to_owned(), to.to_owned())).or_insert(0);
         let current = *seq;
         *seq += 1;
         current
@@ -313,18 +374,26 @@ impl Network {
     fn charge_connection(&self, from: &str, to: &str, scheme: &str) {
         let m = &self.inner.model;
         let key = (from.to_owned(), to.to_owned(), scheme.to_owned());
-        let mut pool = self.inner.connections.lock();
-        if !pool.contains(&key) {
-            self.inner.clock.advance(SimDuration::from_micros(m.tcp_connect_us));
+        // Decide under each lock, charge after releasing it: the pool and
+        // session caches are network-global, and holding them across a
+        // charged handshake would serialise unrelated clients' connection
+        // setup (the lock-hold-across-charged-work pattern the container
+        // dispatch path is audited for). Two clients racing the same fresh
+        // edge each pay the full setup — exactly what a real pool does.
+        let fresh_connection = self.inner.connections.lock().insert(key);
+        if fresh_connection {
+            self.inner
+                .clock
+                .advance(SimDuration::from_micros(m.tcp_connect_us));
             self.inner.stats.record_connect();
-            pool.insert(key);
         }
-        drop(pool);
         if scheme == "https" {
-            let session_key = (from.to_owned(), to.to_owned());
             let cache_enabled = *self.inner.tls_session_cache.read();
-            let mut sessions = self.inner.tls_sessions.lock();
-            if cache_enabled && sessions.contains(&session_key) {
+            let resumed = cache_enabled && {
+                let session_key = (from.to_owned(), to.to_owned());
+                !self.inner.tls_sessions.lock().insert(session_key)
+            };
+            if resumed {
                 let _s = self.inner.tel.span(SpanKind::Security, "tls:resume");
                 self.inner
                     .clock
@@ -336,9 +405,6 @@ impl Network {
                     .clock
                     .advance(SimDuration::from_micros(m.tls_handshake_us));
                 self.inner.stats.record_tls_handshake();
-                if cache_enabled {
-                    sessions.insert(session_key);
-                }
             }
         }
     }
@@ -419,9 +485,7 @@ impl Network {
         } else {
             m.http_request_overhead_us
         };
-        self.inner
-            .clock
-            .advance(SimDuration::from_micros(overhead));
+        self.inner.clock.advance(SimDuration::from_micros(overhead));
         if let Some(extra) = decision.delay {
             self.inner.clock.advance(extra);
             self.inner.stats.record_injected_delay();
@@ -472,18 +536,18 @@ impl Network {
         };
         if decision.duplicate {
             // A second copy of the same bytes arrives back-to-back.
-            self.inner
-                .clock
-                .advance(SimDuration::from_micros(overhead));
+            self.inner.clock.advance(SimDuration::from_micros(overhead));
             self.charge_wire(job.wire.len(), &job.from_host, &to_host, &scheme);
             self.inner.stats.record_oneway(job.wire.len());
             self.inner.stats.record_injected_duplicate();
             self.inner.clock.advance(m.soap_time(job.wire.len()));
             span.event("fault:duplicate");
-            tel.metrics().inc("oneway.delivered", &[("scheme", &scheme)]);
+            tel.metrics()
+                .inc("oneway.delivered", &[("scheme", &scheme)]);
             h(env.clone());
         }
-        tel.metrics().inc("oneway.delivered", &[("scheme", &scheme)]);
+        tel.metrics()
+            .inc("oneway.delivered", &[("scheme", &scheme)]);
         h(env);
         OnewayOutcome::Terminal
     }
@@ -635,7 +699,8 @@ impl Port {
             .advance(SimDuration::from_micros(m.http_request_overhead_us));
 
         // Request over the wire.
-        self.net.charge_wire(wire.len(), &self.host, &to_host, &scheme);
+        self.net
+            .charge_wire(wire.len(), &self.host, &to_host, &scheme);
         inner.stats.record_request(wire.len());
 
         if decision.drop {
@@ -775,7 +840,10 @@ impl Port {
             inner.clock.advance(inner.model.soap_time(wire.len()));
             wire
         };
-        inner.tel.metrics().inc("oneway.sent", &[("scheme", scheme)]);
+        inner
+            .tel
+            .metrics()
+            .inc("oneway.sent", &[("scheme", scheme)]);
         let seq = self.net.next_edge_seq(&self.host, address);
         let now = inner.clock.now();
         let mut job = OnewayJob {
@@ -799,11 +867,11 @@ impl Port {
                 }
             }
         }
-        inner.pending_oneways.fetch_add(1, Ordering::SeqCst);
+        inner.pending_oneways.accept();
         if let Some(tx) = inner.oneway_tx.lock().as_ref() {
             let _ = tx.send(job);
         } else {
-            inner.pending_oneways.fetch_sub(1, Ordering::SeqCst);
+            inner.pending_oneways.resolve();
         }
     }
 }
@@ -828,7 +896,10 @@ mod tests {
         net.bind("http://host-a/svc", echo_handler());
         let port = net.port("host-a");
         let resp = port
-            .call("http://host-a/svc", Envelope::new(Element::text_element("Hi", "x")))
+            .call(
+                "http://host-a/svc",
+                Envelope::new(Element::text_element("Hi", "x")),
+            )
             .unwrap();
         assert_eq!(resp.body.attr_local("echoed"), Some("true"));
         assert_eq!(resp.body.text(), "x");
@@ -933,8 +1004,10 @@ mod tests {
                 hits2.fetch_add(1, Ordering::SeqCst);
             }),
         );
-        net.port("host-a")
-            .send_oneway("tcp://client-1/notify", Envelope::new(Element::text_element("N", "ding")));
+        net.port("host-a").send_oneway(
+            "tcp://client-1/notify",
+            Envelope::new(Element::text_element("N", "ding")),
+        );
         // Wait for the background worker.
         for _ in 0..200 {
             if hits.load(Ordering::SeqCst) == 1 {
@@ -1052,7 +1125,11 @@ mod tests {
         let t0 = net.clock().now();
         let err = net
             .port("h")
-            .call_with_deadline("http://h/svc", Envelope::new(Element::new("X")), Some(budget))
+            .call_with_deadline(
+                "http://h/svc",
+                Envelope::new(Element::new("X")),
+                Some(budget),
+            )
             .unwrap_err();
         assert!(matches!(err, TransportError::Timeout { .. }));
         assert_eq!(net.clock().now().since(t0), budget);
@@ -1120,7 +1197,10 @@ mod tests {
         // Partition covers the first two logical attempts; backoff carries
         // the third past the window.
         let policy = RetryPolicy::default_redelivery(1)
-            .with_backoff(SimDuration::from_millis(50.0), SimDuration::from_millis(50.0))
+            .with_backoff(
+                SimDuration::from_millis(50.0),
+                SimDuration::from_millis(50.0),
+            )
             .with_jitter(0.0)
             .with_max_attempts(4);
         net.set_fault_plan(FaultPlan::seeded(1).with_partition(
@@ -1137,8 +1217,11 @@ mod tests {
                 hits2.fetch_add(1, Ordering::SeqCst);
             }),
         );
-        net.port("h")
-            .send_oneway_with_policy("tcp://c/notify", Envelope::new(Element::new("N")), Some(policy));
+        net.port("h").send_oneway_with_policy(
+            "tcp://c/notify",
+            Envelope::new(Element::new("N")),
+            Some(policy),
+        );
         assert!(net.quiesce(std::time::Duration::from_secs(5)));
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         assert_eq!(net.stats().partition_refusals(), 2);
@@ -1165,8 +1248,11 @@ mod tests {
                 hits2.fetch_add(1, Ordering::SeqCst);
             }),
         );
-        net.port("h")
-            .send_oneway_with_policy("tcp://c/notify", Envelope::new(Element::new("N")), Some(policy));
+        net.port("h").send_oneway_with_policy(
+            "tcp://c/notify",
+            Envelope::new(Element::new("N")),
+            Some(policy),
+        );
         assert!(net.quiesce(std::time::Duration::from_secs(5)));
         assert_eq!(hits.load(Ordering::SeqCst), 0);
         let dead = net.dead_letters();
@@ -1184,8 +1270,11 @@ mod tests {
         // listening on retries on its own, then gives up.
         let net = Network::free();
         let policy = RetryPolicy::default_redelivery(9).with_max_attempts(3);
-        net.port("h")
-            .send_oneway_with_policy("tcp://c/notify", Envelope::new(Element::new("N")), Some(policy));
+        net.port("h").send_oneway_with_policy(
+            "tcp://c/notify",
+            Envelope::new(Element::new("N")),
+            Some(policy),
+        );
         assert!(net.quiesce(std::time::Duration::from_secs(5)));
         let dead = net.dead_letters();
         assert_eq!(dead.len(), 1);
@@ -1213,7 +1302,9 @@ mod tests {
         let spans = net.telemetry().finished_spans();
         assert!(spans.iter().any(|s| s.name == "oneway:deliver"));
         assert_eq!(
-            net.telemetry().metrics().counter("oneway.delivered", &[("scheme", "tcp")]),
+            net.telemetry()
+                .metrics()
+                .counter("oneway.delivered", &[("scheme", "tcp")]),
             1
         );
     }
@@ -1281,11 +1372,14 @@ mod tests {
         let net = Network::new(VirtualClock::new(), model);
         net.bind("http://a/svc", echo_handler());
         let p = net.port("b");
-        p.call("http://a/svc", Envelope::new(Element::new("X"))).unwrap();
-        p.call("http://a/svc", Envelope::new(Element::new("X"))).unwrap();
+        p.call("http://a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        p.call("http://a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
         assert_eq!(net.stats().connects(), 1);
         net.reset_connections();
-        p.call("http://a/svc", Envelope::new(Element::new("X"))).unwrap();
+        p.call("http://a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
         assert_eq!(net.stats().connects(), 2);
     }
 }

@@ -1,0 +1,161 @@
+//! Determinism of the one-way delivery path under a concurrent driver.
+//!
+//! Fault decisions are pure functions of (seed, edge, per-edge sequence
+//! number), and `Network::drain` now waits on the worker-idle condvar rather
+//! than sleep-polling wall clock. Together those must make the per-edge
+//! outcome of a multi-threaded workload reproducible: two runs with the same
+//! seed yield identical delivery counts, identical dead letters, and
+//! identical fault ledgers, regardless of OS thread interleaving.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Barrier, Mutex};
+
+use ogsa_sim::SimDuration;
+use ogsa_soap::Envelope;
+use ogsa_transport::{FaultPlan, Network, RetryPolicy};
+use ogsa_xml::Element;
+
+const THREADS: usize = 6;
+const SENDS_PER_THREAD: u32 = 30;
+
+/// Everything observable about one run that must be seed-deterministic.
+/// `enqueued_at` is deliberately excluded from the dead-letter projection:
+/// concurrent senders advance the shared virtual clock in whatever order the
+/// scheduler picks, so timestamps are not part of the guarantee — outcomes
+/// are.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    delivered: BTreeMap<String, u64>,
+    dead: Vec<(String, String, u32, &'static str, usize)>,
+    oneways: u64,
+    drops: u64,
+    delays: u64,
+    duplicates: u64,
+    retries: u64,
+    dead_letters: u64,
+}
+
+fn run(seed: u64) -> Outcome {
+    let net = Network::free();
+    net.set_fault_plan(
+        FaultPlan::seeded(seed)
+            .with_drops(0.30)
+            .with_delays(0.20, SimDuration::from_millis(5.0))
+            .with_duplicates(0.15),
+    );
+
+    let delivered: Arc<Mutex<BTreeMap<String, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    for t in 0..THREADS {
+        let sink = format!("http://svc-host/sink-{t}");
+        let delivered = delivered.clone();
+        net.bind_oneway(
+            &sink,
+            Arc::new(move |_env: Envelope| {
+                *delivered
+                    .lock()
+                    .unwrap()
+                    .entry(format!("sink-{t}"))
+                    .or_insert(0) += 1;
+            }),
+        );
+    }
+
+    // Each thread drives its own edge (own client host, own sink), so the
+    // per-edge fault sequence numbers it consumes cannot be perturbed by the
+    // other threads. A barrier maximises real interleaving.
+    let barrier = Arc::new(Barrier::new(THREADS));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let net = &net;
+            let barrier = barrier.clone();
+            s.spawn(move || {
+                let port = net.port(&format!("client-{t}"));
+                let sink = format!("http://svc-host/sink-{t}");
+                let policy = RetryPolicy::default_redelivery(seed ^ t as u64).with_max_attempts(4);
+                barrier.wait();
+                for i in 0..SENDS_PER_THREAD {
+                    port.send_oneway_with_policy(
+                        &sink,
+                        Envelope::new(Element::text_element("N", i.to_string())),
+                        Some(policy.clone()),
+                    );
+                }
+            });
+        }
+    });
+
+    // The worker-idle signal is the only synchronisation here: no sleeps, no
+    // polling loop in the test, and afterwards nothing may be in flight.
+    net.drain();
+    assert_eq!(
+        net.pending_oneways(),
+        0,
+        "drain returned with work in flight"
+    );
+
+    let mut dead: Vec<_> = net
+        .dead_letters()
+        .into_iter()
+        .map(|d| {
+            (
+                d.from_host,
+                d.to,
+                d.attempts,
+                d.reason.label(),
+                d.wire_bytes,
+            )
+        })
+        .collect();
+    // Vec order reflects worker completion order (scheduler-dependent); the
+    // multiset of per-edge outcomes is what determinism promises.
+    dead.sort();
+
+    let snap = net.stats().snapshot();
+    let delivered = delivered.lock().unwrap().clone();
+    Outcome {
+        delivered,
+        dead,
+        oneways: snap.oneways,
+        drops: snap.injected_drops,
+        delays: snap.injected_delays,
+        duplicates: snap.injected_duplicates,
+        retries: snap.retries,
+        dead_letters: snap.dead_letters,
+    }
+}
+
+#[test]
+fn concurrent_oneway_outcomes_are_seed_deterministic() {
+    let first = run(0xfeed_5eed);
+    let second = run(0xfeed_5eed);
+    assert_eq!(first, second);
+
+    // Sanity on the workload itself: the `oneways` stat counts delivery
+    // attempts, so redelivery pushes it past the original send count; faults
+    // actually fired; and nothing was lost without a dead-letter record.
+    let sent = (THREADS as u32 * SENDS_PER_THREAD) as u64;
+    assert!(
+        first.oneways >= sent,
+        "attempts {} < sends {sent}",
+        first.oneways
+    );
+    assert!(first.drops > 0, "fault plan injected no drops");
+    let delivered_total: u64 = first.delivered.values().sum();
+    assert!(
+        delivered_total + first.dead_letters >= sent,
+        "messages vanished without a dead letter: delivered {delivered_total} + dead {} < sent {sent}",
+        first.dead_letters,
+    );
+}
+
+#[test]
+fn different_seeds_reach_different_schedules() {
+    // Guards against the plan degenerating into ignoring its seed, which
+    // would make the determinism assertion above vacuous.
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        (a.drops, a.delays, a.duplicates, a.retries),
+        (b.drops, b.delays, b.duplicates, b.retries)
+    );
+}

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use ogsa_sim::SimDuration;
 use ogsa_soap::Envelope;
-use ogsa_transport::{FaultPlan, Network, NetStatsSnapshot, RetryPolicy};
+use ogsa_transport::{FaultPlan, NetStatsSnapshot, Network, RetryPolicy};
 use ogsa_xml::Element;
 use proptest::prelude::*;
 
@@ -66,7 +66,10 @@ fn run_workload(plan: Option<FaultPlan>, calls: u32, oneways: u32, seed: u64) ->
             Some(policy.clone()),
         );
     }
-    assert!(net.quiesce(Duration::from_secs(10)), "delivery queue drained");
+    assert!(
+        net.quiesce(Duration::from_secs(10)),
+        "delivery queue drained"
+    );
     net.stats().snapshot()
 }
 

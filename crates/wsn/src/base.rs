@@ -86,8 +86,7 @@ impl SubscribeRequest {
     }
 
     pub fn from_element(e: &Element) -> Option<Self> {
-        let consumer =
-            EndpointReference::from_element(e.child_local("ConsumerReference")?).ok()?;
+        let consumer = EndpointReference::from_element(e.child_local("ConsumerReference")?).ok()?;
         let te = e.child_local("TopicExpression")?;
         let dialect = TopicDialect::from_uri(te.attr_local("Dialect").unwrap_or(""))?;
         let topic = TopicExpression {
@@ -101,9 +100,7 @@ impl SubscribeRequest {
             initial_termination: e
                 .child_parse::<u64>("InitialTerminationTime")
                 .map(SimInstant),
-            use_notify: e
-                .child_parse::<bool>("UseNotify")
-                .unwrap_or(true),
+            use_notify: e.child_parse::<bool>("UseNotify").unwrap_or(true),
         })
     }
 
@@ -169,8 +166,7 @@ impl Subscription {
     }
 
     pub fn from_document(id: &str, e: &Element) -> Option<Self> {
-        let consumer =
-            EndpointReference::from_element(e.child_local("ConsumerReference")?).ok()?;
+        let consumer = EndpointReference::from_element(e.child_local("ConsumerReference")?).ok()?;
         let te = e.child_local("TopicExpression")?;
         let dialect = TopicDialect::from_uri(te.attr_local("Dialect").unwrap_or(""))?;
         Some(Subscription {

@@ -154,7 +154,9 @@ impl BrokerCore {
             if !reg.demand {
                 continue;
             }
-            let Some(upstream) = &reg.upstream else { continue };
+            let Some(upstream) = &reg.upstream else {
+                continue;
+            };
             let wanted = subs
                 .iter()
                 .any(|s| !s.paused && s.topic.matches(&reg.topic));
@@ -163,11 +165,10 @@ impl BrokerCore {
                     reg.active = true;
                     calls += 1;
                 }
-            } else if !wanted && reg.active
-                && proxy.pause(upstream).is_ok() {
-                    reg.active = false;
-                    calls += 1;
-                }
+            } else if !wanted && reg.active && proxy.pause(upstream).is_ok() {
+                reg.active = false;
+                calls += 1;
+            }
         }
         calls
     }
@@ -233,11 +234,9 @@ impl WebService for BrokerWebService {
                 // Pause immediately if nobody downstream wants the topic.
                 self.core.recheck_demand();
 
-                let reg_epr =
-                    EndpointReference::resource(ctx.own_address().to_owned(), id);
-                Ok(Element::new(q("RegisterPublisherResponse")).with_child(
-                    reg_epr.to_element_named(q("PublisherRegistrationReference")),
-                ))
+                let reg_epr = EndpointReference::resource(ctx.own_address().to_owned(), id);
+                Ok(Element::new(q("RegisterPublisherResponse"))
+                    .with_child(reg_epr.to_element_named(q("PublisherRegistrationReference"))))
             }
             other => Err(Fault::client(format!(
                 "unknown operation `{other}` on NotificationBroker"

@@ -35,7 +35,7 @@ pub mod manager;
 pub mod producer;
 pub mod topics;
 
-pub use base::{NotificationMessage, Subscription, SubscribeRequest};
+pub use base::{NotificationMessage, SubscribeRequest, Subscription};
 pub use broker::BrokerService;
 pub use consumer::NotificationConsumer;
 pub use manager::{SubscriptionManagerService, SubscriptionStore};

@@ -18,7 +18,7 @@ use ogsa_wsrf::service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHos
 use ogsa_wsrf::TerminationTime;
 use ogsa_xml::Element;
 
-use crate::base::{actions, Subscription, SubscribeRequest};
+use crate::base::{actions, SubscribeRequest, Subscription};
 use crate::topics::TopicPath;
 
 /// Shared, database-backed subscription state: used by the producer (to
@@ -170,8 +170,11 @@ impl<'a> SubscriptionProxy<'a> {
         &self,
         subscription: &EndpointReference,
     ) -> Result<(), ogsa_container::InvokeError> {
-        self.agent
-            .invoke(subscription, actions::PAUSE, Element::new("PauseSubscription"))?;
+        self.agent.invoke(
+            subscription,
+            actions::PAUSE,
+            Element::new("PauseSubscription"),
+        )?;
         Ok(())
     }
 
@@ -179,8 +182,11 @@ impl<'a> SubscriptionProxy<'a> {
         &self,
         subscription: &EndpointReference,
     ) -> Result<(), ogsa_container::InvokeError> {
-        self.agent
-            .invoke(subscription, actions::RESUME, Element::new("ResumeSubscription"))?;
+        self.agent.invoke(
+            subscription,
+            actions::RESUME,
+            Element::new("ResumeSubscription"),
+        )?;
         Ok(())
     }
 }

@@ -258,7 +258,11 @@ mod tests {
 
     #[test]
     fn dialect_uris_roundtrip() {
-        for d in [TopicDialect::Simple, TopicDialect::Concrete, TopicDialect::Full] {
+        for d in [
+            TopicDialect::Simple,
+            TopicDialect::Concrete,
+            TopicDialect::Full,
+        ] {
             assert_eq!(TopicDialect::from_uri(d.uri()), Some(d));
         }
         assert_eq!(TopicDialect::from_uri("urn:junk"), None);

@@ -45,7 +45,10 @@ impl WebService for PublisherService {
 fn policy() -> RetryPolicy {
     RetryPolicy::default_redelivery(0)
         .with_max_attempts(4)
-        .with_backoff(SimDuration::from_millis(100.0), SimDuration::from_millis(400.0))
+        .with_backoff(
+            SimDuration::from_millis(100.0),
+            SimDuration::from_millis(400.0),
+        )
         .with_jitter(0.0)
 }
 
@@ -91,17 +94,22 @@ fn emit(producer: &NotificationProducer) {
 #[test]
 fn notifications_redeliver_through_a_partition_window() {
     let (tb, consumer, producer) = setup(true);
-    tb.network().set_fault_plan(FaultPlan::seeded(2).with_partition(
-        "host-a",
-        "client-1",
-        SimInstant(0),
-        tb.clock().now().plus(SimDuration::from_millis(250.0)),
-    ));
+    tb.network()
+        .set_fault_plan(FaultPlan::seeded(2).with_partition(
+            "host-a",
+            "client-1",
+            SimInstant(0),
+            tb.clock().now().plus(SimDuration::from_millis(250.0)),
+        ));
 
     emit(&producer);
     assert!(tb.network().quiesce(DRAIN));
 
-    assert_eq!(consumer.drain().len(), 1, "healed subscriber gets the message");
+    assert_eq!(
+        consumer.drain().len(),
+        1,
+        "healed subscriber gets the message"
+    );
     assert_eq!(tb.network().stats().retries(), 2);
     assert!(tb.network().dead_letters().is_empty());
 }
@@ -109,12 +117,13 @@ fn notifications_redeliver_through_a_partition_window() {
 #[test]
 fn exhausted_redelivery_dead_letters_the_notification() {
     let (tb, consumer, producer) = setup(true);
-    tb.network().set_fault_plan(FaultPlan::seeded(2).with_partition(
-        "host-a",
-        "client-1",
-        SimInstant(0),
-        SimInstant(u64::MAX),
-    ));
+    tb.network()
+        .set_fault_plan(FaultPlan::seeded(2).with_partition(
+            "host-a",
+            "client-1",
+            SimInstant(0),
+            SimInstant(u64::MAX),
+        ));
 
     emit(&producer);
     assert!(tb.network().quiesce(DRAIN));
@@ -131,12 +140,13 @@ fn exhausted_redelivery_dead_letters_the_notification() {
 #[test]
 fn without_redelivery_notifications_are_simply_lost() {
     let (tb, consumer, producer) = setup(false);
-    tb.network().set_fault_plan(FaultPlan::seeded(2).with_partition(
-        "host-a",
-        "client-1",
-        SimInstant(0),
-        SimInstant(u64::MAX),
-    ));
+    tb.network()
+        .set_fault_plan(FaultPlan::seeded(2).with_partition(
+            "host-a",
+            "client-1",
+            SimInstant(0),
+            SimInstant(u64::MAX),
+        ));
 
     emit(&producer);
     assert!(tb.network().quiesce(DRAIN));

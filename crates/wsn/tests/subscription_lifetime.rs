@@ -116,19 +116,22 @@ fn subscription_resource_properties_are_readable() {
     let client = tb.client("client-1", "CN=a", SecurityPolicy::None);
     let consumer = NotificationConsumer::listen(&client, "/c");
 
-    let req = SubscribeRequest::new(
-        consumer.epr().clone(),
-        TopicExpression::concrete("a/b"),
-    )
-    .with_selector("/M[v > 1]");
+    let req = SubscribeRequest::new(consumer.epr().clone(), TopicExpression::concrete("a/b"))
+        .with_selector("/M[v > 1]");
     let resp = client
         .invoke(&publisher, actions::SUBSCRIBE, req.to_element())
         .unwrap();
     let sub_epr = SubscribeRequest::parse_response(&resp).unwrap();
 
     let proxy = WsrfProxy::new(&client);
-    assert_eq!(proxy.get_property_text(&sub_epr, "Paused").unwrap(), "false");
-    assert_eq!(proxy.get_property_text(&sub_epr, "Selector").unwrap(), "/M[v > 1]");
+    assert_eq!(
+        proxy.get_property_text(&sub_epr, "Paused").unwrap(),
+        "false"
+    );
+    assert_eq!(
+        proxy.get_property_text(&sub_epr, "Selector").unwrap(),
+        "/M[v > 1]"
+    );
     let te = proxy.get_property(&sub_epr, "TopicExpression").unwrap();
     assert_eq!(te[0].text().trim(), "a/b");
 }

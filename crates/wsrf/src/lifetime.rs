@@ -38,7 +38,9 @@ impl TerminationTime {
         if s.eq_ignore_ascii_case("infinity") {
             return Some(TerminationTime::Never);
         }
-        s.parse::<u64>().ok().map(|v| TerminationTime::At(SimInstant(v)))
+        s.parse::<u64>()
+            .ok()
+            .map(|v| TerminationTime::At(SimInstant(v)))
     }
 }
 
@@ -68,8 +70,14 @@ pub fn parse_set_termination(body: &Element) -> Option<TerminationTime> {
 /// `wsrl:SetTerminationTimeResponse` body.
 pub fn set_termination_response(new: TerminationTime, current: SimInstant) -> Element {
     Element::new(q("SetTerminationTimeResponse"))
-        .with_child(Element::text_element(q("NewTerminationTime"), new.to_text()))
-        .with_child(Element::text_element(q("CurrentTime"), current.0.to_string()))
+        .with_child(Element::text_element(
+            q("NewTerminationTime"),
+            new.to_text(),
+        ))
+        .with_child(Element::text_element(
+            q("CurrentTime"),
+            current.0.to_string(),
+        ))
 }
 
 /// Parse the response.
@@ -105,7 +113,10 @@ mod tests {
         for t in [TerminationTime::At(SimInstant(420)), TerminationTime::Never] {
             assert_eq!(TerminationTime::parse(&t.to_text()), Some(t));
         }
-        assert_eq!(TerminationTime::parse("Infinity"), Some(TerminationTime::Never));
+        assert_eq!(
+            TerminationTime::parse("Infinity"),
+            Some(TerminationTime::Never)
+        );
         assert_eq!(TerminationTime::parse("junk"), None);
     }
 

@@ -210,7 +210,9 @@ mod tests {
         let mut doc = rp_doc();
         apply_set(
             &mut doc,
-            &[SetComponent::Update(vec![Element::text_element("tag", "z")])],
+            &[SetComponent::Update(vec![Element::text_element(
+                "tag", "z",
+            )])],
         );
         let tags: Vec<_> = doc
             .child_elements()
@@ -225,10 +227,14 @@ mod tests {
         let mut doc = rp_doc();
         apply_set(
             &mut doc,
-            &[SetComponent::Insert(vec![Element::text_element("tag", "c")])],
+            &[SetComponent::Insert(vec![Element::text_element(
+                "tag", "c",
+            )])],
         );
         assert_eq!(
-            doc.child_elements().filter(|e| &*e.name.local == "tag").count(),
+            doc.child_elements()
+                .filter(|e| &*e.name.local == "tag")
+                .count(),
             3
         );
     }
@@ -238,7 +244,9 @@ mod tests {
         let mut doc = rp_doc();
         apply_set(&mut doc, &[SetComponent::Delete("tag".into())]);
         assert_eq!(
-            doc.child_elements().filter(|e| &*e.name.local == "tag").count(),
+            doc.child_elements()
+                .filter(|e| &*e.name.local == "tag")
+                .count(),
             0
         );
         assert!(doc.child_text("cv").is_some());

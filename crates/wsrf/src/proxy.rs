@@ -98,7 +98,9 @@ impl<'a> WsrfProxy<'a> {
     ) -> Result<(), InvokeError> {
         self.set_properties(
             resource,
-            &[SetComponent::Update(vec![Element::text_element(name, value)])],
+            &[SetComponent::Update(vec![Element::text_element(
+                name, value,
+            )])],
         )
     }
 
@@ -134,7 +136,8 @@ impl<'a> WsrfProxy<'a> {
             actions::SET_TERMINATION,
             lifetime::set_termination_request(requested),
         )?;
-        lifetime::parse_set_termination_response(&resp)
-            .ok_or_else(|| InvokeError::Fault(Fault::server("malformed SetTerminationTime response")))
+        lifetime::parse_set_termination_response(&resp).ok_or_else(|| {
+            InvokeError::Fault(Fault::server("malformed SetTerminationTime response"))
+        })
     }
 }

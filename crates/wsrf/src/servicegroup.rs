@@ -116,14 +116,20 @@ impl WsrfService for ServiceGroupService {
     }
 
     /// The group resource's RP document lists every entry.
-    fn resource_properties(&self, res: &crate::ResourceDocument, ctx: &OperationContext) -> Element {
+    fn resource_properties(
+        &self,
+        res: &crate::ResourceDocument,
+        ctx: &OperationContext,
+    ) -> Element {
         if res.id != GROUP_RESOURCE_ID {
             return res.doc.clone();
         }
         let mut doc = res.doc.clone();
         // Entries live in the same collection under entry- ids; the view is
         // computed dynamically, like the DataService's file list (§4.2.3).
-        let collection = ctx.db().collection(&format!("wsrf:{}", service_path_of(ctx)));
+        let collection = ctx
+            .db()
+            .collection(&format!("wsrf:{}", service_path_of(ctx)));
         for key in collection.keys() {
             if key.starts_with("entry-") {
                 if let Some(entry) = collection.get(&key) {
@@ -232,8 +238,7 @@ mod tests {
         let (tb, svc, group) = setup();
         let client = tb.client("host-b", "CN=admin", SecurityPolicy::None);
         for i in 0..3 {
-            let member =
-                EndpointReference::service(format!("http://host-{i}/services/Exec"));
+            let member = EndpointReference::service(format!("http://host-{i}/services/Exec"));
             client
                 .invoke(
                     &svc,

@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use ogsa_addressing::EndpointReference;
 use ogsa_container::{InvokeError, Operation, OperationContext, Testbed};
 use ogsa_security::SecurityPolicy;
 use ogsa_soap::Fault;
@@ -11,8 +12,7 @@ use ogsa_wsrf::lifetime::TerminationTime;
 use ogsa_wsrf::properties::SetComponent;
 use ogsa_wsrf::service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHost};
 use ogsa_wsrf::{BaseFault, ResourceDocument, WsrfProxy};
-use ogsa_xml::{Element, ns};
-use ogsa_addressing::EndpointReference;
+use ogsa_xml::{ns, Element};
 
 /// A toy stateful service: resources hold `v`; exposes a custom `create`
 /// WebMethod (as the paper's counter does) and a computed `DoubleValue`
@@ -32,11 +32,7 @@ impl WsrfService for ToyService {
                 let doc = Element::new("ToyResource")
                     .with_child(Element::text_element("v", initial.to_string()));
                 let res = base.create(ctx, doc)?;
-                base.schedule_termination(
-                    ctx,
-                    &res.id,
-                    TerminationTime::Never,
-                );
+                base.schedule_termination(ctx, &res.id, TerminationTime::Never);
                 let epr = base.resource_epr(ctx, &res.id);
                 Ok(Element::new("createResponse").with_child(epr.to_element()))
             }
@@ -55,8 +51,13 @@ impl WsrfService for ToyService {
 
 fn deploy(tb: &Testbed, imported: HashSet<PortType>) -> EndpointReference {
     let container = tb.container("host-a", SecurityPolicy::None);
-    let (epr, _base) =
-        WsrfServiceHost::deploy(&container, "/services/Toy", Arc::new(ToyService), imported, true);
+    let (epr, _base) = WsrfServiceHost::deploy(
+        &container,
+        "/services/Toy",
+        Arc::new(ToyService),
+        imported,
+        true,
+    );
     epr
 }
 
@@ -86,11 +87,17 @@ fn full_resource_lifecycle_over_the_wire() {
     // Stored member.
     assert_eq!(proxy.get_property_text(&resource, "v").unwrap(), "21");
     // Computed [ResourceProperty] (v * 2).
-    assert_eq!(proxy.get_property_text(&resource, "DoubleValue").unwrap(), "42");
+    assert_eq!(
+        proxy.get_property_text(&resource, "DoubleValue").unwrap(),
+        "42"
+    );
 
     // Set and re-read.
     proxy.set_property_text(&resource, "v", "50").unwrap();
-    assert_eq!(proxy.get_property_text(&resource, "DoubleValue").unwrap(), "100");
+    assert_eq!(
+        proxy.get_property_text(&resource, "DoubleValue").unwrap(),
+        "100"
+    );
 
     // Query.
     let hits = proxy.query(&resource, "/ToyResource[v > 40]").unwrap();
@@ -114,7 +121,9 @@ fn get_multiple_properties() {
     let svc = deploy(&tb, PortType::all());
     let (client, resource) = create_resource(&tb, &svc);
     let proxy = WsrfProxy::new(&client);
-    let props = proxy.get_properties(&resource, &["v", "DoubleValue"]).unwrap();
+    let props = proxy
+        .get_properties(&resource, &["v", "DoubleValue"])
+        .unwrap();
     let texts: Vec<_> = props.iter().map(|e| e.text()).collect();
     assert_eq!(texts, ["21", "42"]);
 }
@@ -127,14 +136,19 @@ fn scheduled_termination_destroys_resources() {
     let proxy = WsrfProxy::new(&client);
 
     // Schedule termination shortly in the virtual future.
-    let when = tb.clock().now().plus(ogsa_sim::SimDuration::from_millis(10.0));
+    let when = tb
+        .clock()
+        .now()
+        .plus(ogsa_sim::SimDuration::from_millis(10.0));
     let (new_tt, _now) = proxy
         .set_termination_time(&resource, TerminationTime::At(when))
         .unwrap();
     assert_eq!(new_tt, TerminationTime::At(when));
 
     // Lifetime resource properties appear in the RP view.
-    let tt_text = proxy.get_property_text(&resource, "TerminationTime").unwrap();
+    let tt_text = proxy
+        .get_property_text(&resource, "TerminationTime")
+        .unwrap();
     assert_eq!(tt_text, when.0.to_string());
 
     // Pass the deadline; the next dispatched request sweeps it away.
@@ -286,8 +300,7 @@ fn works_under_x509_signing() {
             Element::new("create").with_child(Element::text_element("initial", "7")),
         )
         .unwrap();
-    let resource =
-        EndpointReference::from_element(resp.child_elements().next().unwrap()).unwrap();
+    let resource = EndpointReference::from_element(resp.child_elements().next().unwrap()).unwrap();
     let proxy = WsrfProxy::new(&client);
     assert_eq!(proxy.get_property_text(&resource, "v").unwrap(), "7");
 }

@@ -7,20 +7,26 @@ use std::borrow::Cow;
 
 use crate::error::{XmlError, XmlResult};
 
-/// Escape character data (`<`, `&`, and `>` for robustness).
+/// Escape character data (`<`, `&`, and `>` for robustness; `\r` as a
+/// character reference so it survives the parser's end-of-line
+/// normalisation).
 pub fn escape_text(s: &str) -> Cow<'_, str> {
     escape(s, false)
 }
 
-/// Escape an attribute value (additionally `"`).
+/// Escape an attribute value (additionally `"`/`'`, and `\t`/`\n`/`\r` as
+/// character references — a conformant parser normalises literal whitespace
+/// in attribute values to spaces, so EPR reference properties containing
+/// newlines would otherwise fail to round-trip).
 pub fn escape_attr(s: &str) -> Cow<'_, str> {
     escape(s, true)
 }
 
 fn escape(s: &str, attr: bool) -> Cow<'_, str> {
-    let needs = s
-        .bytes()
-        .any(|b| matches!(b, b'<' | b'>' | b'&') || (attr && matches!(b, b'"' | b'\'')));
+    let needs = s.bytes().any(|b| {
+        matches!(b, b'<' | b'>' | b'&' | b'\r')
+            || (attr && matches!(b, b'"' | b'\'' | b'\t' | b'\n'))
+    });
     if !needs {
         return Cow::Borrowed(s);
     }
@@ -30,8 +36,11 @@ fn escape(s: &str, attr: bool) -> Cow<'_, str> {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
             '&' => out.push_str("&amp;"),
+            '\r' => out.push_str("&#13;"),
             '"' if attr => out.push_str("&quot;"),
             '\'' if attr => out.push_str("&apos;"),
+            '\t' if attr => out.push_str("&#9;"),
+            '\n' if attr => out.push_str("&#10;"),
             c => out.push(c),
         }
     }
@@ -49,9 +58,9 @@ pub fn unescape(s: &str, offset: usize) -> XmlResult<Cow<'_, str>> {
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
         rest = &rest[pos..];
-        let semi = rest.find(';').ok_or_else(|| {
-            XmlError::parse(offset, "entity reference missing terminating `;`")
-        })?;
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| XmlError::parse(offset, "entity reference missing terminating `;`"))?;
         let entity = &rest[1..semi];
         match entity {
             "lt" => out.push('<'),
@@ -101,7 +110,10 @@ mod tests {
     #[test]
     fn escapes_text_and_attrs() {
         assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
-        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        assert_eq!(
+            escape_attr(r#"say "hi" & 'bye'"#),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;"
+        );
         // Quotes pass through unescaped in text content.
         assert_eq!(escape_text(r#"a"b"#), r#"a"b"#);
     }
@@ -117,6 +129,20 @@ mod tests {
     fn character_references() {
         assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
         assert_eq!(unescape("snowman &#x2603;", 0).unwrap(), "snowman ☃");
+    }
+
+    #[test]
+    fn attr_whitespace_becomes_character_references() {
+        assert_eq!(escape_attr("a\tb\nc\rd"), "a&#9;b&#10;c&#13;d");
+        // Round-trips through unescape losslessly.
+        assert_eq!(
+            unescape(&escape_attr("a\tb\nc\rd"), 0).unwrap(),
+            "a\tb\nc\rd"
+        );
+        // Text keeps tabs/newlines literal but protects carriage returns
+        // from end-of-line normalisation.
+        assert_eq!(escape_text("a\tb\nc"), "a\tb\nc");
+        assert_eq!(escape_text("a\rb"), "a&#13;b");
     }
 
     #[test]

@@ -35,8 +35,7 @@ pub mod ns {
     pub const WSNT: &str =
         "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BaseNotification-1.2-draft-01.xsd";
     /// WS-Topics.
-    pub const WSTOP: &str =
-        "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-Topics-1.2-draft-01.xsd";
+    pub const WSTOP: &str = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-Topics-1.2-draft-01.xsd";
     /// WS-BrokeredNotification.
     pub const WSBN: &str =
         "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BrokeredNotification-1.2-draft-01.xsd";
@@ -181,7 +180,10 @@ mod tests {
     #[test]
     fn qualified_and_unqualified_names_differ() {
         assert_ne!(QName::new(ns::SOAP, "Envelope"), QName::local("Envelope"));
-        assert_eq!(QName::new(ns::SOAP, "Envelope"), QName::new(ns::SOAP, "Envelope"));
+        assert_eq!(
+            QName::new(ns::SOAP, "Envelope"),
+            QName::new(ns::SOAP, "Envelope")
+        );
     }
 
     #[test]

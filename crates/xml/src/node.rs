@@ -129,9 +129,8 @@ impl Element {
     /// removed.
     pub fn remove_children(&mut self, name: &QName) -> usize {
         let before = self.children.len();
-        self.children.retain(
-            |n| !matches!(n, Node::Element(e) if e.name == *name),
-        );
+        self.children
+            .retain(|n| !matches!(n, Node::Element(e) if e.name == *name));
         before - self.children.len()
     }
 

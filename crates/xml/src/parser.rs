@@ -6,6 +6,7 @@
 //! DTDs are rejected (no WS-I-compliant message carries one, and rejecting
 //! them avoids entity-expansion pathologies).
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use crate::error::{XmlError, XmlResult};
@@ -25,7 +26,10 @@ pub fn parse(input: &str) -> XmlResult<Element> {
     let root = p.parse_element(&mut scope)?;
     p.skip_misc();
     if p.pos != p.bytes.len() {
-        return Err(XmlError::parse(p.pos, "trailing content after root element"));
+        return Err(XmlError::parse(
+            p.pos,
+            "trailing content after root element",
+        ));
     }
     Ok(root)
 }
@@ -92,9 +96,9 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.starts_with("<?") {
-                let end = self.input[self.pos..]
-                    .find("?>")
-                    .ok_or_else(|| XmlError::parse(self.pos, "unterminated processing instruction"))?;
+                let end = self.input[self.pos..].find("?>").ok_or_else(|| {
+                    XmlError::parse(self.pos, "unterminated processing instruction")
+                })?;
                 self.pos += end + 2;
             } else if self.starts_with("<!--") {
                 self.skip_comment()?;
@@ -159,9 +163,8 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'/') => {
                     self.expect("/>")?;
-                    let elem = self.finish_element(
-                        raw_name, raw_attrs, Vec::new(), scope, open_pos,
-                    )?;
+                    let elem =
+                        self.finish_element(raw_name, raw_attrs, Vec::new(), scope, open_pos)?;
                     self.pop_scope(scope, bindings_mark, pushed_default);
                     return Ok(elem);
                 }
@@ -210,8 +213,7 @@ impl<'a> Parser<'a> {
                         offset: self.pos,
                     });
                 }
-                let elem =
-                    self.finish_element(raw_name, raw_attrs, children, scope, open_pos)?;
+                let elem = self.finish_element(raw_name, raw_attrs, children, scope, open_pos)?;
                 self.pop_scope(scope, bindings_mark, pushed_default);
                 return Ok(elem);
             } else if self.starts_with("<!--") {
@@ -243,10 +245,17 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                let text = unescape(&self.input[start..self.pos], start)?;
-                children.push(Node::Text(text.into_owned()));
+                let raw = normalize_eol(&self.input[start..self.pos]);
+                let text = match raw {
+                    Cow::Borrowed(raw) => unescape(raw, start)?.into_owned(),
+                    Cow::Owned(raw) => unescape(&raw, start)?.into_owned(),
+                };
+                children.push(Node::Text(text));
             } else {
-                return Err(XmlError::parse(self.pos, "unexpected end of input in element content"));
+                return Err(XmlError::parse(
+                    self.pos,
+                    "unexpected end of input in element content",
+                ));
             }
         }
     }
@@ -293,17 +302,23 @@ impl<'a> Parser<'a> {
     ) -> XmlResult<QName> {
         match raw.split_once(':') {
             Some((prefix, local)) => {
-                let uri = scope.lookup(prefix).ok_or_else(|| XmlError::UnboundPrefix {
-                    prefix: prefix.to_owned(),
-                    offset,
-                })?;
+                let uri = scope
+                    .lookup(prefix)
+                    .ok_or_else(|| XmlError::UnboundPrefix {
+                        prefix: prefix.to_owned(),
+                        offset,
+                    })?;
                 Ok(QName {
                     ns: Some(uri),
                     local: Arc::from(local),
                 })
             }
             None => Ok(QName {
-                ns: if is_element { scope.default_uri() } else { None },
+                ns: if is_element {
+                    scope.default_uri()
+                } else {
+                    None
+                },
                 local: Arc::from(raw),
             }),
         }
@@ -320,7 +335,14 @@ impl<'a> Parser<'a> {
             if b == quote {
                 let raw = &self.input[start..self.pos];
                 self.pos += 1;
-                return Ok(unescape(raw, start)?.into_owned());
+                // XML 1.0 §3.3.3: literal whitespace in an attribute value
+                // normalises to a space (CRLF counting as one); whitespace
+                // written as a character reference (`&#10;`) survives, which
+                // `unescape` resolves after normalisation.
+                return Ok(match normalize_attr_ws(raw) {
+                    Cow::Borrowed(raw) => unescape(raw, start)?.into_owned(),
+                    Cow::Owned(raw) => unescape(&raw, start)?.into_owned(),
+                });
             }
             self.pos += 1;
         }
@@ -328,11 +350,83 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// XML 1.0 §2.11 end-of-line handling: `\r\n` and bare `\r` become `\n`.
+fn normalize_eol(raw: &str) -> Cow<'_, str> {
+    if !raw.contains('\r') {
+        return Cow::Borrowed(raw);
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut bytes = raw.chars().peekable();
+    while let Some(c) = bytes.next() {
+        if c == '\r' {
+            if bytes.peek() == Some(&'\n') {
+                bytes.next();
+            }
+            out.push('\n');
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// XML 1.0 §3.3.3 attribute-value normalisation for literal whitespace.
+fn normalize_attr_ws(raw: &str) -> Cow<'_, str> {
+    if !raw.bytes().any(|b| matches!(b, b'\t' | b'\n' | b'\r')) {
+        return Cow::Borrowed(raw);
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                out.push(' ');
+            }
+            '\t' | '\n' => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::name::ns;
     use crate::writer::write_element;
+
+    #[test]
+    fn attribute_whitespace_normalises_to_spaces() {
+        // Literal whitespace collapses (XML 1.0 §3.3.3), CRLF as one space…
+        let e = parse("<a x=\"p\tq\nr\r\ns\"/>").unwrap();
+        assert_eq!(e.attr_local("x"), Some("p q r s"));
+        // …but character references survive verbatim.
+        let e = parse("<a x=\"p&#9;q&#10;r&#13;s\"/>").unwrap();
+        assert_eq!(e.attr_local("x"), Some("p\tq\nr\rs"));
+    }
+
+    #[test]
+    fn text_end_of_line_normalisation() {
+        let e = parse("<a>one\r\ntwo\rthree\nfour</a>").unwrap();
+        assert_eq!(e.text(), "one\ntwo\nthree\nfour");
+        // A carriage return written as a character reference is preserved.
+        let e = parse("<a>one&#13;two</a>").unwrap();
+        assert_eq!(e.text(), "one\rtwo");
+    }
+
+    #[test]
+    fn attr_with_newline_roundtrips_through_writer() {
+        // Regression: serialised EPR reference properties containing
+        // newlines must survive write → parse.
+        let mut e = Element::new("epr");
+        e.set_attr("ref", "line1\nline2\ttab\rcr");
+        let doc = write_element(&e);
+        let back = parse(&doc).unwrap();
+        assert_eq!(back.attr_local("ref"), Some("line1\nline2\ttab\rcr"));
+    }
 
     #[test]
     fn simple_roundtrip() {
@@ -349,7 +443,10 @@ mod tests {
 
     #[test]
     fn namespace_resolution_prefixed() {
-        let src = format!("<s:Envelope xmlns:s=\"{}\"><s:Body/></s:Envelope>", ns::SOAP);
+        let src = format!(
+            "<s:Envelope xmlns:s=\"{}\"><s:Body/></s:Envelope>",
+            ns::SOAP
+        );
         let e = parse(&src).unwrap();
         assert!(e.name.in_ns(ns::SOAP));
         assert!(e.child_elements().next().unwrap().name.in_ns(ns::SOAP));
@@ -372,13 +469,16 @@ mod tests {
 
     #[test]
     fn nested_scopes_shadow_and_restore() {
-        let e = parse(
-            "<a xmlns:p=\"urn:one\"><p:x/><b xmlns:p=\"urn:two\"><p:x/></b><p:y/></a>",
-        )
-        .unwrap();
+        let e = parse("<a xmlns:p=\"urn:one\"><p:x/><b xmlns:p=\"urn:two\"><p:x/></b><p:y/></a>")
+            .unwrap();
         let kids: Vec<_> = e.child_elements().collect();
         assert!(kids[0].name.in_ns("urn:one"));
-        assert!(kids[1].child_elements().next().unwrap().name.in_ns("urn:two"));
+        assert!(kids[1]
+            .child_elements()
+            .next()
+            .unwrap()
+            .name
+            .in_ns("urn:two"));
         assert!(kids[2].name.in_ns("urn:one"));
     }
 

@@ -86,12 +86,7 @@ fn qname_str(name: &crate::QName, prefixes: &BTreeMap<String, String>, out: &mut
     out.push_str(&name.local);
 }
 
-fn write_elem(
-    e: &Element,
-    prefixes: &BTreeMap<String, String>,
-    is_root: bool,
-    out: &mut String,
-) {
+fn write_elem(e: &Element, prefixes: &BTreeMap<String, String>, is_root: bool, out: &mut String) {
     out.push('<');
     qname_str(&e.name, prefixes, out);
     if is_root {

@@ -364,11 +364,16 @@ struct Step {
 enum StepTest {
     /// Element name test; `ns == None` means match any namespace (local
     /// name only); empty local with `Star` handled by `AnyName`.
-    Name { ns: Option<String>, local: String },
+    Name {
+        ns: Option<String>,
+        local: String,
+    },
     AnyName,
     SelfNode,
     Text,
-    Attr { local: String },
+    Attr {
+        local: String,
+    },
     AnyAttr,
 }
 
@@ -576,10 +581,7 @@ impl ExprParser {
                         local: local.to_owned(),
                     }
                 } else {
-                    StepTest::Name {
-                        ns: None,
-                        local: n,
-                    }
+                    StepTest::Name { ns: None, local: n }
                 }
             }
             other => {
@@ -612,12 +614,16 @@ fn eval_expr<'a>(
 ) -> XmlResult<XPathValue<'a>> {
     match expr {
         Expr::Or(a, b) => Ok(XPathValue::Bool(
-            eval_expr(a, context, root, ctx)?.truthy() || eval_expr(b, context, root, ctx)?.truthy(),
+            eval_expr(a, context, root, ctx)?.truthy()
+                || eval_expr(b, context, root, ctx)?.truthy(),
         )),
         Expr::And(a, b) => Ok(XPathValue::Bool(
-            eval_expr(a, context, root, ctx)?.truthy() && eval_expr(b, context, root, ctx)?.truthy(),
+            eval_expr(a, context, root, ctx)?.truthy()
+                && eval_expr(b, context, root, ctx)?.truthy(),
         )),
-        Expr::Not(e) => Ok(XPathValue::Bool(!eval_expr(e, context, root, ctx)?.truthy())),
+        Expr::Not(e) => Ok(XPathValue::Bool(
+            !eval_expr(e, context, root, ctx)?.truthy(),
+        )),
         Expr::Literal(s) => Ok(XPathValue::Str(s.clone())),
         Expr::Number(n) => Ok(XPathValue::Num(*n)),
         Expr::Count(p) => {
@@ -720,10 +726,7 @@ fn eval_path<'a>(
         } else {
             match &step.test {
                 StepTest::SelfNode => current.clone(),
-                _ => current
-                    .iter()
-                    .flat_map(|c| c.child_elements())
-                    .collect(),
+                _ => current.iter().flat_map(|c| c.child_elements()).collect(),
             }
         };
 

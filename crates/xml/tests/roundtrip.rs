@@ -5,9 +5,23 @@
 use ogsa_xml::{canonicalize, parse, Element, Node, QName};
 use proptest::prelude::*;
 
-/// Text without control characters (the writer does not emit them).
+/// Text over printable ASCII, a couple of multibyte characters, and the
+/// XML whitespace set (`\t`/`\n`/`\r`) — the whitespace characters are the
+/// regression surface for attribute-value and end-of-line normalisation.
 fn arb_text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~é☃]{0,20}").unwrap()
+    proptest::collection::vec(0u32..100, 0..20).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c {
+                0 => '\t',
+                1 => '\n',
+                2 => '\r',
+                3 => 'é',
+                4 => '☃',
+                n => char::from(b' ' + (n as u8 - 5)),
+            })
+            .collect()
+    })
 }
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -98,6 +112,21 @@ proptest! {
         let back = parse(&e.into_document_string()).unwrap();
         let c2 = canonicalize(&back);
         prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn whitespace_attrs_and_text_roundtrip((attr, text) in (arb_text(), arb_text())) {
+        // Dedicated regression property for the escape fix: newlines, tabs
+        // and carriage returns in attribute values (serialised EPR reference
+        // properties) and text must survive write → parse exactly.
+        let mut e = Element::new("epr");
+        e.set_attr("rp", attr.as_str());
+        if !text.is_empty() {
+            e.add_text(text.as_str());
+        }
+        let back = parse(&e.into_document_string()).expect("writer output must reparse");
+        prop_assert_eq!(back.attr_local("rp"), Some(attr.as_str()));
+        prop_assert_eq!(back.text(), text);
     }
 
     #[test]

@@ -15,6 +15,11 @@ use ogsa_xml::Element;
 pub struct CostProfile {
     pub read: SimDuration,
     pub insert: SimDuration,
+    /// Each document after the first within one [`Collection::insert_many`]
+    /// batch — the per-transaction share of `insert` is paid only once.
+    ///
+    /// [`Collection::insert_many`]: crate::Collection::insert_many
+    pub batch_insert: SimDuration,
     pub update: SimDuration,
     pub delete: SimDuration,
     pub query_fixed: SimDuration,
@@ -52,6 +57,7 @@ impl BackendKind {
             BackendKind::SimDisk => CostProfile {
                 read: SimDuration::from_micros(model.db_read_us),
                 insert: SimDuration::from_micros(model.db_insert_us),
+                batch_insert: SimDuration::from_micros(model.db_batch_insert_us),
                 update: SimDuration::from_micros(model.db_update_us),
                 delete: SimDuration::from_micros(model.db_delete_us),
                 query_fixed: SimDuration::from_micros(model.db_query_fixed_us),
@@ -62,6 +68,7 @@ impl BackendKind {
                 // the document is still (de)serialised at the API boundary.
                 read: SimDuration::from_micros(model.db_read_us / 16),
                 insert: SimDuration::from_micros(model.db_insert_us / 16),
+                batch_insert: SimDuration::from_micros(model.db_batch_insert_us / 16),
                 update: SimDuration::from_micros(model.db_update_us / 16),
                 delete: SimDuration::from_micros(model.db_delete_us / 16),
                 query_fixed: SimDuration::from_micros(model.db_query_fixed_us / 16),

@@ -7,7 +7,7 @@
 //! bench can show the effect in isolation.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use ogsa_sim::SimDuration;
 use ogsa_telemetry::SpanKind;
@@ -29,10 +29,26 @@ pub struct ResourceCache {
 impl ResourceCache {
     /// Wrap `collection`; `hit_cost` is the simulated cost of serving a read
     /// from the cache (use `CostModel::cache_hit_us`).
+    ///
+    /// The cache registers an invalidation hook on the collection, so a
+    /// document updated or removed *directly* through the collection — a
+    /// service-group sweep, a lifetime destructor holding a raw handle, or
+    /// another cache instance — drops the stale entry here. Without this, a
+    /// `Get` after WS-RL `Destroy` could serve a cached counter that no
+    /// longer exists in the store.
     pub fn new(collection: Arc<Collection>, hit_cost: SimDuration, enabled: bool) -> Self {
+        let cache = Arc::new(Mutex::new(HashMap::new()));
+        if enabled {
+            let weak: Weak<Mutex<HashMap<String, Element>>> = Arc::downgrade(&cache);
+            collection.register_invalidation_hook(Arc::new(move |key: &str| {
+                if let Some(map) = weak.upgrade() {
+                    map.lock().remove(key);
+                }
+            }));
+        }
         ResourceCache {
             collection,
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            cache,
             enabled,
             hit_cost,
         }
@@ -75,6 +91,20 @@ impl ResourceCache {
         self.collection.insert(key, doc.clone())?;
         if self.enabled {
             self.cache.lock().insert(key.to_owned(), doc);
+        }
+        Ok(())
+    }
+
+    /// Create a batch of resources in one store transaction (the insert-heavy
+    /// `Create` path): the collection amortises the per-transaction cost over
+    /// the batch, and every new document lands in the cache hot.
+    pub fn insert_many(&self, entries: Vec<(String, Element)>) -> Result<(), DbError> {
+        if self.enabled {
+            let cached: Vec<(String, Element)> = entries.clone();
+            self.collection.insert_many(entries)?;
+            self.cache.lock().extend(cached);
+        } else {
+            self.collection.insert_many(entries)?;
         }
         Ok(())
     }
@@ -129,11 +159,7 @@ mod tests {
             BackendKind::SimDisk,
         );
         let coll = db.collection("resources");
-        let cache = ResourceCache::new(
-            coll,
-            SimDuration::from_micros(model.cache_hit_us),
-            enabled,
-        );
+        let cache = ResourceCache::new(coll, SimDuration::from_micros(model.cache_hit_us), enabled);
         (db, cache)
     }
 
@@ -156,7 +182,10 @@ mod tests {
         cache2.get("k").unwrap();
         let miss = db2.clock().now().since(t0);
 
-        assert!(hit.as_micros() * 10 < miss.as_micros(), "{hit:?} vs {miss:?}");
+        assert!(
+            hit.as_micros() * 10 < miss.as_micros(),
+            "{hit:?} vs {miss:?}"
+        );
     }
 
     #[test]
@@ -214,6 +243,105 @@ mod tests {
         let reads_before = db.stats().reads();
         cache.get("k").unwrap();
         assert_eq!(db.stats().reads(), reads_before + 1);
+    }
+
+    #[test]
+    fn direct_collection_remove_invalidates_cache() {
+        // Regression: a WS-RL Destroy that reaches the collection without
+        // going through this cache instance (service group sweep, raw
+        // handle) must not leave a stale cached counter behind.
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(41)).unwrap();
+        assert!(cache.get("k").is_some()); // cached
+        db.collection("resources").remove("k");
+        assert!(
+            cache.get("k").is_none(),
+            "Get after direct Destroy must see the store, not a stale cache entry"
+        );
+        assert!(db.stats().cache_misses() >= 1);
+    }
+
+    #[test]
+    fn direct_collection_update_invalidates_cache() {
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(1)).unwrap();
+        assert_eq!(cache.get("k").unwrap().child_parse::<i64>("v"), Some(1));
+        db.collection("resources").update("k", doc(9)).unwrap();
+        assert_eq!(
+            cache.get("k").unwrap().child_parse::<i64>("v"),
+            Some(9),
+            "direct store update must invalidate the cached copy"
+        );
+    }
+
+    #[test]
+    fn two_caches_over_one_collection_stay_coherent() {
+        let (db, a) = setup(true);
+        let model = CostModel::calibrated_2005();
+        let b = ResourceCache::new(
+            db.collection("resources"),
+            SimDuration::from_micros(model.cache_hit_us),
+            true,
+        );
+        a.insert("k", doc(1)).unwrap();
+        assert_eq!(b.get("k").unwrap().child_parse::<i64>("v"), Some(1)); // fills b
+        a.update("k", doc(2)).unwrap();
+        assert_eq!(
+            b.get("k").unwrap().child_parse::<i64>("v"),
+            Some(2),
+            "a write through one cache must invalidate the other"
+        );
+        a.remove("k");
+        assert!(b.get("k").is_none());
+    }
+
+    #[test]
+    fn disabled_cache_skips_hook_registration() {
+        // The ablation path with caching off must behave exactly as before:
+        // every read hits the store, nothing is retained.
+        let (db, cache) = setup(false);
+        cache.insert("k", doc(1)).unwrap();
+        db.collection("resources").remove("k");
+        assert!(cache.get("k").is_none());
+        assert_eq!(db.stats().cache_hits(), 0);
+        assert_eq!(db.stats().cache_misses(), 0);
+    }
+
+    #[test]
+    fn insert_many_populates_cache_and_amortises_cost() {
+        let (db, cache) = setup(true);
+        let entries: Vec<_> = (0..8).map(|i| (format!("k{i}"), doc(i))).collect();
+        let t0 = db.clock().now();
+        cache.insert_many(entries).unwrap();
+        let batch_elapsed = db.clock().now().since(t0).as_micros();
+
+        let model = CostModel::calibrated_2005();
+        let singles = model.db_insert_us * 8;
+        assert!(
+            batch_elapsed < singles,
+            "batch {batch_elapsed}µs should beat {singles}µs of single inserts"
+        );
+        // Every member is served from the cache, not the store.
+        let reads_before = db.stats().reads();
+        for i in 0..8 {
+            assert_eq!(
+                cache.get(&format!("k{i}")).unwrap().child_parse::<i64>("v"),
+                Some(i)
+            );
+        }
+        assert_eq!(db.stats().reads(), reads_before);
+        assert_eq!(db.stats().cache_hits(), 8);
+    }
+
+    #[test]
+    fn failed_insert_many_caches_nothing() {
+        let (_db, cache) = setup(true);
+        cache.insert("k1", doc(1)).unwrap();
+        cache.invalidate_all();
+        let entries = vec![("k0".to_owned(), doc(0)), ("k1".to_owned(), doc(9))];
+        assert!(cache.insert_many(entries).is_err());
+        // The all-or-nothing store rejection must not leave k0 cached.
+        assert!(cache.get("k0").is_none());
     }
 
     #[test]

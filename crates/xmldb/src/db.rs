@@ -1,16 +1,49 @@
 //! The database and its collections.
+//!
+//! Collections are **key-sharded**: each collection spreads its documents
+//! over `DbConfig::shards` independently locked BTreeMaps, so writers to
+//! different resources proceed in parallel while writers to the same key
+//! still serialise on that key's shard. The shard count never changes what
+//! an operation *costs* — single-client virtual-time figures are identical
+//! at any shard count — it only changes which lock an operation takes and
+//! which shard its cost is attributed to in [`DbStats`].
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
 
-use ogsa_sim::{CostModel, VirtualClock};
+use ogsa_sim::{CostModel, SimDuration, VirtualClock};
 use ogsa_telemetry::{SpanKind, Telemetry};
 use ogsa_xml::{Element, XPath, XPathContext};
 use parking_lot::RwLock;
 
 use crate::backend::{BackendKind, CostProfile};
 use crate::error::DbError;
-use crate::stats::DbStats;
+use crate::stats::{DbStats, MAX_SHARDS};
+
+/// Default shard count for new databases. Sharding is cost-invariant, so
+/// this only affects how much parallelism concurrent clients can extract.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Structural configuration for a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbConfig {
+    /// Shards per collection, clamped to `1..=`[`MAX_SHARDS`].
+    pub shards: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            shards: DEFAULT_SHARDS,
+        }
+    }
+}
+
+/// Observer invoked with the key of every document that is updated or
+/// removed through the collection, after the shard lock is released.
+/// [`crate::ResourceCache`] registers one so direct collection mutations
+/// (service groups, sweepers, a second cache) invalidate its entries.
+pub type InvalidationHook = Arc<dyn Fn(&str) + Send + Sync>;
 
 /// A database: a set of named collections sharing a clock, cost model and
 /// stats. Cloning shares the underlying store.
@@ -25,6 +58,7 @@ struct DbInner {
     clock: VirtualClock,
     model: Arc<CostModel>,
     default_backend: BackendKind,
+    config: DbConfig,
     stats: DbStats,
     tel: Telemetry,
 }
@@ -44,12 +78,27 @@ impl Database {
         default_backend: BackendKind,
         tel: Telemetry,
     ) -> Self {
+        Database::with_config(clock, model, default_backend, tel, DbConfig::default())
+    }
+
+    /// Full-control constructor: telemetry plus structural configuration.
+    pub fn with_config(
+        clock: VirtualClock,
+        model: Arc<CostModel>,
+        default_backend: BackendKind,
+        tel: Telemetry,
+        config: DbConfig,
+    ) -> Self {
+        let config = DbConfig {
+            shards: config.shards.clamp(1, MAX_SHARDS),
+        };
         Database {
             inner: Arc::new(DbInner {
                 collections: RwLock::new(HashMap::new()),
                 clock,
                 model,
                 default_backend,
+                config,
                 stats: DbStats::new(),
                 tel,
             }),
@@ -81,12 +130,15 @@ impl Database {
             .or_insert_with(|| {
                 Arc::new(Collection {
                     name: name.to_owned(),
-                    docs: RwLock::new(BTreeMap::new()),
+                    shards: (0..self.inner.config.shards)
+                        .map(|_| RwLock::new(BTreeMap::new()))
+                        .collect(),
                     clock: self.inner.clock.clone(),
                     profile: backend.cost_profile(&self.inner.model),
                     backend,
                     stats: self.inner.stats.clone(),
                     tel: self.inner.tel.clone(),
+                    invalidation_hooks: RwLock::new(Vec::new()),
                 })
             })
             .clone()
@@ -121,27 +173,75 @@ impl Database {
         &self.inner.stats
     }
 
+    /// The structural configuration collections are created with.
+    pub fn config(&self) -> DbConfig {
+        self.inner.config
+    }
+
     /// The clock costs are charged to.
     pub fn clock(&self) -> &VirtualClock {
         &self.inner.clock
     }
 }
 
-/// A named collection of XML documents keyed by resource id.
-#[derive(Debug)]
+/// A named collection of XML documents keyed by resource id, spread over
+/// independently locked shards.
 pub struct Collection {
     name: String,
-    docs: RwLock<BTreeMap<String, Element>>,
+    shards: Vec<RwLock<BTreeMap<String, Element>>>,
     clock: VirtualClock,
     profile: CostProfile,
     backend: BackendKind,
     stats: DbStats,
     tel: Telemetry,
+    invalidation_hooks: RwLock<Vec<InvalidationHook>>,
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection")
+            .field("name", &self.name)
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a: a stable, dependency-free key hash so shard routing is
+/// deterministic across runs and platforms.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Collection {
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to (stable across runs).
+    pub fn shard_of(&self, key: &str) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Register an observer for updates/removals; see [`InvalidationHook`].
+    pub fn register_invalidation_hook(&self, hook: InvalidationHook) {
+        self.invalidation_hooks.write().push(hook);
+    }
+
+    fn notify_invalidated(&self, key: &str) {
+        for hook in self.invalidation_hooks.read().iter() {
+            hook(key);
+        }
     }
 
     /// One `db` span per charged operation, labelled with the collection.
@@ -151,12 +251,46 @@ impl Collection {
         span
     }
 
+    /// Advance the clock and attribute the cost to `shard`'s busy time.
+    fn charge(&self, shard: usize, cost: SimDuration) {
+        self.clock.advance(cost);
+        self.stats.add_shard_busy(shard, cost.as_micros());
+    }
+
+    /// Shard read lock, counting contended acquisitions.
+    fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, BTreeMap<String, Element>> {
+        let lock = &self.shards[shard];
+        if let Some(g) = lock.try_read() {
+            return g;
+        }
+        self.note_contention();
+        lock.read()
+    }
+
+    /// Shard write lock, counting contended acquisitions.
+    fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, BTreeMap<String, Element>> {
+        let lock = &self.shards[shard];
+        if let Some(g) = lock.try_write() {
+            return g;
+        }
+        self.note_contention();
+        lock.write()
+    }
+
+    fn note_contention(&self) {
+        self.stats.bump_lock_contentions();
+        self.tel
+            .metrics()
+            .inc("db.shard_contention", &[("collection", &self.name)]);
+    }
+
     /// Insert a new document; fails on duplicate key.
     pub fn insert(&self, key: &str, doc: Element) -> Result<(), DbError> {
         let _s = self.op_span("db:insert");
-        self.clock.advance(self.profile.insert);
+        let shard = self.shard_of(key);
+        self.charge(shard, self.profile.insert);
         self.stats.bump_inserts();
-        let mut docs = self.docs.write();
+        let mut docs = self.write_shard(shard);
         if docs.contains_key(key) {
             return Err(DbError::DuplicateKey {
                 collection: self.name.clone(),
@@ -168,51 +302,134 @@ impl Collection {
         Ok(())
     }
 
+    /// Insert a batch of new documents in one store transaction: the first
+    /// document pays the full insert cost, each further one only the
+    /// amortised `batch_insert` share. All-or-nothing on duplicate keys.
+    pub fn insert_many(&self, entries: Vec<(String, Element)>) -> Result<(), DbError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let _s = self.op_span("db:insert");
+        // Group by shard; reject duplicates within the batch up front.
+        let mut groups: BTreeMap<usize, Vec<(String, Element)>> = BTreeMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for (key, doc) in entries {
+            if !seen.insert(key.clone()) {
+                return Err(DbError::DuplicateKey {
+                    collection: self.name.clone(),
+                    key,
+                });
+            }
+            groups
+                .entry(self.shard_of(&key))
+                .or_default()
+                .push((key, doc));
+        }
+        // Charge up front (a failed insert still costs), attributing each
+        // document's share to its own shard.
+        let mut first = true;
+        for (&shard, items) in &groups {
+            for _ in items {
+                let cost = if first {
+                    self.profile.insert
+                } else {
+                    self.profile.batch_insert
+                };
+                first = false;
+                self.charge(shard, cost);
+                self.stats.bump_inserts();
+            }
+        }
+        // Lock the touched shards in ascending order (deadlock-free against
+        // any other insert_many), verify, then mutate.
+        let shard_order: Vec<usize> = groups.keys().copied().collect();
+        let mut guards: Vec<RwLockWriteGuard<'_, BTreeMap<String, Element>>> =
+            shard_order.iter().map(|&s| self.write_shard(s)).collect();
+        for (gi, &shard) in shard_order.iter().enumerate() {
+            for (key, _) in &groups[&shard] {
+                if guards[gi].contains_key(key) {
+                    return Err(DbError::DuplicateKey {
+                        collection: self.name.clone(),
+                        key: key.clone(),
+                    });
+                }
+            }
+        }
+        for (gi, &shard) in shard_order.iter().enumerate() {
+            for (key, doc) in groups.remove(&shard).expect("grouped above") {
+                self.backend.on_write(&self.name, &key, Some(&doc));
+                guards[gi].insert(key, doc);
+            }
+        }
+        Ok(())
+    }
+
     /// Read a document by key.
     pub fn get(&self, key: &str) -> Option<Element> {
         let _s = self.op_span("db:read");
-        self.clock.advance(self.profile.read);
+        let shard = self.shard_of(key);
+        self.charge(shard, self.profile.read);
         self.stats.bump_reads();
-        self.docs.read().get(key).cloned()
+        self.read_shard(shard).get(key).cloned()
     }
 
     /// Replace an existing document; fails if the key is absent.
     pub fn update(&self, key: &str, doc: Element) -> Result<(), DbError> {
         let _s = self.op_span("db:update");
-        self.clock.advance(self.profile.update);
+        let shard = self.shard_of(key);
+        self.charge(shard, self.profile.update);
         self.stats.bump_updates();
-        let mut docs = self.docs.write();
-        match docs.get_mut(key) {
-            Some(slot) => {
-                self.backend.on_write(&self.name, key, Some(&doc));
-                *slot = doc;
-                Ok(())
+        {
+            let mut docs = self.write_shard(shard);
+            match docs.get_mut(key) {
+                Some(slot) => {
+                    self.backend.on_write(&self.name, key, Some(&doc));
+                    *slot = doc;
+                }
+                None => {
+                    return Err(DbError::NotFound {
+                        collection: self.name.clone(),
+                        key: key.to_owned(),
+                    })
+                }
             }
-            None => Err(DbError::NotFound {
-                collection: self.name.clone(),
-                key: key.to_owned(),
-            }),
         }
+        self.notify_invalidated(key);
+        Ok(())
     }
 
-    /// Insert or replace.
+    /// Insert or replace, atomically under the key's shard lock (two
+    /// concurrent upserts of a fresh key cannot race into a lost write).
     pub fn upsert(&self, key: &str, doc: Element) {
-        let exists = { self.docs.read().contains_key(key) };
-        if exists {
-            let _ = self.update(key, doc);
+        let shard = self.shard_of(key);
+        let mut docs = self.write_shard(shard);
+        let existed = docs.contains_key(key);
+        let _s = self.op_span(if existed { "db:update" } else { "db:insert" });
+        if existed {
+            self.charge(shard, self.profile.update);
+            self.stats.bump_updates();
         } else {
-            let _ = self.insert(key, doc);
+            self.charge(shard, self.profile.insert);
+            self.stats.bump_inserts();
+        }
+        self.backend.on_write(&self.name, key, Some(&doc));
+        docs.insert(key.to_owned(), doc);
+        drop(docs);
+        if existed {
+            self.notify_invalidated(key);
         }
     }
 
     /// Delete a document, returning it if present.
     pub fn remove(&self, key: &str) -> Option<Element> {
         let _s = self.op_span("db:delete");
-        self.clock.advance(self.profile.delete);
+        let shard = self.shard_of(key);
+        self.charge(shard, self.profile.delete);
         self.stats.bump_deletes();
-        let removed = self.docs.write().remove(key);
+        let removed = self.write_shard(shard).remove(key);
         if removed.is_some() {
             self.backend.on_write(&self.name, key, None);
+            self.notify_invalidated(key);
         }
         removed
     }
@@ -220,14 +437,17 @@ impl Collection {
     /// True if the key exists (charged as a read).
     pub fn contains(&self, key: &str) -> bool {
         let _s = self.op_span("db:read");
-        self.clock.advance(self.profile.read);
+        let shard = self.shard_of(key);
+        self.charge(shard, self.profile.read);
         self.stats.bump_reads();
-        self.docs.read().contains_key(key)
+        self.read_shard(shard).contains_key(key)
     }
 
     /// Number of documents (not charged — metadata).
     pub fn len(&self) -> usize {
-        self.docs.read().len()
+        (0..self.shards.len())
+            .map(|s| self.read_shard(s).len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -236,22 +456,30 @@ impl Collection {
 
     /// All keys, sorted (charged as a query).
     pub fn keys(&self) -> Vec<String> {
-        self.charge_query(self.len());
-        self.docs.read().keys().cloned().collect()
+        let guards: Vec<_> = (0..self.shards.len()).map(|s| self.read_shard(s)).collect();
+        let ndocs = guards.iter().map(|g| g.len()).sum();
+        self.charge_query(ndocs);
+        let mut keys: Vec<String> = guards.iter().flat_map(|g| g.keys().cloned()).collect();
+        keys.sort();
+        keys
     }
 
     /// Documents whose root matches the XPath expression — "rich queries
     /// over the state of multiple resources" (§3.1). Returns (key, document)
-    /// pairs.
+    /// pairs in key order. Holds every shard's read lock for the duration,
+    /// so the result is a consistent snapshot.
     pub fn query(
         &self,
         xpath: &XPath,
         ctx: &XPathContext,
     ) -> Result<Vec<(String, Element)>, ogsa_xml::XmlError> {
-        let docs = self.docs.read();
-        self.charge_query(docs.len());
+        let guards: Vec<_> = (0..self.shards.len()).map(|s| self.read_shard(s)).collect();
+        let ndocs = guards.iter().map(|g| g.len()).sum();
+        self.charge_query(ndocs);
+        let mut pairs: Vec<(&String, &Element)> = guards.iter().flat_map(|g| g.iter()).collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
         let mut out = Vec::new();
-        for (k, doc) in docs.iter() {
+        for (k, doc) in pairs {
             if xpath.matches(doc, ctx)? {
                 out.push((k.clone(), doc.clone()));
             }
@@ -259,16 +487,20 @@ impl Collection {
         Ok(out)
     }
 
-    /// Nodes selected by the XPath expression across all documents, cloned.
+    /// Nodes selected by the XPath expression across all documents, cloned,
+    /// visiting documents in key order.
     pub fn select(
         &self,
         xpath: &XPath,
         ctx: &XPathContext,
     ) -> Result<Vec<Element>, ogsa_xml::XmlError> {
-        let docs = self.docs.read();
-        self.charge_query(docs.len());
+        let guards: Vec<_> = (0..self.shards.len()).map(|s| self.read_shard(s)).collect();
+        let ndocs = guards.iter().map(|g| g.len()).sum();
+        self.charge_query(ndocs);
+        let mut pairs: Vec<(&String, &Element)> = guards.iter().flat_map(|g| g.iter()).collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
         let mut out = Vec::new();
-        for doc in docs.values() {
+        for (_, doc) in pairs {
             for node in xpath.select(doc, ctx)? {
                 out.push(node.clone());
             }
@@ -278,14 +510,23 @@ impl Collection {
 
     /// Read without charging (used by the write-through cache to fill).
     pub(crate) fn get_uncharged(&self, key: &str) -> Option<Element> {
-        self.docs.read().get(key).cloned()
+        self.read_shard(self.shard_of(key)).get(key).cloned()
     }
 
+    /// A full-collection scan can proceed shard-parallel, so its cost is
+    /// spread evenly over the shards' busy time.
     fn charge_query(&self, ndocs: usize) {
         let _s = self.op_span("db:query");
-        self.clock
-            .advance(self.profile.query_fixed + self.profile.query_per_doc * ndocs as u64);
+        let total = self.profile.query_fixed + self.profile.query_per_doc * ndocs as u64;
+        self.clock.advance(total);
         self.stats.bump_queries();
+        let shards = self.shards.len() as u64;
+        let share = total.as_micros() / shards;
+        let remainder = total.as_micros() % shards;
+        for s in 0..self.shards.len() {
+            let extra = u64::from((s as u64) < remainder);
+            self.stats.add_shard_busy(s, share + extra);
+        }
     }
 
     pub(crate) fn stats(&self) -> &DbStats {
@@ -412,6 +653,124 @@ mod tests {
     }
 
     #[test]
+    fn costs_do_not_depend_on_shard_count() {
+        let cost_with_shards = |shards: usize| {
+            let db = Database::with_config(
+                VirtualClock::new(),
+                Arc::new(CostModel::calibrated_2005()),
+                BackendKind::SimDisk,
+                Telemetry::disabled(),
+                DbConfig { shards },
+            );
+            let c = db.collection("counters");
+            let t0 = db.clock().now();
+            c.insert("c1", doc(0)).unwrap();
+            c.get("c1");
+            c.update("c1", doc(1)).unwrap();
+            c.upsert("c2", doc(2));
+            c.keys();
+            c.remove("c1");
+            db.clock().now().since(t0)
+        };
+        let single = cost_with_shards(1);
+        assert_eq!(single, cost_with_shards(4));
+        assert_eq!(single, cost_with_shards(MAX_SHARDS));
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let db = xindice();
+        let c = db.collection("counters");
+        assert_eq!(c.shard_count(), DEFAULT_SHARDS);
+        for i in 0..100 {
+            let key = format!("res-{i}");
+            let s = c.shard_of(&key);
+            assert!(s < c.shard_count());
+            assert_eq!(s, c.shard_of(&key));
+        }
+        // The hash actually spreads keys around.
+        let hit: std::collections::HashSet<usize> =
+            (0..100).map(|i| c.shard_of(&format!("res-{i}"))).collect();
+        assert!(hit.len() > 1);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let mk = |shards| {
+            Database::with_config(
+                VirtualClock::new(),
+                Arc::new(CostModel::free()),
+                BackendKind::Memory,
+                Telemetry::disabled(),
+                DbConfig { shards },
+            )
+        };
+        assert_eq!(mk(0).collection("c").shard_count(), 1);
+        assert_eq!(mk(1000).collection("c").shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn insert_many_amortises_the_transaction_cost() {
+        let model = CostModel::calibrated_2005();
+        let db = xindice();
+        let c = db.collection("batch");
+        let entries: Vec<(String, Element)> = (0..10).map(|i| (format!("b{i}"), doc(i))).collect();
+        let t0 = db.clock().now();
+        c.insert_many(entries).unwrap();
+        let batch_cost = db.clock().now().since(t0);
+        assert_eq!(
+            batch_cost,
+            SimDuration::from_micros(model.db_insert_us + 9 * model.db_batch_insert_us)
+        );
+        assert_eq!(c.len(), 10);
+        assert_eq!(db.stats().inserts(), 10);
+        // Far cheaper than ten standalone inserts.
+        assert!(batch_cost.as_micros() < 10 * model.db_insert_us);
+    }
+
+    #[test]
+    fn insert_many_is_all_or_nothing_on_duplicates() {
+        let db = Database::in_memory_free();
+        let c = db.collection("batch");
+        c.insert("dup", doc(0)).unwrap();
+        let err = c.insert_many(vec![
+            ("fresh".to_owned(), doc(1)),
+            ("dup".to_owned(), doc(2)),
+        ]);
+        assert!(matches!(err, Err(DbError::DuplicateKey { .. })));
+        assert!(c.get("fresh").is_none(), "no partial batch application");
+        // Duplicates inside the batch itself are also rejected.
+        let err = c.insert_many(vec![
+            ("twice".to_owned(), doc(1)),
+            ("twice".to_owned(), doc(2)),
+        ]);
+        assert!(matches!(err, Err(DbError::DuplicateKey { .. })));
+        assert!(c.get("twice").is_none());
+    }
+
+    #[test]
+    fn shard_busy_accounts_every_charged_operation() {
+        let model = CostModel::calibrated_2005();
+        let db = xindice();
+        let c = db.collection("busy");
+        let t0 = db.clock().now();
+        c.insert("a", doc(1)).unwrap();
+        c.get("a");
+        c.update("a", doc(2)).unwrap();
+        c.keys();
+        c.remove("a");
+        c.insert_many(vec![("x".to_owned(), doc(1)), ("y".to_owned(), doc(2))])
+            .unwrap();
+        let elapsed = db.clock().now().since(t0);
+        // Every charged microsecond is attributed to exactly one shard
+        // (queries are spread, everything else lands on the key's shard).
+        assert_eq!(db.stats().total_busy_us(), elapsed.as_micros());
+        let busy = db.stats().shard_busy_snapshot(c.shard_count());
+        assert_eq!(busy.iter().sum::<u64>(), elapsed.as_micros());
+        assert!(db.stats().shard_busy_us(c.shard_of("a")) >= model.db_insert_us + model.db_read_us);
+    }
+
+    #[test]
     fn query_selects_matching_documents() {
         let db = Database::in_memory_free();
         let c = db.collection("counters");
@@ -421,7 +780,25 @@ mod tests {
         let xp = XPath::compile("/counter[value > 6]").unwrap();
         let hits = c.query(&xp, &XPathContext::new()).unwrap();
         assert_eq!(hits.len(), 3);
-        assert!(hits.iter().all(|(k, _)| ["c7", "c8", "c9"].contains(&k.as_str())));
+        assert!(hits
+            .iter()
+            .all(|(k, _)| ["c7", "c8", "c9"].contains(&k.as_str())));
+    }
+
+    #[test]
+    fn query_results_stay_key_ordered_across_shards() {
+        let db = Database::in_memory_free();
+        let c = db.collection("counters");
+        for i in (0..20).rev() {
+            c.insert(&format!("c{i:02}"), doc(i)).unwrap();
+        }
+        let xp = XPath::compile("/counter").unwrap();
+        let hits = c.query(&xp, &XPathContext::new()).unwrap();
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(c.keys(), sorted);
     }
 
     #[test]
@@ -469,6 +846,27 @@ mod tests {
         assert_eq!(db.stats().reads(), 2);
         assert_eq!(db.stats().updates(), 1);
         assert_eq!(db.stats().deletes(), 1);
+    }
+
+    #[test]
+    fn invalidation_hooks_fire_on_update_and_remove() {
+        let db = Database::in_memory_free();
+        let c = db.collection("obs");
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        c.register_invalidation_hook(Arc::new(move |key: &str| {
+            sink.lock().push(key.to_owned());
+        }));
+        c.insert("k", doc(1)).unwrap(); // fresh insert: no invalidation
+        c.update("k", doc(2)).unwrap();
+        c.upsert("k", doc(3)); // upsert over existing: invalidation
+        c.upsert("new", doc(0)); // upsert as insert: no invalidation
+        c.remove("k");
+        c.remove("ghost"); // no-op remove: no invalidation
+        assert_eq!(
+            *seen.lock(),
+            vec!["k".to_owned(), "k".to_owned(), "k".to_owned()]
+        );
     }
 
     #[test]

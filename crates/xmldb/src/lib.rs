@@ -27,6 +27,6 @@ pub mod stats;
 
 pub use backend::{BackendKind, CostProfile, CustomBackend};
 pub use cache::ResourceCache;
-pub use db::{Collection, Database};
+pub use db::{Collection, Database, DbConfig, InvalidationHook, DEFAULT_SHARDS};
 pub use error::DbError;
-pub use stats::DbStats;
+pub use stats::{DbStats, MAX_SHARDS};

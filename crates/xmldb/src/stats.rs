@@ -1,8 +1,14 @@
 //! Operation counters, used by the ablation benches to show *why* one stack
-//! is faster (e.g. counting the extra read WS-Transfer's Put performs).
+//! is faster (e.g. counting the extra read WS-Transfer's Put performs), and
+//! per-shard accounting used by the throughput harness to model how far the
+//! store can be parallelised.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Upper bound on the shard count of any collection; the per-shard busy
+/// accounting below is statically sized to it.
+pub const MAX_SHARDS: usize = 64;
 
 /// Shared, lock-free operation counters for a database.
 #[derive(Debug, Clone, Default)]
@@ -10,7 +16,7 @@ pub struct DbStats {
     inner: Arc<Counters>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Counters {
     reads: AtomicU64,
     inserts: AtomicU64,
@@ -19,6 +25,28 @@ struct Counters {
     queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Times a shard lock was found held and the caller had to wait.
+    lock_contentions: AtomicU64,
+    /// Virtual microseconds of database work attributed to each shard.
+    /// Independent shards could serve this work in parallel, so
+    /// `max(shard_busy)` lower-bounds the store's contribution to makespan.
+    shard_busy_us: [AtomicU64; MAX_SHARDS],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            reads: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            lock_contentions: AtomicU64::new(0),
+            shard_busy_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 macro_rules! counter {
@@ -44,8 +72,35 @@ impl DbStats {
     counter!(bump_queries, queries, queries);
     counter!(bump_cache_hits, cache_hits, cache_hits);
     counter!(bump_cache_misses, cache_misses, cache_misses);
+    counter!(bump_lock_contentions, lock_contentions, lock_contentions);
 
-    /// Snapshot all counters as (name, value) pairs.
+    /// Attribute `us` virtual microseconds of store work to `shard`.
+    pub fn add_shard_busy(&self, shard: usize, us: u64) {
+        self.inner.shard_busy_us[shard % MAX_SHARDS].fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Busy time attributed to one shard so far.
+    pub fn shard_busy_us(&self, shard: usize) -> u64 {
+        self.inner.shard_busy_us[shard % MAX_SHARDS].load(Ordering::Relaxed)
+    }
+
+    /// Busy time per shard for the first `shards` shards.
+    pub fn shard_busy_snapshot(&self, shards: usize) -> Vec<u64> {
+        (0..shards.min(MAX_SHARDS))
+            .map(|i| self.shard_busy_us(i))
+            .collect()
+    }
+
+    /// Total store busy time across all shards.
+    pub fn total_busy_us(&self) -> u64 {
+        self.inner
+            .shard_busy_us
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshot all scalar counters as (name, value) pairs.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("reads", self.reads()),
@@ -55,6 +110,7 @@ impl DbStats {
             ("queries", self.queries()),
             ("cache_hits", self.cache_hits()),
             ("cache_misses", self.cache_misses()),
+            ("lock_contentions", self.lock_contentions()),
         ]
     }
 }
@@ -87,7 +143,27 @@ mod tests {
         let s = DbStats::new();
         s.bump_cache_hits();
         let snap = s.snapshot();
-        assert_eq!(snap.len(), 7);
+        assert_eq!(snap.len(), 8);
         assert!(snap.contains(&("cache_hits", 1)));
+        assert!(snap.contains(&("lock_contentions", 0)));
+    }
+
+    #[test]
+    fn shard_busy_accumulates_per_shard() {
+        let s = DbStats::new();
+        s.add_shard_busy(0, 100);
+        s.add_shard_busy(3, 40);
+        s.add_shard_busy(3, 2);
+        assert_eq!(s.shard_busy_us(0), 100);
+        assert_eq!(s.shard_busy_us(3), 42);
+        assert_eq!(s.shard_busy_snapshot(4), vec![100, 0, 0, 42]);
+        assert_eq!(s.total_busy_us(), 142);
+    }
+
+    #[test]
+    fn shard_index_wraps_at_max() {
+        let s = DbStats::new();
+        s.add_shard_busy(MAX_SHARDS + 1, 7);
+        assert_eq!(s.shard_busy_us(1), 7);
     }
 }

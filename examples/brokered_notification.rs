@@ -92,7 +92,10 @@ fn main() {
         .invoke(broker.epr(), actions::SUBSCRIBE, req.to_element())
         .unwrap();
     let sub = SubscribeRequest::parse_response(&resp).unwrap();
-    mark = checkpoint("Subscribe at broker (demand appears, upstream resumed)", mark);
+    mark = checkpoint(
+        "Subscribe at broker (demand appears, upstream resumed)",
+        mark,
+    );
     println!(
         "  upstream subscription active? {}",
         broker.registrations()[0].active
@@ -105,7 +108,11 @@ fn main() {
         .expect("brokered delivery");
     mark = checkpoint("Notify publisher → broker inbox → consumer", mark);
     if let ogsa_grid::wsn::consumer::Delivery::Wrapped(n) = delivery {
-        println!("  consumer received `{}` on topic {}", n.message.text(), n.topic);
+        println!(
+            "  consumer received `{}` on topic {}",
+            n.message.text(),
+            n.topic
+        );
     }
 
     println!("-- the consumer leaves --");

@@ -78,7 +78,10 @@ fn run(stack: &str, seed: u64, blackhole: bool) {
     }
 
     let s = tb.network().stats().snapshot();
-    println!("  final value: {} (5 sets)", api.get(&counter).expect("get"));
+    println!(
+        "  final value: {} (5 sets)",
+        api.get(&counter).expect("get")
+    );
     println!("  values announced (deduped): {announced:?}");
     println!(
         "  injected: {} drops, {} delays, {} duplicates, {} garbles",

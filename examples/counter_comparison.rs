@@ -15,9 +15,18 @@ use ogsa_grid::security::SecurityPolicy;
 
 fn main() {
     for (title, policy) in [
-        ("Figure 2: Testing \"Hello World\" with no security", SecurityPolicy::None),
-        ("Figure 3: Testing \"Hello World\" over HTTPS", SecurityPolicy::Https),
-        ("Figure 4: Testing \"Hello World\" with X.509 Signing", SecurityPolicy::X509Sign),
+        (
+            "Figure 2: Testing \"Hello World\" with no security",
+            SecurityPolicy::None,
+        ),
+        (
+            "Figure 3: Testing \"Hello World\" over HTTPS",
+            SecurityPolicy::Https,
+        ),
+        (
+            "Figure 4: Testing \"Hello World\" with X.509 Signing",
+            SecurityPolicy::X509Sign,
+        ),
     ] {
         let rows = run(HelloConfig {
             policy,

@@ -22,13 +22,28 @@ fn drive(label: &str, scenario: &mut dyn GridScenario, tb: &Testbed) {
         ($name:expr, $body:expr) => {{
             let t = clock.now();
             $body;
-            println!("  {:<24} {:>8.0} ms", $name, clock.now().since(t).as_millis());
+            println!(
+                "  {:<24} {:>8.0} ms",
+                $name,
+                clock.now().since(t).as_millis()
+            );
         }};
     }
 
-    timed!("Get Available Resource", scenario.get_available_resource("blast").expect("discover"));
-    timed!("Make Reservation", scenario.make_reservation().expect("reserve"));
-    timed!("Upload File", scenario.upload_file("input.dat", 24 * 1024).expect("upload"));
+    timed!(
+        "Get Available Resource",
+        scenario.get_available_resource("blast").expect("discover")
+    );
+    timed!(
+        "Make Reservation",
+        scenario.make_reservation().expect("reserve")
+    );
+    timed!(
+        "Upload File",
+        scenario
+            .upload_file("input.dat", 24 * 1024)
+            .expect("upload")
+    );
     timed!(
         "Instantiate Job",
         scenario
@@ -41,8 +56,14 @@ fn drive(label: &str, scenario: &mut dyn GridScenario, tb: &Testbed) {
         .expect("completion notification");
     println!("  job finished asynchronously with exit code {exit}");
 
-    timed!("Delete File", scenario.delete_file("input.dat").expect("delete"));
-    timed!("Unreserve Resource", scenario.unreserve_resource().expect("unreserve"));
+    timed!(
+        "Delete File",
+        scenario.delete_file("input.dat").expect("delete")
+    );
+    timed!(
+        "Unreserve Resource",
+        scenario.unreserve_resource().expect("unreserve")
+    );
     if scenario.unreserve_is_automatic() {
         println!("  (unreserve was automatic — the ExecService destroyed the reservation)");
     }

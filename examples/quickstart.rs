@@ -49,10 +49,7 @@ fn main() {
         println!("  notification says the value is now {notified}");
 
         api.destroy(&counter).expect("destroy");
-        println!(
-            "  destroyed; get now fails: {}",
-            api.get(&counter).is_err()
-        );
+        println!("  destroyed; get now fails: {}", api.get(&counter).is_err());
 
         println!(
             "  total virtual time: {:.1} ms\n",

@@ -75,7 +75,12 @@ fn main() {
     for (kind, t) in &fold.self_time {
         println!("  {kind:<10} {:>10.2} ms", t.as_millis());
     }
-    println!("  {:<10} {:>10.2} ms ({} roots)", "total", fold.total.as_millis(), fold.roots);
+    println!(
+        "  {:<10} {:>10.2} ms ({} roots)",
+        "total",
+        fold.total.as_millis(),
+        fold.roots
+    );
 
     println!("\n== metrics ==");
     println!("{}", metrics_to_json(&tb.telemetry().metrics().snapshot()));

@@ -142,7 +142,10 @@ fn counter_chaos_is_reproducible_and_stacks_agree() {
             "seed {seed}: stacks announce the same value set modulo duplicates"
         );
         let expected: BTreeSet<i64> = (1..=SETS).collect();
-        assert_eq!(wsrf.notified, expected, "seed {seed}: no update went missing");
+        assert_eq!(
+            wsrf.notified, expected,
+            "seed {seed}: no update went missing"
+        );
     }
 }
 
@@ -159,7 +162,9 @@ fn run_grid(stack: Stack, seed: u64) -> GridOutcome {
     let hosts = ["site-a", "site-b"];
     let apps = ["blast"];
     let users = [ALICE];
-    let agent = tb.client("client-1", ALICE, policy).with_retry(call_policy(seed));
+    let agent = tb
+        .client("client-1", ALICE, policy)
+        .with_retry(call_policy(seed));
     match stack {
         Stack::Wsrf => {
             let grid = WsrfGrid::deploy(&tb, policy, &hosts, &apps, &users);
@@ -177,15 +182,23 @@ fn drive_grid(scenario: &mut dyn GridScenario, tb: &Testbed, seed: u64) -> GridO
     // scenario (and deploy-time agents carry no retry budget).
     tb.network().set_fault_plan(chaos_plan(seed));
 
-    scenario.get_available_resource("blast").expect("discover under chaos");
+    scenario
+        .get_available_resource("blast")
+        .expect("discover under chaos");
     scenario.make_reservation().expect("reserve under chaos");
-    scenario.upload_file("input.dat", 8 * 1024).expect("upload under chaos");
+    scenario
+        .upload_file("input.dat", 8 * 1024)
+        .expect("upload under chaos");
     scenario
         .instantiate_job(SimDuration::from_millis(500.0))
         .expect("start under chaos");
     let exit_code = scenario.finish_job(DRAIN).expect("finish under chaos");
-    scenario.delete_file("input.dat").expect("delete under chaos");
-    scenario.unreserve_resource().expect("unreserve under chaos");
+    scenario
+        .delete_file("input.dat")
+        .expect("delete under chaos");
+    scenario
+        .unreserve_resource()
+        .expect("unreserve under chaos");
 
     assert!(tb.network().quiesce(DRAIN));
     GridOutcome {

@@ -153,10 +153,7 @@ fn switching_direction_matters() {
         .unwrap();
     // SetTerminationTime is simply not part of the interface.
     let err = WsrfProxy::new(&client)
-        .set_termination_time(
-            &resource,
-            ogsa_grid::wsrf::TerminationTime::Never,
-        )
+        .set_termination_time(&resource, ogsa_grid::wsrf::TerminationTime::Never)
         .unwrap_err();
     assert!(matches!(err, InvokeError::Fault(_)));
 }

@@ -113,7 +113,10 @@ fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut B
         }
         _ => String::new(),
     };
-    println!("{label:<50} {per_iter:>12.2?}/iter  x{}{rate}", b.iterations);
+    println!(
+        "{label:<50} {per_iter:>12.2?}/iter  x{}{rate}",
+        b.iterations
+    );
 }
 
 #[derive(Default)]

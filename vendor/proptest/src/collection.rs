@@ -10,7 +10,10 @@ pub struct VecStrategy<S> {
 }
 
 pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
-    assert!(size.start < size.end, "empty size range for collection::vec");
+    assert!(
+        size.start < size.end,
+        "empty size range for collection::vec"
+    );
     VecStrategy { element, size }
 }
 
