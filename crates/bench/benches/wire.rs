@@ -1,0 +1,141 @@
+//! Wall-clock microbenches for the wire pipeline's fast paths, each paired
+//! with its pre-optimisation counterpart: zero-copy parse vs the reference
+//! two-pass parser, the hand-written envelope serialiser vs tree-clone
+//! serialisation, streamed canonicalize-into-digest vs the buffered form,
+//! and the full signed request/response round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ogsa_core::addressing::{EndpointReference, MessageHeaders};
+use ogsa_core::security::sha256::{sha256, Sha256};
+use ogsa_core::security::{sign_envelope, verify_envelope, CertStore, SignerInfo};
+use ogsa_core::sim::{CostModel, VirtualClock};
+use ogsa_core::soap::Envelope;
+use ogsa_core::xml::{
+    canonicalize, canonicalize_into, parse, pooled_string, reference, CanonSink, Element,
+};
+
+fn counter_body(reps: usize) -> Element {
+    let mut body = Element::new(ogsa_core::xml::QName::new(
+        ogsa_core::xml::ns::COUNTER,
+        "setValue",
+    ));
+    for i in 0..reps {
+        body.add_child(
+            Element::new("entry")
+                .with_attr("seq", i.to_string())
+                .with_child(Element::text_element("value", (i * 3).to_string())),
+        );
+    }
+    body
+}
+
+fn sample_envelope() -> Envelope {
+    let target = EndpointReference::service("http://host-a/wsrf/counter");
+    MessageHeaders::request(&target, "urn:counter:set", "uuid:bench-1")
+        .apply(Envelope::new(counter_body(12)))
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let wire = sample_envelope().to_wire();
+    let mut group = c.benchmark_group("wire/parse");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("fast", |b| b.iter(|| parse(&wire).unwrap()));
+    group.bench_function("reference", |b| b.iter(|| reference::parse(&wire).unwrap()));
+    group.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let env = sample_envelope();
+    let mut group = c.benchmark_group("wire/write");
+    group.throughput(Throughput::Bytes(env.wire_size() as u64));
+    group.bench_function("fast_pooled", |b| {
+        b.iter(|| {
+            let mut buf = pooled_string();
+            env.to_wire_into(&mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("legacy_tree_clone", |b| {
+        b.iter(|| env.to_element().into_document_string().len())
+    });
+    group.finish();
+}
+
+/// Mirror of the production streamed sink (small batch buffer in front of
+/// the incremental hash state).
+struct ShaSink {
+    hasher: Sha256,
+    buf: [u8; 256],
+    len: usize,
+}
+
+impl ShaSink {
+    fn new() -> Self {
+        ShaSink {
+            hasher: Sha256::new(),
+            buf: [0; 256],
+            len: 0,
+        }
+    }
+
+    fn finalize(mut self) -> [u8; 32] {
+        self.hasher.update(&self.buf[..self.len]);
+        self.hasher.finalize()
+    }
+}
+
+impl CanonSink for ShaSink {
+    fn push_str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.buf.len() {
+            self.hasher.update(&self.buf[..self.len]);
+            self.len = 0;
+            if bytes.len() >= self.buf.len() {
+                self.hasher.update(bytes);
+                return;
+            }
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+    }
+}
+
+fn bench_c14n_digest(c: &mut Criterion) {
+    let body = counter_body(50);
+    let mut group = c.benchmark_group("wire/c14n_digest");
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            let mut sink = ShaSink::new();
+            canonicalize_into(&body, &mut sink);
+            sink.finalize()
+        })
+    });
+    group.bench_function("buffered", |b| b.iter(|| sha256(&canonicalize(&body))));
+    group.finish();
+}
+
+fn bench_signed_roundtrip(c: &mut Criterion) {
+    let store = CertStore::new();
+    let identity = store.authority("CN=UVA-CA").issue("CN=bench,O=UVA-VO");
+    let clock = VirtualClock::new();
+    let model = CostModel::free();
+    c.bench_function("wire/signed_roundtrip", |b| {
+        b.iter(|| -> SignerInfo {
+            let mut env = sample_envelope();
+            sign_envelope(&mut env, &identity, &clock, &model);
+            let mut wire = pooled_string();
+            env.to_wire_into(&mut wire);
+            let received = Envelope::from_wire(&wire).unwrap();
+            verify_envelope(&received, &store, &clock, &model).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_write,
+    bench_c14n_digest,
+    bench_signed_roundtrip
+);
+criterion_main!(benches);

@@ -216,9 +216,19 @@ impl ClientAgent {
         let deadline = (self.retry.attempt_timeout != SimDuration(u64::MAX))
             .then_some(self.retry.attempt_timeout);
         let mut attempt = 1u32;
+        // The body is cloned only while a retry could still need it; the
+        // final (or only) attempt moves it into the envelope.
+        let mut body = Some(body);
         loop {
+            let attempt_body = if attempt < self.retry.max_attempts {
+                body.clone()
+                    .expect("request body present until final attempt")
+            } else {
+                body.take()
+                    .expect("request body present until final attempt")
+            };
             let headers = MessageHeaders::request(target, action, self.next_message_id());
-            let mut env = headers.apply(Envelope::new(body.clone()));
+            let mut env = headers.apply(Envelope::new(attempt_body));
             // Trace context rides the wire next to the addressing headers,
             // under the signature like everything else.
             if let (Some(trace), Some(id)) = (span.trace_id(), span.id()) {
@@ -226,13 +236,27 @@ impl ClientAgent {
             }
             if self.policy.signs_messages() {
                 let _s = tel.span(SpanKind::Security, "x509:sign");
+                let before = ogsa_security::c14n_passes();
                 sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
+                tel.metrics().add(
+                    "sec.c14n_passes",
+                    &[("stage", "sign")],
+                    ogsa_security::c14n_passes() - before,
+                );
             }
             match self.port.call_with_deadline(&target.address, env, deadline) {
                 Ok(resp) => {
                     if self.policy.signs_messages() {
                         let _s = tel.span(SpanKind::Security, "x509:verify");
-                        verify_envelope(&resp, &self.cert_store, &self.clock, &self.model)?;
+                        let before = ogsa_security::c14n_passes();
+                        let verified =
+                            verify_envelope(&resp, &self.cert_store, &self.clock, &self.model);
+                        tel.metrics().add(
+                            "sec.c14n_passes",
+                            &[("stage", "verify")],
+                            ogsa_security::c14n_passes() - before,
+                        );
+                        verified?;
                     }
                     if let Some(fault) = resp.fault() {
                         return Err(InvokeError::Fault(fault));
@@ -269,7 +293,13 @@ impl ClientAgent {
         }
         if self.policy.signs_messages() {
             let _s = tel.span(SpanKind::Security, "x509:sign");
+            let before = ogsa_security::c14n_passes();
             sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
+            tel.metrics().add(
+                "sec.c14n_passes",
+                &[("stage", "sign")],
+                ogsa_security::c14n_passes() - before,
+            );
         }
         self.port
             .send_oneway_with_policy(&to.address, env, self.redelivery.clone());

@@ -245,7 +245,7 @@ impl Container {
             inner.lifetime.sweep_now(&inner.clock);
         }
 
-        let result = self.run_service(ctx, service, &req, &tel);
+        let result = self.run_service(ctx, service, req, &tel);
 
         // Build the response, passing back through the security handler.
         let (body, request_headers) = match result {
@@ -266,7 +266,13 @@ impl Container {
         };
         if inner.policy.signs_messages() {
             let _s = tel.span(SpanKind::Security, "x509:sign");
+            let before = ogsa_security::c14n_passes();
             sign_envelope(&mut resp, &inner.identity, &inner.clock, &inner.model);
+            tel.metrics().add(
+                "sec.c14n_passes",
+                &[("stage", "sign")],
+                ogsa_security::c14n_passes() - before,
+            );
         }
         resp
     }
@@ -275,36 +281,46 @@ impl Container {
         &self,
         ctx: &OperationContext,
         service: &Arc<dyn WebService>,
-        req: &Envelope,
+        req: Envelope,
         tel: &Telemetry,
     ) -> Result<(ogsa_xml::Element, MessageHeaders), Fault> {
         let inner = &self.inner;
 
-        let headers = MessageHeaders::extract(req)
+        let headers = MessageHeaders::extract(&req)
             .map_err(|e| Fault::client(format!("bad addressing headers: {e}")))?;
 
         // Security/policy handler: authenticate the client.
         let signer_dn = if inner.policy.signs_messages() {
             let _s = tel.span(SpanKind::Security, "x509:verify");
-            let signer = verify_envelope(req, &inner.cert_store, &inner.clock, &inner.model)
-                .map_err(|e| Fault::client(format!("security check failed: {e}")))?;
+            let before = ogsa_security::c14n_passes();
+            let verified = verify_envelope(&req, &inner.cert_store, &inner.clock, &inner.model);
+            tel.metrics().add(
+                "sec.c14n_passes",
+                &[("stage", "verify")],
+                ogsa_security::c14n_passes() - before,
+            );
+            let signer =
+                verified.map_err(|e| Fault::client(format!("security check failed: {e}")))?;
             Some(signer.dn().to_owned())
         } else {
             None
         };
 
+        // The request is consumed here: its body moves into the Operation
+        // instead of being deep-cloned alongside a second copy of the
+        // headers.
         let op = Operation {
             action: headers.action.clone(),
-            body: req.body.clone(),
-            headers: headers.clone(),
+            body: req.body,
+            headers,
             signer_dn,
         };
         let body = {
             let mut s = tel.span(SpanKind::Service, "service:handle");
-            s.set_attr("action", &headers.action);
+            s.set_attr("action", &op.action);
             service.handle(&op, ctx)?
         };
-        Ok((body, headers))
+        Ok((body, op.headers))
     }
 }
 

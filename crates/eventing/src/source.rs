@@ -139,23 +139,32 @@ impl NotificationManager {
                 );
             }
         }
-        let mut delivered = 0;
-        for sub in self.store.load() {
-            let passes = match &sub.filter {
+        let matching: Vec<_> = self
+            .store
+            .load()
+            .into_iter()
+            .filter(|sub| match &sub.filter {
                 None => true,
                 Some(f) => XPath::compile(f)
                     .and_then(|xp| xp.matches(&event, &XPathContext::new()))
                     .unwrap_or(false),
+            })
+            .filter(|sub| self.modes.contains_key(&sub.mode))
+            .collect();
+        // Each delivery owns its message body, but the last one can take
+        // the event itself — a single-subscriber trigger clones nothing.
+        let last = matching.len();
+        let mut event = Some(event);
+        for (i, sub) in matching.iter().enumerate() {
+            let mode = self.modes.get(&sub.mode).expect("filtered above");
+            let body = if i + 1 == last {
+                event.take().expect("event present until final delivery")
+            } else {
+                event.clone().expect("event present until final delivery")
             };
-            if !passes {
-                continue;
-            }
-            if let Some(mode) = self.modes.get(&sub.mode) {
-                mode.deliver(&self.agent, &sub, event.clone());
-                delivered += 1;
-            }
+            mode.deliver(&self.agent, sub, body);
         }
-        delivered
+        last
     }
 
     /// The underlying store (tests and benches inspect it).

@@ -28,4 +28,4 @@ pub mod sig;
 pub use cert::{CertAuthority, CertStore, Certificate, Identity};
 pub use policy::SecurityPolicy;
 pub use sha256::{sha256, sha256_hex};
-pub use sig::{sign_envelope, verify_envelope, SecurityError, SignerInfo};
+pub use sig::{c14n_passes, sign_envelope, verify_envelope, SecurityError, SignerInfo};

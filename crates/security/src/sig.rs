@@ -8,12 +8,116 @@
 //! tampering, unknown signer, or untrusted issuer. Both charge the 2005-era
 //! WSE processing cost to the virtual clock.
 
+use std::cell::Cell;
+
 use ogsa_sim::{CostModel, VirtualClock};
 use ogsa_soap::Envelope;
-use ogsa_xml::{canonicalize, ns, Element, QName};
+use ogsa_xml::{canonicalize_into, ns, CanonSink, Element, QName};
 
 use crate::cert::{CertStore, Certificate, Identity};
-use crate::sha256::{hex, sha256, Sha256};
+use crate::sha256::{hex, Sha256};
+
+thread_local! {
+    /// Envelope canonicalisation passes performed by this thread — one per
+    /// sign, one per verify. Thread-local so concurrent tests and harness
+    /// threads never race; the container surfaces per-operation deltas as
+    /// the `sec.c14n_passes` telemetry counter.
+    static C14N_PASSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The fixed WS-Security vocabulary, built once: every sign/verify reuses
+/// these instead of paying an interner lookup per name.
+struct Names {
+    signed_info: QName,
+    reference: QName,
+    digest_value: QName,
+    signature: QName,
+    signature_value: QName,
+    key_info: QName,
+    key_name: QName,
+    security: QName,
+    token: QName,
+    timestamp: QName,
+    created: QName,
+}
+
+fn names() -> &'static Names {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Names> = OnceLock::new();
+    NAMES.get_or_init(|| Names {
+        signed_info: QName::new(ns::DS, "SignedInfo"),
+        reference: QName::new(ns::DS, "Reference"),
+        digest_value: QName::new(ns::DS, "DigestValue"),
+        signature: QName::new(ns::DS, "Signature"),
+        signature_value: QName::new(ns::DS, "SignatureValue"),
+        key_info: QName::new(ns::DS, "KeyInfo"),
+        key_name: QName::new(ns::DS, "KeyName"),
+        security: QName::new(ns::WSSE, "Security"),
+        token: QName::new(ns::WSSE, "BinarySecurityToken"),
+        timestamp: QName::new(ns::WSU, "Timestamp"),
+        created: QName::new(ns::WSU, "Created"),
+    })
+}
+
+/// Total envelope canonicalisation passes performed by this thread. The
+/// wall-clock fast path guarantees sign and verify each take exactly one
+/// (assert with a before/after delta).
+pub fn c14n_passes() -> u64 {
+    C14N_PASSES.with(|c| c.get())
+}
+
+fn note_c14n_pass() {
+    C14N_PASSES.with(|c| c.set(c.get() + 1));
+}
+
+/// Streams canonical bytes into the incremental SHA-256 state — no
+/// intermediate canonical `String` or `Vec` is ever built. Canonical output
+/// arrives as many short fragments (name parts, quotes, text runs), so the
+/// sink batches them through a small fixed buffer: the hash state advances
+/// in whole-block strides instead of paying per-fragment `update` overhead.
+struct ShaSink {
+    hasher: Sha256,
+    buf: [u8; 256],
+    len: usize,
+}
+
+impl ShaSink {
+    fn new() -> Self {
+        ShaSink {
+            hasher: Sha256::new(),
+            buf: [0; 256],
+            len: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        self.hasher.update(&self.buf[..self.len]);
+        self.len = 0;
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        if self.len + bytes.len() > self.buf.len() {
+            self.flush();
+            if bytes.len() >= self.buf.len() {
+                self.hasher.update(bytes);
+                return;
+            }
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+    }
+
+    fn finalize(mut self) -> [u8; 32] {
+        self.flush();
+        self.hasher.finalize()
+    }
+}
+
+impl CanonSink for ShaSink {
+    fn push_str(&mut self, s: &str) {
+        self.update(s.as_bytes());
+    }
+}
 
 /// Signature/verification failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,20 +169,26 @@ impl SignerInfo {
     }
 }
 
+/// One canonicalisation pass over the envelope's signed content, streamed
+/// directly into the digest states.
 fn digest_body_and_headers(env: &Envelope) -> (String, String) {
-    let body_digest = hex(&sha256(&canonicalize(&env.body)));
+    note_c14n_pass();
+    let mut body = ShaSink::new();
+    canonicalize_into(&env.body, &mut body);
+    let body_digest = hex(&body.finalize());
     // Every non-security header participates in the headers digest, in
     // order (addressing headers, echoed reference properties, ...).
-    let mut h = Sha256::new();
+    let mut h = ShaSink::new();
     for header in &env.headers {
         if header.name.in_ns(ns::WSSE) || header.name.in_ns(ns::WSU) {
             continue;
         }
-        h.update(&canonicalize(header));
+        canonicalize_into(header, &mut h);
     }
     (body_digest, hex(&h.finalize()))
 }
 
+#[cfg(test)] // production paths stream via `mac_element`; tests forge with this
 fn mac(secret: &[u8; 32], data: &[u8]) -> String {
     // Simulated RSA signature: keyed hash (see crate docs). Simple
     // prefix-MAC is fine here — the key is fixed-length, so no length
@@ -86,6 +196,15 @@ fn mac(secret: &[u8; 32], data: &[u8]) -> String {
     let mut h = Sha256::new();
     h.update(secret);
     h.update(data);
+    hex(&h.finalize())
+}
+
+/// [`mac`] over an element's canonical form, streamed — equivalent to
+/// `mac(secret, &canonicalize(e))` without materialising the bytes.
+fn mac_element(secret: &[u8; 32], e: &Element) -> String {
+    let mut h = ShaSink::new();
+    h.update(secret);
+    canonicalize_into(e, &mut h);
     hex(&h.finalize())
 }
 
@@ -101,46 +220,44 @@ pub fn sign_envelope(
 
     let (body_digest, headers_digest) = digest_body_and_headers(env);
 
-    let signed_info = Element::new(QName::new(ns::DS, "SignedInfo"))
+    let n = names();
+    let signed_info = Element::new(n.signed_info.clone())
         .with_child(
-            Element::new(QName::new(ns::DS, "Reference"))
+            Element::new(n.reference.clone())
                 .with_attr("URI", "#Body")
-                .with_child(Element::text_element(
-                    QName::new(ns::DS, "DigestValue"),
-                    body_digest,
-                )),
+                .with_child(Element::text_element(n.digest_value.clone(), body_digest)),
         )
         .with_child(
-            Element::new(QName::new(ns::DS, "Reference"))
+            Element::new(n.reference.clone())
                 .with_attr("URI", "#Headers")
                 .with_child(Element::text_element(
-                    QName::new(ns::DS, "DigestValue"),
+                    n.digest_value.clone(),
                     headers_digest,
                 )),
         );
-    let signature_value = mac(identity.secret(), &canonicalize(&signed_info));
+    let signature_value = mac_element(identity.secret(), &signed_info);
 
-    let signature =
-        Element::new(QName::new(ns::DS, "Signature"))
-            .with_child(signed_info)
-            .with_child(Element::text_element(
-                QName::new(ns::DS, "SignatureValue"),
-                signature_value,
-            ))
-            .with_child(Element::new(QName::new(ns::DS, "KeyInfo")).with_child(
-                Element::text_element(QName::new(ns::DS, "KeyName"), identity.cert.key_id.clone()),
-            ));
-
-    let timestamp = Element::new(QName::new(ns::WSU, "Timestamp")).with_child(
-        Element::text_element(QName::new(ns::WSU, "Created"), clock.now().0.to_string()),
-    );
-
-    let security = Element::new(QName::new(ns::WSSE, "Security"))
-        .with_child(timestamp)
+    let signature = Element::new(n.signature.clone())
+        .with_child(signed_info)
+        .with_child(Element::text_element(
+            n.signature_value.clone(),
+            signature_value,
+        ))
         .with_child(
-            Element::new(QName::new(ns::WSSE, "BinarySecurityToken"))
-                .with_child(identity.cert.to_element()),
-        )
+            Element::new(n.key_info.clone()).with_child(Element::text_element(
+                n.key_name.clone(),
+                identity.cert.key_id.clone(),
+            )),
+        );
+
+    let timestamp = Element::new(n.timestamp.clone()).with_child(Element::text_element(
+        n.created.clone(),
+        clock.now().0.to_string(),
+    ));
+
+    let security = Element::new(n.security.clone())
+        .with_child(timestamp)
+        .with_child(Element::new(n.token.clone()).with_child(identity.cert.to_element()))
         .with_child(signature);
 
     env.headers.push(security);
@@ -158,12 +275,11 @@ pub fn verify_envelope(
     let size = env.wire_size();
     clock.advance(model.verify_time(size));
 
-    let security = env
-        .header(&QName::new(ns::WSSE, "Security"))
-        .ok_or(SecurityError::NotSigned)?;
+    let n = names();
+    let security = env.header(&n.security).ok_or(SecurityError::NotSigned)?;
 
     let token = security
-        .child(&QName::new(ns::WSSE, "BinarySecurityToken"))
+        .child(&n.token)
         .ok_or_else(|| SecurityError::Malformed("no BinarySecurityToken".into()))?;
     let cert_elem = token
         .child_elements()
@@ -179,18 +295,18 @@ pub fn verify_envelope(
     }
 
     let signature = security
-        .child(&QName::new(ns::DS, "Signature"))
+        .child(&n.signature)
         .ok_or_else(|| SecurityError::Malformed("no ds:Signature".into()))?;
     let signed_info = signature
-        .child(&QName::new(ns::DS, "SignedInfo"))
+        .child(&n.signed_info)
         .ok_or_else(|| SecurityError::Malformed("no ds:SignedInfo".into()))?;
     let signature_value = signature
-        .child(&QName::new(ns::DS, "SignatureValue"))
+        .child(&n.signature_value)
         .ok_or_else(|| SecurityError::Malformed("no ds:SignatureValue".into()))?
         .text();
     let key_name = signature
-        .child(&QName::new(ns::DS, "KeyInfo"))
-        .and_then(|ki| ki.child(&QName::new(ns::DS, "KeyName")))
+        .child(&n.key_info)
+        .and_then(|ki| ki.child(&n.key_name))
         .ok_or_else(|| SecurityError::Malformed("no ds:KeyName".into()))?
         .text();
 
@@ -202,10 +318,10 @@ pub fn verify_envelope(
 
     // Recompute digests over the current envelope content.
     let (body_digest, headers_digest) = digest_body_and_headers(env);
-    for reference in signed_info.children_named(&QName::new(ns::DS, "Reference")) {
+    for reference in signed_info.children_named(&n.reference) {
         let uri = reference.attr_local("URI").unwrap_or("");
         let claimed = reference
-            .child(&QName::new(ns::DS, "DigestValue"))
+            .child(&n.digest_value)
             .map(|d| d.text())
             .unwrap_or_default();
         let actual = match uri {
@@ -228,7 +344,7 @@ pub fn verify_envelope(
     let secret = store
         .verification_secret(&cert.key_id)
         .ok_or(SecurityError::UnknownSigner)?;
-    if mac(&secret, &canonicalize(signed_info)) != signature_value {
+    if mac_element(&secret, signed_info) != signature_value {
         return Err(SecurityError::BadSignature);
     }
 
@@ -239,6 +355,7 @@ pub fn verify_envelope(
 mod tests {
     use super::*;
     use ogsa_sim::SimDuration;
+    use ogsa_xml::canonicalize;
 
     fn setup() -> (CertStore, Identity, VirtualClock, CostModel) {
         let store = CertStore::new();
@@ -366,6 +483,27 @@ mod tests {
         sign_envelope(&mut env, &alice, &clock, &model);
         let back = Envelope::from_wire(&env.to_wire()).unwrap();
         verify_envelope(&back, &store, &clock, &model).unwrap();
+    }
+
+    #[test]
+    fn exactly_one_c14n_pass_per_sign_and_per_verify() {
+        let (store, alice, clock, model) = setup();
+        let mut env = sample_env();
+        let before = c14n_passes();
+        sign_envelope(&mut env, &alice, &clock, &model);
+        assert_eq!(c14n_passes() - before, 1, "sign must canonicalise once");
+        let before = c14n_passes();
+        verify_envelope(&env, &store, &clock, &model).unwrap();
+        assert_eq!(c14n_passes() - before, 1, "verify must canonicalise once");
+    }
+
+    #[test]
+    fn streamed_mac_matches_buffered_mac() {
+        let e = Element::new(QName::new(ns::DS, "SignedInfo"))
+            .with_attr("a", "x<y")
+            .with_child(Element::text_element("v", "1 & 2"));
+        let secret = [7u8; 32];
+        assert_eq!(mac_element(&secret, &e), mac(&secret, &canonicalize(&e)));
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! The SOAP envelope: header blocks plus exactly one body element.
 
-use ogsa_xml::{ns, parse, Element, QName, XmlError, XmlResult};
+use ogsa_xml::writer::{subtree_len, write_subtree_into};
+use ogsa_xml::{
+    intern, ns, parse, Element, Node, Prefixes, PrefixesBuilder, QName, XmlError, XmlResult,
+    XML_DECL,
+};
 
 use crate::fault::Fault;
 
@@ -75,42 +79,143 @@ impl Envelope {
 
     /// Serialise to the wire (document string).
     pub fn to_wire(&self) -> String {
-        self.to_element().into_document_string()
+        let mut out = String::new();
+        self.to_wire_into(&mut out);
+        out
+    }
+
+    /// Serialise to the wire into an existing buffer, writing the
+    /// `<soap:Envelope>`/`<soap:Header>`/`<soap:Body>` wrappers by hand
+    /// around the *borrowed* header and body subtrees. This produces bytes
+    /// identical to serialising [`Envelope::to_element`] (same URI set, so
+    /// the same deterministic prefix assignment) without cloning every
+    /// header and body into a throwaway tree first.
+    pub fn to_wire_into(&self, out: &mut String) {
+        let p = self.wire_prefixes();
+        let soap_uri = intern(ns::SOAP);
+        let sp = p.prefix_for(&soap_uri);
+        out.reserve(XML_DECL.len() + self.envelope_len(&p, sp));
+        out.push_str(XML_DECL);
+        out.push('<');
+        out.push_str(sp);
+        out.push_str(":Envelope");
+        p.write_declarations(out);
+        out.push('>');
+        if !self.headers.is_empty() {
+            out.push('<');
+            out.push_str(sp);
+            out.push_str(":Header>");
+            for h in &self.headers {
+                write_subtree_into(h, &p, out);
+            }
+            out.push_str("</");
+            out.push_str(sp);
+            out.push_str(":Header>");
+        }
+        out.push('<');
+        out.push_str(sp);
+        out.push_str(":Body>");
+        write_subtree_into(&self.body, &p, out);
+        out.push_str("</");
+        out.push_str(sp);
+        out.push_str(":Body>");
+        out.push_str("</");
+        out.push_str(sp);
+        out.push_str(":Envelope>");
+    }
+
+    /// The deterministic prefix assignment for this envelope's wire form:
+    /// the SOAP namespace (for the wrappers) plus every URI in the headers
+    /// and body — exactly the set [`Envelope::to_element`] would produce.
+    fn wire_prefixes(&self) -> Prefixes {
+        let mut b = PrefixesBuilder::new();
+        b.add_uri(&intern(ns::SOAP));
+        for h in &self.headers {
+            b.add_tree(h);
+        }
+        b.add_tree(&self.body);
+        b.build()
+    }
+
+    /// Counting twin of [`Envelope::to_wire_into`] (everything after the
+    /// XML declaration) — must mirror it byte-for-byte.
+    fn envelope_len(&self, p: &Prefixes, sp: &str) -> usize {
+        // `<sp:Envelope` + declarations + `>` ... `</sp:Envelope>`
+        let mut n = 1 + sp.len() + 9 + p.declarations_len() + 1 + 2 + sp.len() + 9 + 1;
+        if !self.headers.is_empty() {
+            // `<sp:Header>` + `</sp:Header>`
+            n += 1 + sp.len() + 7 + 1 + 2 + sp.len() + 7 + 1;
+            for h in &self.headers {
+                n += subtree_len(h, p);
+            }
+        }
+        // `<sp:Body>` + `</sp:Body>`
+        n += 1 + sp.len() + 5 + 1 + 2 + sp.len() + 5 + 1;
+        n + subtree_len(&self.body, p)
     }
 
     /// Parse an envelope off the wire.
     pub fn from_wire(wire: &str) -> XmlResult<Self> {
-        let root = parse(wire)?;
-        Self::from_element(&root)
+        Self::from_document(parse(wire)?)
     }
 
     /// Interpret an already-parsed element as an envelope.
     pub fn from_element(root: &Element) -> XmlResult<Self> {
+        Self::from_document(root.clone())
+    }
+
+    /// Interpret a parsed document as an envelope, consuming the tree: the
+    /// header blocks and the body payload move out of it, so decoding a
+    /// message never deep-clones the subtrees the parser just built.
+    pub fn from_document(root: Element) -> XmlResult<Self> {
         if root.name != QName::new(ns::SOAP, "Envelope") {
             return Err(XmlError::Schema(format!(
                 "expected soap:Envelope, found {:?}",
                 root.name
             )));
         }
-        let headers = root
-            .child(&QName::new(ns::SOAP, "Header"))
-            .map(|h| h.child_elements().cloned().collect())
-            .unwrap_or_default();
-        let body_elem = root
-            .child(&QName::new(ns::SOAP, "Body"))
-            .ok_or_else(|| XmlError::Schema("envelope has no soap:Body".into()))?;
+        let header_name = QName::new(ns::SOAP, "Header");
+        let body_name = QName::new(ns::SOAP, "Body");
+        let mut headers = Vec::new();
+        let mut saw_header = false;
+        let mut body_elem = None;
+        for node in root.children {
+            let Node::Element(child) = node else { continue };
+            if !saw_header && child.name == header_name {
+                saw_header = true;
+                headers = child
+                    .children
+                    .into_iter()
+                    .filter_map(|n| match n {
+                        Node::Element(e) => Some(e),
+                        _ => None,
+                    })
+                    .collect();
+            } else if body_elem.is_none() && child.name == body_name {
+                body_elem = Some(child);
+            }
+        }
+        let body_elem =
+            body_elem.ok_or_else(|| XmlError::Schema("envelope has no soap:Body".into()))?;
         let body = body_elem
-            .child_elements()
-            .next()
-            .cloned()
+            .children
+            .into_iter()
+            .find_map(|n| match n {
+                Node::Element(e) => Some(e),
+                _ => None,
+            })
             .ok_or_else(|| XmlError::Schema("soap:Body is empty".into()))?;
         Ok(Envelope { headers, body })
     }
 
     /// Wire size in bytes — the quantity the transport's bandwidth and
-    /// signing cost models consume.
+    /// signing cost models consume. Counted exactly (same figure as
+    /// `to_wire().len()`, bit-for-bit, so every virtual-time charge is
+    /// unchanged) without serialising anything.
     pub fn wire_size(&self) -> usize {
-        self.to_wire().len()
+        let p = self.wire_prefixes();
+        let sp = p.prefix_for(&intern(ns::SOAP));
+        XML_DECL.len() + self.envelope_len(&p, sp)
     }
 }
 
@@ -167,6 +272,40 @@ mod tests {
             ns::SOAP
         );
         assert!(Envelope::from_wire(&empty_body).is_err());
+    }
+
+    #[test]
+    fn fast_path_matches_legacy_tree_serialisation_bytewise() {
+        let cases = [
+            Envelope::new(Element::new("X")),
+            sample(),
+            Envelope::new(
+                Element::new(QName::new(ns::COUNTER, "createCounter"))
+                    .with_attr("note", "a<b & \"c\"")
+                    .with_child(Element::text_element("seed", "42")),
+            )
+            .with_header(
+                Element::new(QName::new(ns::WSSE, "Security"))
+                    .with_child(Element::new(QName::new(ns::WSU, "Timestamp")).with_text("12:00")),
+            ),
+            Envelope::new(
+                Element::new(QName::new("urn:one", "a"))
+                    .with_child(Element::new(QName::new("urn:two", "b"))),
+            ),
+        ];
+        for env in cases {
+            let legacy = env.to_element().into_document_string();
+            assert_eq!(env.to_wire(), legacy);
+            assert_eq!(env.wire_size(), legacy.len());
+        }
+    }
+
+    #[test]
+    fn to_wire_into_appends() {
+        let env = sample();
+        let mut buf = String::from("xx");
+        env.to_wire_into(&mut buf);
+        assert_eq!(buf, format!("xx{}", env.to_wire()));
     }
 
     #[test]

@@ -58,6 +58,15 @@ proptest! {
     }
 
     #[test]
+    fn fast_wire_path_is_byte_identical_to_tree_serialisation(body in arb_element(), headers in proptest::collection::vec(arb_element(), 0..4)) {
+        let mut env = Envelope::new(body);
+        env.headers = headers;
+        let legacy = env.to_element().into_document_string();
+        prop_assert_eq!(env.to_wire(), legacy.clone());
+        prop_assert_eq!(env.wire_size(), legacy.len());
+    }
+
+    #[test]
     fn wire_size_monotone_in_payload(text in "[a-z]{0,400}") {
         let small = Envelope::new(Element::text_element("B", ""));
         let sized = Envelope::new(Element::text_element("B", text.clone()));

@@ -9,6 +9,7 @@ use ogsa_sim::rng::mix64;
 use ogsa_sim::{CostModel, SimDuration, SimInstant, VirtualClock};
 use ogsa_soap::Envelope;
 use ogsa_telemetry::{Span, SpanId, SpanKind, Telemetry, TraceId};
+use ogsa_xml::pooled_string;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::TransportError;
@@ -664,13 +665,15 @@ impl Port {
         span.set_attr("to", address);
         span.set_attr("scheme", &scheme);
 
-        // Client-side serialisation.
-        let mut wire = {
+        // Client-side serialisation, into a pooled buffer reused across
+        // calls on this thread (the virtual-time charge is unchanged: it is
+        // keyed off the byte length, not how the buffer was obtained).
+        let mut wire = pooled_string();
+        {
             let _s = inner.tel.span(SpanKind::Soap, "soap:encode");
-            let wire = request.to_wire();
+            request.to_wire_into(&mut wire);
             inner.clock.advance(m.soap_time(wire.len()));
-            wire
-        };
+        }
 
         // Judge this attempt before anything crosses the wire.
         let plan = inner.fault_plan.read().clone();
@@ -731,10 +734,11 @@ impl Port {
         if decision.garble {
             inner.stats.record_injected_garble();
             span.event("fault:garble");
-            wire = plan
+            let garbled = plan
                 .as_ref()
                 .expect("garble implies an armed plan")
                 .garble_wire(&wire, seq);
+            *wire = garbled;
         }
 
         // Server-side parse.
@@ -763,12 +767,12 @@ impl Port {
         let response = handler(parsed);
 
         // Server-side serialisation, response wire, client-side parse.
-        let resp_wire = {
+        let mut resp_wire = pooled_string();
+        {
             let _s = inner.tel.span(SpanKind::Soap, "soap:encode");
-            let resp_wire = response.to_wire();
+            response.to_wire_into(&mut resp_wire);
             inner.clock.advance(m.soap_time(resp_wire.len()));
-            resp_wire
-        };
+        }
         self.net
             .charge_wire(resp_wire.len(), &to_host, &self.host, &scheme);
         inner.stats.record_response(resp_wire.len());

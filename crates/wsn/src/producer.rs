@@ -71,22 +71,28 @@ impl NotificationProducer {
     ) -> usize {
         let notification = NotificationMessage {
             topic: topic.clone(),
-            producer: producer.clone(),
-            message: message.clone(),
+            producer,
+            message,
         };
-        self.last_messages
-            .lock()
-            .insert(topic.to_string(), notification.clone());
 
-        let matching = self.store.active_matching(topic, &message);
+        let matching = self.store.active_matching(topic, &notification.message);
+        // Build the wrapped `Notify` tree once; each delivery clones the
+        // finished tree instead of re-wrapping (and re-cloning) the payload
+        // per subscriber.
+        let wrapped = matching
+            .iter()
+            .any(|s| s.use_notify)
+            .then(|| notification.to_notify_element());
         let mut delivered = 0;
         for sub in &matching {
             let body = if sub.use_notify {
-                notification.to_notify_element()
+                wrapped
+                    .clone()
+                    .expect("built when any subscriber uses Notify")
             } else {
                 // Raw delivery: the bare message, schema known only by
                 // out-of-band agreement (the interop hazard of §3.1).
-                message.clone()
+                notification.message.clone()
             };
             self.agent.send_oneway(&sub.consumer, actions::NOTIFY, body);
             self.agent
@@ -96,6 +102,9 @@ impl NotificationProducer {
                 .inc("notify.sent", &[("stack", "wsn")]);
             delivered += 1;
         }
+        self.last_messages
+            .lock()
+            .insert(topic.to_string(), notification);
         delivered
     }
 

@@ -6,40 +6,90 @@
 //! Two trees that are infoset-equal always canonicalise to identical bytes
 //! regardless of the prefixes the sender chose — which is exactly the
 //! property a signature digest needs.
+//!
+//! Canonicalisation streams through a [`CanonSink`], so a digest consumer
+//! can feed the bytes straight into an incremental hash state without ever
+//! materialising the canonical `String` ([`canonicalize_into`]).
 
 use crate::escape::{escape_attr, escape_text};
 use crate::node::{Element, Node};
 
-/// Canonical byte representation of the subtree rooted at `e`.
-pub fn canonicalize(e: &Element) -> Vec<u8> {
-    let mut out = String::with_capacity(256);
-    canon_into(e, &mut out);
-    out.into_bytes()
+/// A consumer of canonical output. The security layer implements this for
+/// its incremental SHA-256 state; [`String`] and `Vec<u8>` implementations
+/// cover buffering callers.
+pub trait CanonSink {
+    fn push_str(&mut self, s: &str);
 }
 
-fn canon_into(e: &Element, out: &mut String) {
-    out.push('<');
-    out.push_str(&e.name.clark());
-    let mut attrs: Vec<_> = e.attrs.iter().collect();
-    attrs.sort_by(|a, b| a.name.cmp(&b.name));
-    for a in attrs {
-        out.push(' ');
-        out.push_str(&a.name.clark());
-        out.push_str("=\"");
-        out.push_str(&escape_attr(&a.value));
-        out.push('"');
+impl CanonSink for String {
+    fn push_str(&mut self, s: &str) {
+        String::push_str(self, s);
     }
-    out.push('>');
+}
+
+impl CanonSink for Vec<u8> {
+    fn push_str(&mut self, s: &str) {
+        self.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Canonical byte representation of the subtree rooted at `e`.
+pub fn canonicalize(e: &Element) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    canonicalize_into(e, &mut out);
+    out
+}
+
+/// Stream the canonical form of `e` into `sink`, one pass over the tree,
+/// with no intermediate canonical buffer. Clark names are pushed as their
+/// four parts (`<` `{` uri `}` local) rather than formatted into a
+/// temporary, and clean text reaches the sink as a borrowed slice.
+pub fn canonicalize_into(e: &Element, sink: &mut dyn CanonSink) {
+    open_name(e, sink);
+    if e.attrs.len() > 1 {
+        let mut attrs: Vec<_> = e.attrs.iter().collect();
+        attrs.sort_by(|a, b| a.name.cmp(&b.name));
+        for a in attrs {
+            push_attr(a, sink);
+        }
+    } else {
+        for a in &e.attrs {
+            push_attr(a, sink);
+        }
+    }
+    sink.push_str(">");
     for c in &e.children {
         match c {
-            Node::Element(child) => canon_into(child, out),
-            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Element(child) => canonicalize_into(child, sink),
+            Node::Text(t) => sink.push_str(&escape_text(t)),
             Node::Comment(_) => {} // comments never participate in digests
         }
     }
-    out.push_str("</");
-    out.push_str(&e.name.clark());
-    out.push('>');
+    sink.push_str("</");
+    clark_name(&e.name, sink);
+    sink.push_str(">");
+}
+
+fn open_name(e: &Element, sink: &mut dyn CanonSink) {
+    sink.push_str("<");
+    clark_name(&e.name, sink);
+}
+
+fn clark_name(name: &crate::QName, sink: &mut dyn CanonSink) {
+    if let Some(uri) = &name.ns {
+        sink.push_str("{");
+        sink.push_str(uri);
+        sink.push_str("}");
+    }
+    sink.push_str(&name.local);
+}
+
+fn push_attr(a: &crate::node::Attribute, sink: &mut dyn CanonSink) {
+    sink.push_str(" ");
+    clark_name(&a.name, sink);
+    sink.push_str("=\"");
+    sink.push_str(&escape_attr(&a.value));
+    sink.push_str("\"");
 }
 
 #[cfg(test)]
@@ -81,5 +131,29 @@ mod tests {
     fn empty_element_roundtrip_is_stable() {
         let e = Element::new("x");
         assert_eq!(canonicalize(&e), b"<x></x>");
+    }
+
+    #[test]
+    fn string_sink_matches_byte_sink() {
+        let e = parse("<p:a xmlns:p=\"urn:x\" z=\"2\" y=\"1\"><p:b>t &amp; u</p:b></p:a>").unwrap();
+        let mut s = String::new();
+        canonicalize_into(&e, &mut s);
+        assert_eq!(s.as_bytes(), &canonicalize(&e)[..]);
+    }
+
+    /// A chunk-recording sink: proves streaming delivers the same bytes in
+    /// the same order a buffering consumer would see.
+    #[test]
+    fn streaming_chunks_concatenate_to_the_buffered_form() {
+        struct Chunks(Vec<String>);
+        impl CanonSink for Chunks {
+            fn push_str(&mut self, s: &str) {
+                self.0.push(s.to_owned());
+            }
+        }
+        let e = parse("<a x=\"1\"><b/>text</a>").unwrap();
+        let mut chunks = Chunks(Vec::new());
+        canonicalize_into(&e, &mut chunks);
+        assert_eq!(chunks.0.concat().into_bytes(), canonicalize(&e));
     }
 }

@@ -1,7 +1,9 @@
 //! Text and attribute escaping/unescaping.
 //!
 //! Escaping is on the hot path of every message serialisation, so both
-//! directions avoid allocating when the input needs no work (`Cow`).
+//! directions avoid allocating when the input needs no work (`Cow`), and the
+//! dirty path copies clean runs slice-at-a-time (memchr-style scan) rather
+//! than pushing char by char.
 
 use std::borrow::Cow;
 
@@ -22,29 +24,85 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
     escape(s, true)
 }
 
+/// Append escaped character data to `out` without building an intermediate
+/// `Cow` (serialisers already own a target buffer).
+pub fn escape_text_into(s: &str, out: &mut String) {
+    escape_into(s, false, out);
+}
+
+/// Append an escaped attribute value to `out`.
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    escape_into(s, true, out);
+}
+
+/// The replacement for one special byte, or `None` if it passes through.
+/// All special characters are single-byte, so the escaped length of a string
+/// is its byte length plus the per-hit growth — which is what lets
+/// [`escaped_text_len`]/[`escaped_attr_len`] count without writing.
+fn entity_for(b: u8, attr: bool) -> Option<&'static str> {
+    Some(match b {
+        b'<' => "&lt;",
+        b'>' => "&gt;",
+        b'&' => "&amp;",
+        b'\r' => "&#13;",
+        b'"' if attr => "&quot;",
+        b'\'' if attr => "&apos;",
+        b'\t' if attr => "&#9;",
+        b'\n' if attr => "&#10;",
+        _ => return None,
+    })
+}
+
+/// Index of the first byte that needs escaping, if any.
+fn first_special(s: &str, attr: bool) -> Option<usize> {
+    s.bytes().position(|b| entity_for(b, attr).is_some())
+}
+
 fn escape(s: &str, attr: bool) -> Cow<'_, str> {
-    let needs = s.bytes().any(|b| {
-        matches!(b, b'<' | b'>' | b'&' | b'\r')
-            || (attr && matches!(b, b'"' | b'\'' | b'\t' | b'\n'))
-    });
-    if !needs {
-        return Cow::Borrowed(s);
-    }
-    let mut out = String::with_capacity(s.len() + 8);
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            '\r' => out.push_str("&#13;"),
-            '"' if attr => out.push_str("&quot;"),
-            '\'' if attr => out.push_str("&apos;"),
-            '\t' if attr => out.push_str("&#9;"),
-            '\n' if attr => out.push_str("&#10;"),
-            c => out.push(c),
+    match first_special(s, attr) {
+        None => Cow::Borrowed(s),
+        Some(first) => {
+            let mut out = String::with_capacity(s.len() + 8);
+            out.push_str(&s[..first]);
+            escape_into(&s[first..], attr, &mut out);
+            Cow::Owned(out)
         }
     }
-    Cow::Owned(out)
+}
+
+/// Chunked escape: clean runs between special bytes are appended as whole
+/// slices. Every special byte is ASCII, so slicing at those positions always
+/// lands on a char boundary.
+fn escape_into(s: &str, attr: bool, out: &mut String) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if let Some(entity) = entity_for(b, attr) {
+            out.push_str(&s[start..i]);
+            out.push_str(entity);
+            start = i + 1;
+        }
+    }
+    out.push_str(&s[start..]);
+}
+
+/// Length of [`escape_text`]'s output, without producing it — used by the
+/// counting serialiser that prices envelopes for the cost model.
+pub fn escaped_text_len(s: &str) -> usize {
+    escaped_len(s, false)
+}
+
+/// Length of [`escape_attr`]'s output, without producing it.
+pub fn escaped_attr_len(s: &str) -> usize {
+    escaped_len(s, true)
+}
+
+fn escaped_len(s: &str, attr: bool) -> usize {
+    s.len()
+        + s.bytes()
+            .filter_map(|b| entity_for(b, attr))
+            .map(|e| e.len() - 1)
+            .sum::<usize>()
 }
 
 /// Resolve the five predefined entities plus decimal/hex character
@@ -57,44 +115,52 @@ pub fn unescape(s: &str, offset: usize) -> XmlResult<Cow<'_, str>> {
     let mut rest = s;
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
-        rest = &rest[pos..];
-        let semi = rest
-            .find(';')
-            .ok_or_else(|| XmlError::parse(offset, "entity reference missing terminating `;`"))?;
-        let entity = &rest[1..semi];
-        match entity {
-            "lt" => out.push('<'),
-            "gt" => out.push('>'),
-            "amp" => out.push('&'),
-            "quot" => out.push('"'),
-            "apos" => out.push('\''),
-            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
-                    XmlError::parse(offset, format!("bad hex character reference &{entity};"))
-                })?;
-                out.push(char::from_u32(code).ok_or_else(|| {
-                    XmlError::parse(offset, format!("invalid codepoint &{entity};"))
-                })?);
-            }
-            _ if entity.starts_with('#') => {
-                let code: u32 = entity[1..].parse().map_err(|_| {
-                    XmlError::parse(offset, format!("bad character reference &{entity};"))
-                })?;
-                out.push(char::from_u32(code).ok_or_else(|| {
-                    XmlError::parse(offset, format!("invalid codepoint &{entity};"))
-                })?);
-            }
-            _ => {
-                return Err(XmlError::parse(
-                    offset,
-                    format!("unknown entity &{entity};"),
-                ))
-            }
-        }
-        rest = &rest[semi + 1..];
+        let (c, after) = resolve_entity(&rest[pos..], offset)?;
+        out.push(c);
+        rest = &rest[pos + after..];
     }
     out.push_str(rest);
     Ok(Cow::Owned(out))
+}
+
+/// Resolve one entity/character reference at the start of `s` (which begins
+/// with `&`). Returns the decoded character and the byte length of the
+/// reference including both delimiters. Shared by [`unescape`] and the
+/// parser's single-pass text decoder.
+pub(crate) fn resolve_entity(s: &str, offset: usize) -> XmlResult<(char, usize)> {
+    debug_assert!(s.starts_with('&'));
+    let semi = s
+        .find(';')
+        .ok_or_else(|| XmlError::parse(offset, "entity reference missing terminating `;`"))?;
+    let entity = &s[1..semi];
+    let c = match entity {
+        "lt" => '<',
+        "gt" => '>',
+        "amp" => '&',
+        "quot" => '"',
+        "apos" => '\'',
+        _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+            let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                XmlError::parse(offset, format!("bad hex character reference &{entity};"))
+            })?;
+            char::from_u32(code)
+                .ok_or_else(|| XmlError::parse(offset, format!("invalid codepoint &{entity};")))?
+        }
+        _ if entity.starts_with('#') => {
+            let code: u32 = entity[1..].parse().map_err(|_| {
+                XmlError::parse(offset, format!("bad character reference &{entity};"))
+            })?;
+            char::from_u32(code)
+                .ok_or_else(|| XmlError::parse(offset, format!("invalid codepoint &{entity};")))?
+        }
+        _ => {
+            return Err(XmlError::parse(
+                offset,
+                format!("unknown entity &{entity};"),
+            ))
+        }
+    };
+    Ok((c, semi + 1))
 }
 
 #[cfg(test)]
@@ -108,6 +174,16 @@ mod tests {
     }
 
     #[test]
+    fn clean_attr_input_borrows() {
+        // Attribute escaping has more special characters, but clean input
+        // must still avoid the allocation entirely.
+        assert!(matches!(escape_attr("plain value 123"), Cow::Borrowed(_)));
+        // Text-clean but attr-dirty input allocates only for attrs.
+        assert!(matches!(escape_text("a\tb\nc"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("a\tb\nc"), Cow::Owned(_)));
+    }
+
+    #[test]
     fn escapes_text_and_attrs() {
         assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
         assert_eq!(
@@ -116,6 +192,26 @@ mod tests {
         );
         // Quotes pass through unescaped in text content.
         assert_eq!(escape_text(r#"a"b"#), r#"a"b"#);
+    }
+
+    #[test]
+    fn into_variants_match_cow_variants() {
+        for s in ["", "clean", "a<b&c>d", "x\r\ny", "q\"u'o\tt\ne", "☃<snow>"] {
+            let mut t = String::from("pre|");
+            escape_text_into(s, &mut t);
+            assert_eq!(t, format!("pre|{}", escape_text(s)));
+            let mut a = String::from("pre|");
+            escape_attr_into(s, &mut a);
+            assert_eq!(a, format!("pre|{}", escape_attr(s)));
+        }
+    }
+
+    #[test]
+    fn escaped_len_matches_output_len() {
+        for s in ["", "clean", "a<b&c>d", "x\r\ny", "q\"u'o\tt\ne", "☃<snow>"] {
+            assert_eq!(escaped_text_len(s), escape_text(s).len(), "text {s:?}");
+            assert_eq!(escaped_attr_len(s), escape_attr(s).len(), "attr {s:?}");
+        }
     }
 
     #[test]

@@ -30,13 +30,21 @@ pub mod escape;
 pub mod name;
 pub mod node;
 pub mod parser;
+pub mod pool;
+#[doc(hidden)]
+pub mod reference;
 pub mod writer;
 pub mod xpath;
 
-pub use canonical::canonicalize;
+pub use canonical::{canonicalize, canonicalize_into, CanonSink};
 pub use error::{XmlError, XmlResult};
-pub use name::{ns, QName};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use name::{intern, ns, QName};
 pub use node::{Attribute, Element, Node};
 pub use parser::parse;
-pub use writer::{write_document, write_element};
+pub use pool::{pooled_string, PooledString};
+pub use writer::{
+    document_len, element_len, write_document, write_document_into, write_element, write_into,
+    Prefixes, PrefixesBuilder, XML_DECL,
+};
 pub use xpath::{XPath, XPathContext, XPathValue};

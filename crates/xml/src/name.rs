@@ -92,7 +92,11 @@ pub mod ns {
 /// Prefixes are a serialisation concern and never stored here; two names are
 /// equal iff their namespace URIs and local parts are equal, which is what
 /// the WS-* dispatch logic needs.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Both parts are interned through [`intern`], so names built through
+/// [`QName::new`]/[`QName::local`] (and everything the parser produces)
+/// compare with two pointer equalities on the hot dispatch path.
+#[derive(Clone, Eq, PartialOrd, Ord)]
 pub struct QName {
     /// Namespace URI, or `None` for an unqualified name.
     pub ns: Option<Arc<str>>,
@@ -100,12 +104,40 @@ pub struct QName {
     pub local: Arc<str>,
 }
 
+/// Interned-`Arc` comparison: pointer equality first (the common case for
+/// interned strings), content second (still correct for `Arc`s built
+/// directly from a string).
+fn arc_str_eq(a: &Arc<str>, b: &Arc<str>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
+
+/// Hashes by content, like the derive would — consistent with the manual
+/// [`PartialEq`] below, whose pointer check is only a fast path over the
+/// same content equality.
+impl std::hash::Hash for QName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.ns.as_deref().hash(state);
+        self.local.hash(state);
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        let ns_eq = match (&self.ns, &other.ns) {
+            (None, None) => true,
+            (Some(a), Some(b)) => arc_str_eq(a, b),
+            _ => false,
+        };
+        ns_eq && arc_str_eq(&self.local, &other.local)
+    }
+}
+
 impl QName {
     /// A name in namespace `ns` with local part `local`.
     pub fn new(ns: &str, local: &str) -> Self {
         QName {
             ns: Some(intern(ns)),
-            local: Arc::from(local),
+            local: intern(local),
         }
     }
 
@@ -113,7 +145,7 @@ impl QName {
     pub fn local(local: &str) -> Self {
         QName {
             ns: None,
-            local: Arc::from(local),
+            local: intern(local),
         }
     }
 
@@ -155,21 +187,54 @@ impl From<&str> for QName {
     }
 }
 
-/// Intern a namespace URI: well-known URIs share a single allocation per
-/// process; others allocate once per call site.
-pub fn intern(uri: &str) -> Arc<str> {
-    use parking_lot::Mutex;
+/// Intern a string (namespace URI or local name): repeated occurrences share
+/// a single allocation per process, so [`QName`] equality is usually a
+/// pointer comparison.
+///
+/// The table is read-mostly once a workload warms up (the WS-* vocabulary is
+/// small and fixed), so lookups take a shared lock; only the first sighting
+/// of a string takes the write lock.
+pub fn intern(s: &str) -> Arc<str> {
+    use parking_lot::RwLock;
     use std::collections::HashMap;
     use std::sync::OnceLock;
 
-    static INTERNED: OnceLock<Mutex<HashMap<String, Arc<str>>>> = OnceLock::new();
-    let map = INTERNED.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = map.lock();
-    if let Some(existing) = guard.get(uri) {
+    /// FNV-1a: the keys are short names and a small fixed set of namespace
+    /// URIs, where this beats SipHash by enough to show up in parse
+    /// profiles (every element and attribute name passes through here).
+    #[derive(Clone)]
+    struct Fnv1a(u64);
+    impl Default for Fnv1a {
+        fn default() -> Self {
+            Fnv1a(0xcbf2_9ce4_8422_2325)
+        }
+    }
+    impl std::hash::Hasher for Fnv1a {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            let mut h = self.0;
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            self.0 = h;
+        }
+    }
+    type FnvMap = HashMap<String, Arc<str>, std::hash::BuildHasherDefault<Fnv1a>>;
+
+    static INTERNED: OnceLock<RwLock<FnvMap>> = OnceLock::new();
+    let map = INTERNED.get_or_init(|| RwLock::new(FnvMap::default()));
+    if let Some(existing) = map.read().get(s) {
         return existing.clone();
     }
-    let arc: Arc<str> = Arc::from(uri);
-    guard.insert(uri.to_owned(), arc.clone());
+    let mut guard = map.write();
+    if let Some(existing) = guard.get(s) {
+        return existing.clone();
+    }
+    let arc: Arc<str> = Arc::from(s);
+    guard.insert(s.to_owned(), arc.clone());
     arc
 }
 
@@ -191,6 +256,29 @@ mod tests {
         let a = intern(ns::WSA);
         let b = intern(ns::WSA);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn local_names_are_interned_too() {
+        let a = QName::new(ns::WSA, "Action");
+        let b = QName::new(ns::WSA, "Action");
+        assert!(Arc::ptr_eq(&a.local, &b.local));
+        assert!(Arc::ptr_eq(
+            &QName::local("value").local,
+            &QName::local("value").local
+        ));
+    }
+
+    #[test]
+    fn equality_survives_non_interned_arcs() {
+        // QName fields are public, so a name can hold an Arc that skipped the
+        // interner; equality must still be by content.
+        let handmade = QName {
+            ns: Some(Arc::from(ns::SOAP)),
+            local: Arc::from("Envelope"),
+        };
+        assert_eq!(handmade, QName::new(ns::SOAP, "Envelope"));
+        assert_ne!(handmade, QName::new(ns::SOAP, "Body"));
     }
 
     #[test]

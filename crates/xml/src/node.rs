@@ -193,13 +193,29 @@ impl Element {
 
     /// Concatenated text of the direct text-node children.
     pub fn text(&self) -> String {
-        let mut out = String::new();
-        for n in &self.children {
-            if let Node::Text(t) = n {
-                out.push_str(t);
+        self.text_cow().into_owned()
+    }
+
+    /// Concatenated text content without allocating when the element has at
+    /// most one text child — the overwhelmingly common shape on the wire.
+    pub fn text_cow(&self) -> std::borrow::Cow<'_, str> {
+        let mut texts = self.children.iter().filter_map(|n| match n {
+            Node::Text(t) => Some(t.as_str()),
+            _ => None,
+        });
+        match (texts.next(), texts.next()) {
+            (None, _) => std::borrow::Cow::Borrowed(""),
+            (Some(t), None) => std::borrow::Cow::Borrowed(t),
+            (Some(first), Some(second)) => {
+                let mut out = String::with_capacity(first.len() + second.len());
+                out.push_str(first);
+                out.push_str(second);
+                for t in texts {
+                    out.push_str(t);
+                }
+                std::borrow::Cow::Owned(out)
             }
         }
-        out
     }
 
     /// Text of the first child element with matching local name.

@@ -5,14 +5,22 @@
 //!
 //! DTDs are rejected (no WS-I-compliant message carries one, and rejecting
 //! them avoids entity-expansion pathologies).
+//!
+//! The parser scans byte slices and decodes character data in a **single
+//! pass**: entity resolution and end-of-line normalisation are fused, and
+//! both text and attribute values come back as [`Cow::Borrowed`] slices of
+//! the input unless a reference or normalisation actually fires. Names are
+//! resolved through the global interner, so the `QName`s it produces compare
+//! by pointer. The original two-pass implementation is preserved in
+//! [`crate::reference`] for differential testing.
 
 use std::borrow::Cow;
-use std::sync::Arc;
 
 use crate::error::{XmlError, XmlResult};
-use crate::escape::unescape;
+use crate::escape::resolve_entity;
 use crate::name::{intern, QName};
 use crate::node::{Attribute, Element, Node};
+use std::sync::Arc;
 
 /// Parse a complete document (or bare element) into its root [`Element`].
 pub fn parse(input: &str) -> XmlResult<Element> {
@@ -36,15 +44,16 @@ pub fn parse(input: &str) -> XmlResult<Element> {
 
 /// In-scope namespace bindings, maintained as an undo stack so nested scopes
 /// never clone the whole map (the paper's messages nest 6-10 levels deep).
+/// Prefixes borrow from the input, so pushing a binding allocates nothing.
 #[derive(Default)]
-struct NsScope {
+struct NsScope<'a> {
     /// (prefix, uri) pairs; later entries shadow earlier ones.
-    bindings: Vec<(String, Arc<str>)>,
+    bindings: Vec<(&'a str, Arc<str>)>,
     /// Default-namespace stack ("" binding); `None` entries mean unbound.
     default_ns: Vec<Option<Arc<str>>>,
 }
 
-impl NsScope {
+impl NsScope<'_> {
     fn lookup(&self, prefix: &str) -> Option<Arc<str>> {
         if prefix == "xml" {
             return Some(intern("http://www.w3.org/XML/1998/namespace"));
@@ -52,7 +61,7 @@ impl NsScope {
         self.bindings
             .iter()
             .rev()
-            .find(|(p, _)| p == prefix)
+            .find(|(p, _)| *p == prefix)
             .map(|(_, uri)| uri.clone())
     }
 
@@ -77,9 +86,11 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
+        let rest = &self.bytes[self.pos..];
+        self.pos += rest
+            .iter()
+            .position(|&b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+            .unwrap_or(rest.len());
     }
 
     fn expect(&mut self, s: &str) -> XmlResult<()> {
@@ -133,29 +144,31 @@ impl<'a> Parser<'a> {
     }
 
     fn read_name(&mut self) -> XmlResult<&'a str> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            let c = b as char;
-            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') || b >= 0x80 {
-                self.pos += 1;
-            } else {
-                break;
-            }
+        fn is_name_byte(b: u8) -> bool {
+            b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
         }
-        if self.pos == start {
+        let start = self.pos;
+        let rest = &self.bytes[start..];
+        let len = rest
+            .iter()
+            .position(|&b| !is_name_byte(b))
+            .unwrap_or(rest.len());
+        if len == 0 {
             return Err(XmlError::parse(start, "expected a name"));
         }
+        self.pos = start + len;
         Ok(&self.input[start..self.pos])
     }
 
-    fn parse_element(&mut self, scope: &mut NsScope) -> XmlResult<Element> {
+    fn parse_element(&mut self, scope: &mut NsScope<'a>) -> XmlResult<Element> {
         let open_pos = self.pos;
         self.expect("<")?;
         let raw_name = self.read_name()?;
 
         // First pass over attributes: raw (name, value) pairs, applying
-        // xmlns bindings into the scope as they are seen.
-        let mut raw_attrs: Vec<(&'a str, String)> = Vec::new();
+        // xmlns bindings into the scope as they are seen. Values stay
+        // borrowed unless decoding had to rewrite them.
+        let mut raw_attrs: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
         let bindings_mark = scope.bindings.len();
         let mut pushed_default = false;
         loop {
@@ -189,7 +202,7 @@ impl<'a> Parser<'a> {
                             Some(intern(&value))
                         };
                     } else if let Some(prefix) = attr_name.strip_prefix("xmlns:") {
-                        scope.bindings.push((prefix.to_owned(), intern(&value)));
+                        scope.bindings.push((prefix, intern(&value)));
                     } else {
                         raw_attrs.push((attr_name, value));
                     }
@@ -239,18 +252,10 @@ impl<'a> Parser<'a> {
                 children.push(Node::Element(self.parse_element(scope)?));
             } else if self.peek().is_some() {
                 let start = self.pos;
-                while let Some(b) = self.peek() {
-                    if b == b'<' {
-                        break;
-                    }
-                    self.pos += 1;
-                }
-                let raw = normalize_eol(&self.input[start..self.pos]);
-                let text = match raw {
-                    Cow::Borrowed(raw) => unescape(raw, start)?.into_owned(),
-                    Cow::Owned(raw) => unescape(&raw, start)?.into_owned(),
-                };
-                children.push(Node::Text(text));
+                let rest = &self.bytes[start..];
+                self.pos = start + rest.iter().position(|&b| b == b'<').unwrap_or(rest.len());
+                let text = decode_text(&self.input[start..self.pos], start)?;
+                children.push(Node::Text(text.into_owned()));
             } else {
                 return Err(XmlError::parse(
                     self.pos,
@@ -260,7 +265,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn pop_scope(&self, scope: &mut NsScope, bindings_mark: usize, pushed_default: bool) {
+    fn pop_scope(&self, scope: &mut NsScope<'a>, bindings_mark: usize, pushed_default: bool) {
         scope.bindings.truncate(bindings_mark);
         if pushed_default {
             scope.default_ns.pop();
@@ -270,9 +275,9 @@ impl<'a> Parser<'a> {
     fn finish_element(
         &self,
         raw_name: &str,
-        raw_attrs: Vec<(&str, String)>,
+        raw_attrs: Vec<(&str, Cow<'_, str>)>,
         children: Vec<Node>,
-        scope: &NsScope,
+        scope: &NsScope<'a>,
         open_pos: usize,
     ) -> XmlResult<Element> {
         let name = self.resolve(raw_name, scope, true, open_pos)?;
@@ -280,7 +285,7 @@ impl<'a> Parser<'a> {
         for (raw, value) in raw_attrs {
             attrs.push(Attribute {
                 name: self.resolve(raw, scope, false, open_pos)?,
-                value,
+                value: value.into_owned(),
             });
         }
         Ok(Element {
@@ -292,11 +297,12 @@ impl<'a> Parser<'a> {
 
     /// Resolve `prefix:local` against the in-scope bindings. Element names
     /// with no prefix take the default namespace; attribute names do not
-    /// (per the XML namespaces spec).
+    /// (per the XML namespaces spec). Local parts go through the interner so
+    /// repeated names share one allocation and compare by pointer.
     fn resolve(
         &self,
         raw: &str,
-        scope: &NsScope,
+        scope: &NsScope<'a>,
         is_element: bool,
         offset: usize,
     ) -> XmlResult<QName> {
@@ -310,7 +316,7 @@ impl<'a> Parser<'a> {
                     })?;
                 Ok(QName {
                     ns: Some(uri),
-                    local: Arc::from(local),
+                    local: intern(local),
                 })
             }
             None => Ok(QName {
@@ -319,77 +325,110 @@ impl<'a> Parser<'a> {
                 } else {
                     None
                 },
-                local: Arc::from(raw),
+                local: intern(raw),
             }),
         }
     }
 
-    fn read_quoted(&mut self) -> XmlResult<String> {
+    fn read_quoted(&mut self) -> XmlResult<Cow<'a, str>> {
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => q,
             _ => return Err(XmlError::parse(self.pos, "expected quoted attribute value")),
         };
         self.pos += 1;
         let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == quote {
-                let raw = &self.input[start..self.pos];
-                self.pos += 1;
-                // XML 1.0 §3.3.3: literal whitespace in an attribute value
-                // normalises to a space (CRLF counting as one); whitespace
-                // written as a character reference (`&#10;`) survives, which
-                // `unescape` resolves after normalisation.
-                return Ok(match normalize_attr_ws(raw) {
-                    Cow::Borrowed(raw) => unescape(raw, start)?.into_owned(),
-                    Cow::Owned(raw) => unescape(&raw, start)?.into_owned(),
-                });
+        match self.bytes[start..].iter().position(|&b| b == quote) {
+            Some(len) => {
+                let raw = &self.input[start..start + len];
+                self.pos = start + len + 1;
+                decode_attr(raw, start)
             }
-            self.pos += 1;
+            None => Err(XmlError::parse(start, "unterminated attribute value")),
         }
-        Err(XmlError::parse(start, "unterminated attribute value"))
     }
 }
 
-/// XML 1.0 §2.11 end-of-line handling: `\r\n` and bare `\r` become `\n`.
-fn normalize_eol(raw: &str) -> Cow<'_, str> {
-    if !raw.contains('\r') {
-        return Cow::Borrowed(raw);
+/// Decode character data in one pass: XML 1.0 §2.11 end-of-line handling
+/// (`\r\n` and bare `\r` become `\n`) fused with entity/character-reference
+/// resolution. Clean input is returned borrowed. Resolution happens after
+/// normalisation conceptually, so a `&#13;` survives as a literal `\r`.
+fn decode_text(raw: &str, offset: usize) -> XmlResult<Cow<'_, str>> {
+    if !raw.bytes().any(|b| b == b'\r' || b == b'&') {
+        return Ok(Cow::Borrowed(raw));
     }
+    let bytes = raw.as_bytes();
     let mut out = String::with_capacity(raw.len());
-    let mut bytes = raw.chars().peekable();
-    while let Some(c) = bytes.next() {
-        if c == '\r' {
-            if bytes.peek() == Some(&'\n') {
-                bytes.next();
-            }
-            out.push('\n');
-        } else {
-            out.push(c);
-        }
-    }
-    Cow::Owned(out)
-}
-
-/// XML 1.0 §3.3.3 attribute-value normalisation for literal whitespace.
-fn normalize_attr_ws(raw: &str) -> Cow<'_, str> {
-    if !raw.bytes().any(|b| matches!(b, b'\t' | b'\n' | b'\r')) {
-        return Cow::Borrowed(raw);
-    }
-    let mut out = String::with_capacity(raw.len());
-    let mut chars = raw.chars().peekable();
-    while let Some(c) = chars.next() {
-        match c {
-            '\r' => {
-                if chars.peek() == Some(&'\n') {
-                    chars.next();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\r' => {
+                out.push_str(&raw[start..i]);
+                out.push('\n');
+                i += 1;
+                if bytes.get(i) == Some(&b'\n') {
+                    i += 1;
                 }
-                out.push(' ');
+                start = i;
             }
-            '\t' | '\n' => out.push(' '),
-            c => out.push(c),
+            b'&' => {
+                out.push_str(&raw[start..i]);
+                let (c, len) = resolve_entity(&raw[i..], offset)?;
+                out.push(c);
+                i += len;
+                start = i;
+            }
+            _ => i += 1,
         }
     }
-    Cow::Owned(out)
+    out.push_str(&raw[start..]);
+    Ok(Cow::Owned(out))
+}
+
+/// Decode an attribute value in one pass: XML 1.0 §3.3.3 whitespace
+/// normalisation (literal `\t`/`\n`/`\r` become spaces, CRLF counting as
+/// one) fused with entity resolution — whitespace written as a character
+/// reference survives verbatim. Clean input is returned borrowed.
+fn decode_attr(raw: &str, offset: usize) -> XmlResult<Cow<'_, str>> {
+    if !raw
+        .bytes()
+        .any(|b| matches!(b, b'\t' | b'\n' | b'\r' | b'&'))
+    {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let bytes = raw.as_bytes();
+    let mut out = String::with_capacity(raw.len());
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\r' => {
+                out.push_str(&raw[start..i]);
+                out.push(' ');
+                i += 1;
+                if bytes.get(i) == Some(&b'\n') {
+                    i += 1;
+                }
+                start = i;
+            }
+            b'\t' | b'\n' => {
+                out.push_str(&raw[start..i]);
+                out.push(' ');
+                i += 1;
+                start = i;
+            }
+            b'&' => {
+                out.push_str(&raw[start..i]);
+                let (c, len) = resolve_entity(&raw[i..], offset)?;
+                out.push(c);
+                i += len;
+                start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    out.push_str(&raw[start..]);
+    Ok(Cow::Owned(out))
 }
 
 #[cfg(test)]
@@ -415,6 +454,33 @@ mod tests {
         // A carriage return written as a character reference is preserved.
         let e = parse("<a>one&#13;two</a>").unwrap();
         assert_eq!(e.text(), "one\rtwo");
+    }
+
+    #[test]
+    fn clean_decode_borrows() {
+        // The zero-copy fast path: no entity, no carriage return — no
+        // allocation in either decoder.
+        assert!(matches!(
+            decode_text("plain text\nwith newline", 0).unwrap(),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            decode_attr("plain value", 0).unwrap(),
+            Cow::Borrowed(_)
+        ));
+        // Dirty input allocates exactly once.
+        assert!(matches!(decode_text("a&amp;b", 0).unwrap(), Cow::Owned(_)));
+        assert!(matches!(decode_attr("a\tb", 0).unwrap(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn parsed_names_are_interned() {
+        let a = parse("<counter><value>1</value></counter>").unwrap();
+        let b = parse("<counter><value>2</value></counter>").unwrap();
+        assert!(Arc::ptr_eq(&a.name.local, &b.name.local));
+        let av = a.child_elements().next().unwrap();
+        let bv = b.child_elements().next().unwrap();
+        assert!(Arc::ptr_eq(&av.name.local, &bv.name.local));
     }
 
     #[test]

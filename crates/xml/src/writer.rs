@@ -5,100 +5,218 @@
 //! possible (`soap`, `wsa`, `wsrp`, ...) and generated `ns0`, `ns1`, ...
 //! prefixes otherwise. This mirrors how WSE/ASP.NET emitted envelopes and
 //! keeps messages compact and deterministic.
+//!
+//! Every writer has a counting twin ([`element_len`], [`Prefixes::
+//! declarations_len`], ...) that prices the output byte-for-byte without
+//! producing it. The `_into` entry points reserve that exact length up
+//! front, so serialising into a pooled buffer performs at most one
+//! (re)allocation, and the SOAP layer can charge the cost model for a wire
+//! size it never had to materialise.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use std::borrow::Cow;
+use std::sync::Arc;
 
-use crate::escape::{escape_attr, escape_text};
-use crate::name::ns;
+use crate::escape::{escape_attr_into, escape_text_into, escaped_attr_len, escaped_text_len};
+use crate::name::{ns, QName};
 use crate::node::{Element, Node};
+
+/// The document prologue emitted by [`write_document`].
+pub const XML_DECL: &str = "<?xml version=\"1.0\" encoding=\"utf-8\"?>";
 
 /// Serialise as a full document: XML declaration plus the root element.
 pub fn write_document(root: &Element) -> String {
-    let mut out = String::with_capacity(256);
-    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
-    write_into(root, &mut out);
+    let mut out = String::new();
+    write_document_into(root, &mut out);
     out
+}
+
+/// Serialise a full document into an existing buffer.
+pub fn write_document_into(root: &Element, out: &mut String) {
+    let prefixes = Prefixes::for_tree(root);
+    out.reserve(XML_DECL.len() + elem_len(root, &prefixes, true));
+    out.push_str(XML_DECL);
+    write_elem(root, &prefixes, true, out);
 }
 
 /// Serialise the element without an XML declaration.
 pub fn write_element(root: &Element) -> String {
-    let mut out = String::with_capacity(256);
+    let mut out = String::new();
     write_into(root, &mut out);
     out
 }
 
 /// Serialise into an existing buffer (lets the transport reuse allocations).
+/// The exact output length is counted first and reserved, so the buffer
+/// grows at most once.
 pub fn write_into(root: &Element, out: &mut String) {
-    let prefixes = assign_prefixes(root);
+    let prefixes = Prefixes::for_tree(root);
+    out.reserve(elem_len(root, &prefixes, true));
     write_elem(root, &prefixes, true, out);
 }
 
-/// Deterministically assign a prefix to every namespace URI in the tree.
-///
-/// URIs are collected in a `BTreeMap` so generated prefixes do not depend on
-/// traversal order.
-fn assign_prefixes(root: &Element) -> BTreeMap<String, String> {
-    let mut uris = BTreeMap::new();
-    collect_uris(root, &mut uris);
-    let mut taken: Vec<String> = Vec::new();
-    let mut map = BTreeMap::new();
-    let mut counter = 0usize;
-    for (uri, _) in uris {
-        let preferred = ns::preferred_prefix(&uri).map(str::to_owned);
-        let prefix = match preferred {
-            Some(p) if !taken.contains(&p) => p,
-            _ => loop {
-                let candidate = format!("ns{counter}");
-                counter += 1;
-                if !taken.contains(&candidate) {
-                    break candidate;
-                }
-            },
-        };
-        taken.push(prefix.clone());
-        map.insert(uri, prefix);
-    }
-    map
+/// Exact byte length of [`write_element`]'s output, without producing it.
+pub fn element_len(root: &Element) -> usize {
+    elem_len(root, &Prefixes::for_tree(root), true)
 }
 
-fn collect_uris(e: &Element, out: &mut BTreeMap<String, ()>) {
-    if let Some(uri) = &e.name.ns {
-        out.entry(uri.to_string()).or_insert(());
+/// Exact byte length of [`write_document`]'s output, without producing it.
+pub fn document_len(root: &Element) -> usize {
+    XML_DECL.len() + element_len(root)
+}
+
+/// A deterministic URI → prefix assignment for one serialisation.
+///
+/// URIs are held in sorted order so generated prefixes do not depend on
+/// traversal order; lookups compare `Arc` pointers first (all URIs produced
+/// by the parser and `QName::new` are interned) and fall back to content.
+pub struct Prefixes {
+    /// `(uri, prefix)` in URI-sorted order — also the declaration order.
+    entries: Vec<(Arc<str>, Cow<'static, str>)>,
+}
+
+impl Prefixes {
+    /// Assign prefixes for every namespace URI in one tree.
+    pub fn for_tree(root: &Element) -> Prefixes {
+        let mut b = PrefixesBuilder::new();
+        b.add_tree(root);
+        b.build()
     }
-    for a in &e.attrs {
-        if let Some(uri) = &a.name.ns {
-            out.entry(uri.to_string()).or_insert(());
+
+    /// The prefix assigned to `uri`. Panics if the URI was never collected —
+    /// serialising a tree with a builder that did not see it is a bug.
+    pub fn prefix_for(&self, uri: &Arc<str>) -> &str {
+        for (u, p) in &self.entries {
+            if Arc::ptr_eq(u, uri) || **u == **uri {
+                return p;
+            }
+        }
+        panic!("namespace `{uri}` was not collected before serialisation");
+    }
+
+    /// Append ` xmlns:p="uri"` declarations for every collected URI, in
+    /// deterministic (URI-sorted) order.
+    pub fn write_declarations(&self, out: &mut String) {
+        for (uri, prefix) in &self.entries {
+            out.push_str(" xmlns:");
+            out.push_str(prefix);
+            out.push_str("=\"");
+            escape_attr_into(uri, out);
+            out.push('"');
         }
     }
-    for c in e.child_elements() {
-        collect_uris(c, out);
+
+    /// Exact byte length of [`Prefixes::write_declarations`]'s output.
+    pub fn declarations_len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(uri, prefix)| 7 + prefix.len() + 2 + escaped_attr_len(uri) + 1)
+            .sum()
     }
 }
 
-fn qname_str(name: &crate::QName, prefixes: &BTreeMap<String, String>, out: &mut String) {
+/// Collects namespace URIs from one or more trees (plus any synthetic names
+/// the caller will emit itself) before freezing them into [`Prefixes`].
+/// The SOAP layer uses this to serialise an envelope around *borrowed*
+/// header and body subtrees without first cloning them into one tree.
+#[derive(Default)]
+pub struct PrefixesBuilder {
+    uris: Vec<Arc<str>>,
+}
+
+impl PrefixesBuilder {
+    pub fn new() -> PrefixesBuilder {
+        PrefixesBuilder::default()
+    }
+
+    /// Collect every URI in the subtree rooted at `e`.
+    pub fn add_tree(&mut self, e: &Element) {
+        if let Some(uri) = &e.name.ns {
+            self.add_uri(uri);
+        }
+        for a in &e.attrs {
+            if let Some(uri) = &a.name.ns {
+                self.add_uri(uri);
+            }
+        }
+        for c in e.child_elements() {
+            self.add_tree(c);
+        }
+    }
+
+    /// Collect a single URI (for elements the caller writes by hand).
+    pub fn add_uri(&mut self, uri: &Arc<str>) {
+        if !self
+            .uris
+            .iter()
+            .any(|u| Arc::ptr_eq(u, uri) || **u == **uri)
+        {
+            self.uris.push(uri.clone());
+        }
+    }
+
+    /// Freeze into a deterministic assignment: preferred prefixes from
+    /// [`ns::preferred_prefix`] where available and unclaimed, `ns0`,
+    /// `ns1`, ... otherwise.
+    pub fn build(self) -> Prefixes {
+        let mut uris = self.uris;
+        uris.sort_unstable_by(|a, b| a.as_ref().cmp(b.as_ref()));
+        let mut entries: Vec<(Arc<str>, Cow<'static, str>)> = Vec::with_capacity(uris.len());
+        let mut counter = 0usize;
+        for uri in uris {
+            let preferred = ns::preferred_prefix(&uri).map(Cow::Borrowed);
+            let prefix = match preferred {
+                Some(p) if !entries.iter().any(|(_, taken)| *taken == p) => p,
+                _ => loop {
+                    let candidate = format!("ns{counter}");
+                    counter += 1;
+                    if !entries.iter().any(|(_, taken)| **taken == candidate) {
+                        break Cow::Owned(candidate);
+                    }
+                },
+            };
+            entries.push((uri, prefix));
+        }
+        Prefixes { entries }
+    }
+}
+
+fn qname_str(name: &QName, prefixes: &Prefixes, out: &mut String) {
     if let Some(uri) = &name.ns {
-        // Every URI in the tree was collected up front, so lookup cannot fail.
-        let prefix = &prefixes[&**uri as &str];
-        out.push_str(prefix);
+        out.push_str(prefixes.prefix_for(uri));
         out.push(':');
     }
     out.push_str(&name.local);
 }
 
-fn write_elem(e: &Element, prefixes: &BTreeMap<String, String>, is_root: bool, out: &mut String) {
+fn qname_len(name: &QName, prefixes: &Prefixes) -> usize {
+    match &name.ns {
+        Some(uri) => prefixes.prefix_for(uri).len() + 1 + name.local.len(),
+        None => name.local.len(),
+    }
+}
+
+/// Serialise a subtree under an already-established prefix assignment —
+/// no namespace declarations are emitted (the caller's root carries them).
+pub fn write_subtree_into(e: &Element, prefixes: &Prefixes, out: &mut String) {
+    write_elem(e, prefixes, false, out);
+}
+
+/// Exact byte length of [`write_subtree_into`]'s output.
+pub fn subtree_len(e: &Element, prefixes: &Prefixes) -> usize {
+    elem_len(e, prefixes, false)
+}
+
+fn write_elem(e: &Element, prefixes: &Prefixes, is_root: bool, out: &mut String) {
     out.push('<');
     qname_str(&e.name, prefixes, out);
     if is_root {
-        for (uri, prefix) in prefixes {
-            let _ = write!(out, " xmlns:{prefix}=\"{}\"", escape_attr(uri));
-        }
+        prefixes.write_declarations(out);
     }
     for a in &e.attrs {
         out.push(' ');
         qname_str(&a.name, prefixes, out);
         out.push_str("=\"");
-        out.push_str(&escape_attr(&a.value));
+        escape_attr_into(&a.value, out);
         out.push('"');
     }
     if e.children.is_empty() {
@@ -109,7 +227,7 @@ fn write_elem(e: &Element, prefixes: &BTreeMap<String, String>, is_root: bool, o
     for child in &e.children {
         match child {
             Node::Element(c) => write_elem(c, prefixes, false, out),
-            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Text(t) => escape_text_into(t, out),
             Node::Comment(c) => {
                 out.push_str("<!--");
                 out.push_str(c);
@@ -122,10 +240,34 @@ fn write_elem(e: &Element, prefixes: &BTreeMap<String, String>, is_root: bool, o
     out.push('>');
 }
 
+/// Counting twin of [`write_elem`] — must mirror it byte-for-byte.
+fn elem_len(e: &Element, prefixes: &Prefixes, is_root: bool) -> usize {
+    let name_len = qname_len(&e.name, prefixes);
+    let mut n = 1 + name_len;
+    if is_root {
+        n += prefixes.declarations_len();
+    }
+    for a in &e.attrs {
+        n += 1 + qname_len(&a.name, prefixes) + 2 + escaped_attr_len(&a.value) + 1;
+    }
+    if e.children.is_empty() {
+        return n + 2;
+    }
+    n += 1;
+    for child in &e.children {
+        n += match child {
+            Node::Element(c) => elem_len(c, prefixes, false),
+            Node::Text(t) => escaped_text_len(t),
+            Node::Comment(c) => 4 + c.len() + 3,
+        };
+    }
+    n + 3 + name_len
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::name::{ns, QName};
+    use crate::name::{intern, ns, QName};
     use crate::Element;
 
     #[test]
@@ -178,5 +320,74 @@ mod tests {
     fn attr_values_are_escaped() {
         let e = Element::new("a").with_attr("v", "a\"b<c&d");
         assert_eq!(write_element(&e), "<a v=\"a&quot;b&lt;c&amp;d\"/>");
+    }
+
+    /// A mixed tree exercising every branch of the counting serialiser.
+    fn gnarly() -> Element {
+        let mut e = Element::new(QName::new(ns::SOAP, "Envelope"))
+            .with_attr(QName::new(ns::WSU, "Id"), "env \"1\"")
+            .with_attr("plain", "x<y&z")
+            .with_child(
+                Element::new(QName::new("urn:two", "b"))
+                    .with_text("text & <markup> with \r return"),
+            )
+            .with_child(Element::new("empty"));
+        e.children.push(crate::Node::Comment(" note ".into()));
+        e.children
+            .push(crate::Node::Element(Element::text_element("t", "")));
+        e
+    }
+
+    #[test]
+    fn counting_serialiser_matches_output_exactly() {
+        for e in [
+            Element::new("a"),
+            Element::new("a").with_child(Element::text_element("b", "x<y")),
+            gnarly(),
+        ] {
+            assert_eq!(element_len(&e), write_element(&e).len());
+            assert_eq!(document_len(&e), write_document(&e).len());
+        }
+    }
+
+    #[test]
+    fn into_buffer_appends_and_reserves() {
+        let e = gnarly();
+        let mut buf = String::from("prefix|");
+        write_into(&e, &mut buf);
+        assert_eq!(buf, format!("prefix|{}", write_element(&e)));
+        let mut doc = String::new();
+        write_document_into(&e, &mut doc);
+        assert_eq!(doc, write_document(&e));
+    }
+
+    #[test]
+    fn subtree_writer_shares_the_root_prefix_assignment() {
+        let e = gnarly();
+        let prefixes = Prefixes::for_tree(&e);
+        let child = e.child_elements().next().unwrap();
+        let mut out = String::new();
+        write_subtree_into(child, &prefixes, &mut out);
+        assert_eq!(
+            out,
+            "<ns0:b>text &amp; &lt;markup&gt; with &#13; return</ns0:b>"
+        );
+        assert_eq!(subtree_len(child, &prefixes), out.len());
+    }
+
+    #[test]
+    fn builder_collects_synthetic_uris() {
+        let mut b = PrefixesBuilder::new();
+        let soap = intern(ns::SOAP);
+        b.add_uri(&soap);
+        b.add_uri(&soap); // deduplicated
+        b.add_tree(&Element::new(QName::new("urn:two", "b")));
+        let p = b.build();
+        assert_eq!(p.prefix_for(&soap), "soap");
+        assert_eq!(p.prefix_for(&intern("urn:two")), "ns0");
+        let mut decls = String::new();
+        p.write_declarations(&mut decls);
+        assert_eq!(decls.len(), p.declarations_len());
+        assert!(decls.contains("xmlns:soap="));
     }
 }

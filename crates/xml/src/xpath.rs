@@ -24,6 +24,7 @@
 //! unprefixed name tests match on local name regardless of namespace, which
 //! is how the paper's Xindice queries behaved in practice.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -56,18 +57,23 @@ impl XPathContext {
 }
 
 /// The result of evaluating an expression.
+///
+/// String results borrow from the document (attribute values, text nodes)
+/// or from the compiled expression (literals) wherever possible; evaluation
+/// only allocates when a string has to be synthesised (number formatting,
+/// multi-text-node concatenation).
 #[derive(Debug, Clone, PartialEq)]
 pub enum XPathValue<'a> {
     /// A set of element nodes, in document order.
     Nodes(Vec<&'a Element>),
     /// A set of strings (attribute values or `text()` selections).
-    Strings(Vec<String>),
-    Str(String),
+    Strings(Vec<Cow<'a, str>>),
+    Str(Cow<'a, str>),
     Num(f64),
     Bool(bool),
 }
 
-impl XPathValue<'_> {
+impl<'a> XPathValue<'a> {
     /// XPath boolean coercion: non-empty node-set / non-empty string /
     /// non-zero number.
     pub fn truthy(&self) -> bool {
@@ -84,20 +90,23 @@ impl XPathValue<'_> {
     pub fn string_value(&self) -> String {
         match self {
             XPathValue::Nodes(n) => n.first().map(|e| e.text()).unwrap_or_default(),
-            XPathValue::Strings(s) => s.first().cloned().unwrap_or_default(),
-            XPathValue::Str(s) => s.clone(),
+            XPathValue::Strings(s) => s
+                .first()
+                .map(|s| s.clone().into_owned())
+                .unwrap_or_default(),
+            XPathValue::Str(s) => s.clone().into_owned(),
             XPathValue::Num(n) => format_num(*n),
             XPathValue::Bool(b) => b.to_string(),
         }
     }
 
-    fn candidate_strings(&self) -> Vec<String> {
+    fn candidate_strings(&self) -> Vec<Cow<'_, str>> {
         match self {
-            XPathValue::Nodes(n) => n.iter().map(|e| e.text()).collect(),
-            XPathValue::Strings(s) => s.clone(),
-            XPathValue::Str(s) => vec![s.clone()],
-            XPathValue::Num(n) => vec![format_num(*n)],
-            XPathValue::Bool(b) => vec![b.to_string()],
+            XPathValue::Nodes(n) => n.iter().map(|e| e.text_cow()).collect(),
+            XPathValue::Strings(s) => s.iter().map(|s| Cow::Borrowed(s.as_ref())).collect(),
+            XPathValue::Str(s) => vec![Cow::Borrowed(s.as_ref())],
+            XPathValue::Num(n) => vec![Cow::Owned(format_num(*n))],
+            XPathValue::Bool(b) => vec![Cow::Owned(b.to_string())],
         }
     }
 }
@@ -141,7 +150,13 @@ impl XPath {
     }
 
     /// Evaluate against `root` (treated as the document's root element).
-    pub fn evaluate<'a>(&self, root: &'a Element, ctx: &XPathContext) -> XmlResult<XPathValue<'a>> {
+    /// The result borrows from both the document and the compiled
+    /// expression (string literals are never copied).
+    pub fn evaluate<'a>(
+        &'a self,
+        root: &'a Element,
+        ctx: &XPathContext,
+    ) -> XmlResult<XPathValue<'a>> {
         eval_expr(&self.expr, root, root, ctx)
     }
 
@@ -151,7 +166,11 @@ impl XPath {
     }
 
     /// Evaluate, requiring a node-set result — the query entry point.
-    pub fn select<'a>(&self, root: &'a Element, ctx: &XPathContext) -> XmlResult<Vec<&'a Element>> {
+    pub fn select<'a>(
+        &'a self,
+        root: &'a Element,
+        ctx: &XPathContext,
+    ) -> XmlResult<Vec<&'a Element>> {
         match self.evaluate(root, ctx)? {
             XPathValue::Nodes(n) => Ok(n),
             other => Err(XmlError::XPath(format!(
@@ -606,8 +625,22 @@ impl ExprParser {
 
 // ----------------------------------------------------------- evaluation ----
 
+/// First candidate string without forcing an owned copy.
+fn str_cow<'v>(v: &'v XPathValue<'_>) -> Cow<'v, str> {
+    match v {
+        XPathValue::Nodes(n) => n.first().map(|e| e.text_cow()).unwrap_or_default(),
+        XPathValue::Strings(s) => s
+            .first()
+            .map(|s| Cow::Borrowed(s.as_ref()))
+            .unwrap_or_default(),
+        XPathValue::Str(s) => Cow::Borrowed(s.as_ref()),
+        XPathValue::Num(n) => Cow::Owned(format_num(*n)),
+        XPathValue::Bool(b) => Cow::Owned(b.to_string()),
+    }
+}
+
 fn eval_expr<'a>(
-    expr: &Expr,
+    expr: &'a Expr,
     context: &'a Element,
     root: &'a Element,
     ctx: &XPathContext,
@@ -624,7 +657,7 @@ fn eval_expr<'a>(
         Expr::Not(e) => Ok(XPathValue::Bool(
             !eval_expr(e, context, root, ctx)?.truthy(),
         )),
-        Expr::Literal(s) => Ok(XPathValue::Str(s.clone())),
+        Expr::Literal(s) => Ok(XPathValue::Str(Cow::Borrowed(s))),
         Expr::Number(n) => Ok(XPathValue::Num(*n)),
         Expr::Count(p) => {
             let v = eval_path(p, context, root, ctx)?;
@@ -636,14 +669,16 @@ fn eval_expr<'a>(
             Ok(XPathValue::Num(n as f64))
         }
         Expr::Contains(a, b) => {
-            let a = eval_expr(a, context, root, ctx)?.string_value();
-            let b = eval_expr(b, context, root, ctx)?.string_value();
-            Ok(XPathValue::Bool(a.contains(&b)))
+            let a = eval_expr(a, context, root, ctx)?;
+            let b = eval_expr(b, context, root, ctx)?;
+            Ok(XPathValue::Bool(str_cow(&a).contains(str_cow(&b).as_ref())))
         }
         Expr::StartsWith(a, b) => {
-            let a = eval_expr(a, context, root, ctx)?.string_value();
-            let b = eval_expr(b, context, root, ctx)?.string_value();
-            Ok(XPathValue::Bool(a.starts_with(&b)))
+            let a = eval_expr(a, context, root, ctx)?;
+            let b = eval_expr(b, context, root, ctx)?;
+            Ok(XPathValue::Bool(
+                str_cow(&a).starts_with(str_cow(&b).as_ref()),
+            ))
         }
         Expr::Cmp(a, op, b) => {
             let av = eval_expr(a, context, root, ctx)?;
@@ -686,7 +721,7 @@ fn compare(a: &XPathValue, op: CmpOp, b: &XPathValue) -> bool {
 }
 
 fn eval_path<'a>(
-    path: &Path,
+    path: &'a Path,
     context: &'a Element,
     root: &'a Element,
     ctx: &XPathContext,
@@ -698,7 +733,7 @@ fn eval_path<'a>(
     } else {
         vec![context]
     };
-    let mut strings: Option<Vec<String>> = None;
+    let mut strings: Option<Vec<Cow<'a, str>>> = None;
 
     for (idx, step) in path.steps.iter().enumerate() {
         if strings.is_some() {
@@ -739,14 +774,14 @@ fn eval_path<'a>(
             }
             StepTest::Name { ns, local } => {
                 let want_ns = match ns {
-                    Some(prefix) => Some(ctx.resolve(prefix)?.to_owned()),
+                    Some(prefix) => Some(ctx.resolve(prefix)?),
                     None => None,
                 };
                 let filtered: Vec<&'a Element> = candidates
                     .into_iter()
                     .filter(|e| {
                         &*e.name.local == local.as_str()
-                            && match &want_ns {
+                            && match want_ns {
                                 Some(uri) => e.name.ns_str() == uri,
                                 None => true,
                             }
@@ -759,7 +794,7 @@ fn eval_path<'a>(
                 for e in &current {
                     for n in &e.children {
                         if let Node::Text(t) = n {
-                            out.push(t.clone());
+                            out.push(Cow::Borrowed(t.as_str()));
                         }
                     }
                 }
@@ -767,18 +802,18 @@ fn eval_path<'a>(
             }
             StepTest::Attr { local } => {
                 let mut out = Vec::new();
-                for e in &candidates_parent(&current, step, path, idx, root) {
+                for e in candidates_parent(&current, step, path, idx, root) {
                     if let Some(v) = e.attr_local(local) {
-                        out.push(v.to_owned());
+                        out.push(Cow::Borrowed(v));
                     }
                 }
                 strings = Some(out);
             }
             StepTest::AnyAttr => {
                 let mut out = Vec::new();
-                for e in &candidates_parent(&current, step, path, idx, root) {
+                for e in candidates_parent(&current, step, path, idx, root) {
                     for a in &e.attrs {
-                        out.push(a.value.clone());
+                        out.push(Cow::Borrowed(a.value.as_str()));
                     }
                 }
                 strings = Some(out);
@@ -814,7 +849,7 @@ fn candidates_parent<'a>(
 
 fn apply_predicates<'a>(
     nodes: Vec<&'a Element>,
-    predicates: &[Expr],
+    predicates: &'a [Expr],
     root: &'a Element,
     ctx: &XPathContext,
 ) -> XmlResult<Vec<&'a Element>> {

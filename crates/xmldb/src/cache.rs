@@ -7,21 +7,52 @@
 //! bench can show the effect in isolation.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 
 use ogsa_sim::SimDuration;
 use ogsa_telemetry::SpanKind;
-use ogsa_xml::Element;
+use ogsa_xml::{write_document, Element};
 use parking_lot::Mutex;
 
 use crate::db::Collection;
 use crate::error::DbError;
 
+/// A cached document plus its lazily computed serialized form. Every cache
+/// write installs a fresh entry (fresh `OnceLock`), and the collection's
+/// invalidation hook removes whole entries, so the bytes share exactly the
+/// document's own freshness — there is no separate wire invalidation.
+#[derive(Debug)]
+struct CachedDoc {
+    doc: Element,
+    wire: OnceLock<Arc<str>>,
+}
+
+impl CachedDoc {
+    fn new(doc: Element) -> Self {
+        CachedDoc {
+            doc,
+            wire: OnceLock::new(),
+        }
+    }
+
+    fn with_wire(doc: Element, wire: Arc<str>) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(wire);
+        CachedDoc { doc, wire: cell }
+    }
+
+    fn wire(&self) -> Arc<str> {
+        self.wire
+            .get_or_init(|| Arc::from(write_document(&self.doc)))
+            .clone()
+    }
+}
+
 /// A write-through cache in front of one collection.
 #[derive(Debug, Clone)]
 pub struct ResourceCache {
     collection: Arc<Collection>,
-    cache: Arc<Mutex<HashMap<String, Element>>>,
+    cache: Arc<Mutex<HashMap<String, CachedDoc>>>,
     enabled: bool,
     hit_cost: SimDuration,
 }
@@ -39,7 +70,7 @@ impl ResourceCache {
     pub fn new(collection: Arc<Collection>, hit_cost: SimDuration, enabled: bool) -> Self {
         let cache = Arc::new(Mutex::new(HashMap::new()));
         if enabled {
-            let weak: Weak<Mutex<HashMap<String, Element>>> = Arc::downgrade(&cache);
+            let weak: Weak<Mutex<HashMap<String, CachedDoc>>> = Arc::downgrade(&cache);
             collection.register_invalidation_hook(Arc::new(move |key: &str| {
                 if let Some(map) = weak.upgrade() {
                     map.lock().remove(key);
@@ -64,33 +95,62 @@ impl ResourceCache {
         &self.collection
     }
 
+    /// Charge a cache hit to the clock and counters.
+    fn note_hit(&self) {
+        let mut s = self
+            .collection
+            .telemetry()
+            .span(SpanKind::Db, "db:cache_hit");
+        s.set_attr("collection", self.collection.name());
+        self.collection.clock().advance(self.hit_cost);
+        self.collection.stats().bump_cache_hits();
+    }
+
     /// Read through the cache.
     pub fn get(&self, key: &str) -> Option<Element> {
         if self.enabled {
-            if let Some(doc) = self.cache.lock().get(key) {
-                let mut s = self
-                    .collection
-                    .telemetry()
-                    .span(SpanKind::Db, "db:cache_hit");
-                s.set_attr("collection", self.collection.name());
-                self.collection.clock().advance(self.hit_cost);
-                self.collection.stats().bump_cache_hits();
-                return Some(doc.clone());
+            if let Some(entry) = self.cache.lock().get(key) {
+                self.note_hit();
+                return Some(entry.doc.clone());
             }
             self.collection.stats().bump_cache_misses();
         }
         let doc = self.collection.get(key)?;
         if self.enabled {
-            self.cache.lock().insert(key.to_owned(), doc.clone());
+            self.cache
+                .lock()
+                .insert(key.to_owned(), CachedDoc::new(doc.clone()));
         }
         Some(doc)
+    }
+
+    /// Read the serialized document bytes through the cache: a hit costs a
+    /// cache hit and serves bytes computed at most once per cached version;
+    /// a miss pays one store read and fills both representations from the
+    /// same stored version.
+    pub fn get_serialized(&self, key: &str) -> Option<Arc<str>> {
+        if self.enabled {
+            if let Some(entry) = self.cache.lock().get(key) {
+                self.note_hit();
+                return Some(entry.wire());
+            }
+            self.collection.stats().bump_cache_misses();
+            let (doc, wire) = self.collection.get_stored(key)?;
+            self.cache
+                .lock()
+                .insert(key.to_owned(), CachedDoc::with_wire(doc, wire.clone()));
+            return Some(wire);
+        }
+        self.collection.get_serialized(key)
     }
 
     /// Create a resource: insert into the store and populate the cache.
     pub fn insert(&self, key: &str, doc: Element) -> Result<(), DbError> {
         self.collection.insert(key, doc.clone())?;
         if self.enabled {
-            self.cache.lock().insert(key.to_owned(), doc);
+            self.cache
+                .lock()
+                .insert(key.to_owned(), CachedDoc::new(doc));
         }
         Ok(())
     }
@@ -102,7 +162,9 @@ impl ResourceCache {
         if self.enabled {
             let cached: Vec<(String, Element)> = entries.clone();
             self.collection.insert_many(entries)?;
-            self.cache.lock().extend(cached);
+            self.cache
+                .lock()
+                .extend(cached.into_iter().map(|(k, d)| (k, CachedDoc::new(d))));
         } else {
             self.collection.insert_many(entries)?;
         }
@@ -114,7 +176,9 @@ impl ResourceCache {
     pub fn update(&self, key: &str, doc: Element) -> Result<(), DbError> {
         self.collection.update(key, doc.clone())?;
         if self.enabled {
-            self.cache.lock().insert(key.to_owned(), doc);
+            self.cache
+                .lock()
+                .insert(key.to_owned(), CachedDoc::new(doc));
         }
         Ok(())
     }
@@ -139,7 +203,9 @@ impl ResourceCache {
             return;
         }
         if let Some(doc) = self.collection.get_uncharged(key) {
-            self.cache.lock().insert(key.to_owned(), doc);
+            self.cache
+                .lock()
+                .insert(key.to_owned(), CachedDoc::new(doc));
         }
     }
 }
@@ -342,6 +408,65 @@ mod tests {
         assert!(cache.insert_many(entries).is_err());
         // The all-or-nothing store rejection must not leave k0 cached.
         assert!(cache.get("k0").is_none());
+    }
+
+    #[test]
+    fn serialized_hit_shares_bytes_and_costs_a_cache_hit() {
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(5)).unwrap();
+        let first = cache.get_serialized("k").unwrap();
+        assert_eq!(&*first, write_document(&doc(5)).as_str());
+        let reads_before = db.stats().reads();
+        let again = cache.get_serialized("k").unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "hit must not re-serialise");
+        assert_eq!(
+            db.stats().reads(),
+            reads_before,
+            "hit must not hit the store"
+        );
+    }
+
+    #[test]
+    fn serialized_miss_fills_both_representations_with_one_read() {
+        let (db, cache) = setup(true);
+        cache.collection().insert("cold", doc(3)).unwrap(); // store only
+        let reads_before = db.stats().reads();
+        let wire = cache.get_serialized("cold").unwrap();
+        assert_eq!(db.stats().reads(), reads_before + 1);
+        assert_eq!(&*wire, write_document(&doc(3)).as_str());
+        // Both the tree and the bytes now serve from the cache.
+        let reads_after = db.stats().reads();
+        assert_eq!(cache.get("cold").unwrap().child_parse::<i64>("v"), Some(3));
+        assert!(Arc::ptr_eq(&wire, &cache.get_serialized("cold").unwrap()));
+        assert_eq!(db.stats().reads(), reads_after);
+    }
+
+    #[test]
+    fn direct_store_update_invalidates_serialized_bytes() {
+        let (db, cache) = setup(true);
+        cache.insert("k", doc(1)).unwrap();
+        assert_eq!(
+            &*cache.get_serialized("k").unwrap(),
+            write_document(&doc(1)).as_str()
+        );
+        db.collection("resources").update("k", doc(8)).unwrap();
+        assert_eq!(
+            &*cache.get_serialized("k").unwrap(),
+            write_document(&doc(8)).as_str(),
+            "stale serialized bytes must not survive a direct store write"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_serves_serialized_bytes_from_the_store() {
+        let (db, cache) = setup(false);
+        cache.insert("k", doc(2)).unwrap();
+        assert_eq!(
+            &*cache.get_serialized("k").unwrap(),
+            write_document(&doc(2)).as_str()
+        );
+        assert_eq!(db.stats().cache_hits(), 0);
+        assert_eq!(db.stats().reads(), 1);
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! which shard its cost is attributed to in [`DbStats`].
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ogsa_sim::{CostModel, SimDuration, VirtualClock};
 use ogsa_telemetry::{SpanKind, Telemetry};
-use ogsa_xml::{Element, XPath, XPathContext};
+use ogsa_xml::{write_document, Element, XPath, XPathContext};
 use parking_lot::RwLock;
 
 use crate::backend::{BackendKind, CostProfile};
@@ -184,11 +184,39 @@ impl Database {
     }
 }
 
+/// A document at rest: the tree plus its lazily computed serialized form.
+///
+/// Every write path installs a fresh `Stored` (fresh, empty `OnceLock`), so
+/// the cached bytes can never go stale — invalidation is the replacement
+/// itself. The bytes are computed at most once per stored version, under
+/// the shard's read lock, and shared out as `Arc<str>` so repeated
+/// get/serialize round-trips of a hot document do no serialisation work.
+#[derive(Debug)]
+struct Stored {
+    doc: Element,
+    wire: OnceLock<Arc<str>>,
+}
+
+impl Stored {
+    fn new(doc: Element) -> Self {
+        Stored {
+            doc,
+            wire: OnceLock::new(),
+        }
+    }
+
+    fn wire(&self) -> Arc<str> {
+        self.wire
+            .get_or_init(|| Arc::from(write_document(&self.doc)))
+            .clone()
+    }
+}
+
 /// A named collection of XML documents keyed by resource id, spread over
 /// independently locked shards.
 pub struct Collection {
     name: String,
-    shards: Vec<RwLock<BTreeMap<String, Element>>>,
+    shards: Vec<RwLock<BTreeMap<String, Stored>>>,
     clock: VirtualClock,
     profile: CostProfile,
     backend: BackendKind,
@@ -258,7 +286,7 @@ impl Collection {
     }
 
     /// Shard read lock, counting contended acquisitions.
-    fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, BTreeMap<String, Element>> {
+    fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, BTreeMap<String, Stored>> {
         let lock = &self.shards[shard];
         if let Some(g) = lock.try_read() {
             return g;
@@ -268,7 +296,7 @@ impl Collection {
     }
 
     /// Shard write lock, counting contended acquisitions.
-    fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, BTreeMap<String, Element>> {
+    fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, BTreeMap<String, Stored>> {
         let lock = &self.shards[shard];
         if let Some(g) = lock.try_write() {
             return g;
@@ -298,7 +326,7 @@ impl Collection {
             });
         }
         self.backend.on_write(&self.name, key, Some(&doc));
-        docs.insert(key.to_owned(), doc);
+        docs.insert(key.to_owned(), Stored::new(doc));
         Ok(())
     }
 
@@ -343,7 +371,7 @@ impl Collection {
         // Lock the touched shards in ascending order (deadlock-free against
         // any other insert_many), verify, then mutate.
         let shard_order: Vec<usize> = groups.keys().copied().collect();
-        let mut guards: Vec<RwLockWriteGuard<'_, BTreeMap<String, Element>>> =
+        let mut guards: Vec<RwLockWriteGuard<'_, BTreeMap<String, Stored>>> =
             shard_order.iter().map(|&s| self.write_shard(s)).collect();
         for (gi, &shard) in shard_order.iter().enumerate() {
             for (key, _) in &groups[&shard] {
@@ -358,7 +386,7 @@ impl Collection {
         for (gi, &shard) in shard_order.iter().enumerate() {
             for (key, doc) in groups.remove(&shard).expect("grouped above") {
                 self.backend.on_write(&self.name, &key, Some(&doc));
-                guards[gi].insert(key, doc);
+                guards[gi].insert(key, Stored::new(doc));
             }
         }
         Ok(())
@@ -370,7 +398,20 @@ impl Collection {
         let shard = self.shard_of(key);
         self.charge(shard, self.profile.read);
         self.stats.bump_reads();
-        self.read_shard(shard).get(key).cloned()
+        self.read_shard(shard).get(key).map(|s| s.doc.clone())
+    }
+
+    /// Serialized document bytes by key (full document string, including
+    /// the XML declaration), charged exactly like [`Collection::get`]. The
+    /// bytes are computed at most once per stored document version and
+    /// shared out, so serving a hot document repeatedly does no
+    /// serialisation work at all.
+    pub fn get_serialized(&self, key: &str) -> Option<Arc<str>> {
+        let _s = self.op_span("db:read");
+        let shard = self.shard_of(key);
+        self.charge(shard, self.profile.read);
+        self.stats.bump_reads();
+        self.read_shard(shard).get(key).map(Stored::wire)
     }
 
     /// Replace an existing document; fails if the key is absent.
@@ -384,7 +425,7 @@ impl Collection {
             match docs.get_mut(key) {
                 Some(slot) => {
                     self.backend.on_write(&self.name, key, Some(&doc));
-                    *slot = doc;
+                    *slot = Stored::new(doc);
                 }
                 None => {
                     return Err(DbError::NotFound {
@@ -413,7 +454,7 @@ impl Collection {
             self.stats.bump_inserts();
         }
         self.backend.on_write(&self.name, key, Some(&doc));
-        docs.insert(key.to_owned(), doc);
+        docs.insert(key.to_owned(), Stored::new(doc));
         drop(docs);
         if existed {
             self.notify_invalidated(key);
@@ -426,7 +467,7 @@ impl Collection {
         let shard = self.shard_of(key);
         self.charge(shard, self.profile.delete);
         self.stats.bump_deletes();
-        let removed = self.write_shard(shard).remove(key);
+        let removed = self.write_shard(shard).remove(key).map(|s| s.doc);
         if removed.is_some() {
             self.backend.on_write(&self.name, key, None);
             self.notify_invalidated(key);
@@ -476,12 +517,12 @@ impl Collection {
         let guards: Vec<_> = (0..self.shards.len()).map(|s| self.read_shard(s)).collect();
         let ndocs = guards.iter().map(|g| g.len()).sum();
         self.charge_query(ndocs);
-        let mut pairs: Vec<(&String, &Element)> = guards.iter().flat_map(|g| g.iter()).collect();
+        let mut pairs: Vec<(&String, &Stored)> = guards.iter().flat_map(|g| g.iter()).collect();
         pairs.sort_by(|a, b| a.0.cmp(b.0));
         let mut out = Vec::new();
-        for (k, doc) in pairs {
-            if xpath.matches(doc, ctx)? {
-                out.push((k.clone(), doc.clone()));
+        for (k, stored) in pairs {
+            if xpath.matches(&stored.doc, ctx)? {
+                out.push((k.clone(), stored.doc.clone()));
             }
         }
         Ok(out)
@@ -497,11 +538,11 @@ impl Collection {
         let guards: Vec<_> = (0..self.shards.len()).map(|s| self.read_shard(s)).collect();
         let ndocs = guards.iter().map(|g| g.len()).sum();
         self.charge_query(ndocs);
-        let mut pairs: Vec<(&String, &Element)> = guards.iter().flat_map(|g| g.iter()).collect();
+        let mut pairs: Vec<(&String, &Stored)> = guards.iter().flat_map(|g| g.iter()).collect();
         pairs.sort_by(|a, b| a.0.cmp(b.0));
         let mut out = Vec::new();
-        for (_, doc) in pairs {
-            for node in xpath.select(doc, ctx)? {
+        for (_, stored) in pairs {
+            for node in xpath.select(&stored.doc, ctx)? {
                 out.push(node.clone());
             }
         }
@@ -510,7 +551,22 @@ impl Collection {
 
     /// Read without charging (used by the write-through cache to fill).
     pub(crate) fn get_uncharged(&self, key: &str) -> Option<Element> {
-        self.read_shard(self.shard_of(key)).get(key).cloned()
+        self.read_shard(self.shard_of(key))
+            .get(key)
+            .map(|s| s.doc.clone())
+    }
+
+    /// Charged read returning the document *and* its serialized bytes under
+    /// one shard lock (the cache's miss-fill path: one read charge, both
+    /// representations, no torn version between them).
+    pub(crate) fn get_stored(&self, key: &str) -> Option<(Element, Arc<str>)> {
+        let _s = self.op_span("db:read");
+        let shard = self.shard_of(key);
+        self.charge(shard, self.profile.read);
+        self.stats.bump_reads();
+        self.read_shard(shard)
+            .get(key)
+            .map(|s| (s.doc.clone(), s.wire()))
     }
 
     /// A full-collection scan can proceed shard-parallel, so its cost is
@@ -768,6 +824,40 @@ mod tests {
         let busy = db.stats().shard_busy_snapshot(c.shard_count());
         assert_eq!(busy.iter().sum::<u64>(), elapsed.as_micros());
         assert!(db.stats().shard_busy_us(c.shard_of("a")) >= model.db_insert_us + model.db_read_us);
+    }
+
+    #[test]
+    fn serialized_bytes_match_the_writer_and_track_updates() {
+        let db = Database::in_memory_free();
+        let c = db.collection("wire");
+        c.insert("k", doc(1)).unwrap();
+        let first = c.get_serialized("k").unwrap();
+        assert_eq!(&*first, write_document(&doc(1)).as_str());
+        // Second read shares the same allocation — no re-serialisation.
+        let again = c.get_serialized("k").unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        // A write installs a fresh slot; stale bytes cannot be served.
+        c.update("k", doc(2)).unwrap();
+        assert_eq!(
+            &*c.get_serialized("k").unwrap(),
+            write_document(&doc(2)).as_str()
+        );
+        assert!(c.get_serialized("ghost").is_none());
+    }
+
+    #[test]
+    fn get_serialized_is_charged_as_a_read() {
+        let db = xindice();
+        let c = db.collection("wire");
+        c.insert("k", doc(1)).unwrap();
+        let model = CostModel::calibrated_2005();
+        let t0 = db.clock().now();
+        c.get_serialized("k").unwrap();
+        assert_eq!(
+            db.clock().now().since(t0),
+            SimDuration::from_micros(model.db_read_us)
+        );
+        assert_eq!(db.stats().reads(), 1);
     }
 
     #[test]
