@@ -82,17 +82,37 @@ fn measure(f: &mut dyn FnMut()) -> f64 {
     }
 }
 
-/// Measure a baseline/fast pair in alternating rounds and keep each side's
-/// best (minimum) figure — interference from a shared host hits one round,
-/// not the min, so the recorded ratio is stable across runs.
-fn measure_pair(base: &mut dyn FnMut(), fast: &mut dyn FnMut()) -> (f64, f64) {
-    let mut best_base = f64::INFINITY;
-    let mut best_fast = f64::INFINITY;
-    for _ in 0..3 {
-        best_fast = best_fast.min(measure(fast));
-        best_base = best_base.min(measure(base));
+/// All three rounds of a baseline/fast measurement, sorted ascending, so
+/// the report can show run-to-run spread alongside the headline figure.
+struct Samples {
+    baseline: [f64; 3],
+    fast: [f64; 3],
+}
+
+impl Samples {
+    /// The headline figures stay each side's best (minimum) round —
+    /// interference from a shared host hits one round, not the min, so
+    /// the recorded ratio is stable across runs. The gate uses these.
+    fn min(&self) -> (f64, f64) {
+        (self.baseline[0], self.fast[0])
     }
-    (best_base, best_fast)
+}
+
+/// Measure a baseline/fast pair in alternating rounds, keeping every
+/// round's figure (sorted) so spread is visible in the JSON.
+fn measure_pair(base: &mut dyn FnMut(), fast: &mut dyn FnMut()) -> Samples {
+    let mut baseline = [0.0; 3];
+    let mut fast_ns = [0.0; 3];
+    for i in 0..3 {
+        fast_ns[i] = measure(fast);
+        baseline[i] = measure(base);
+    }
+    baseline.sort_by(f64::total_cmp);
+    fast_ns.sort_by(f64::total_cmp);
+    Samples {
+        baseline,
+        fast: fast_ns,
+    }
 }
 
 /// Mirror of the production streamed sink: canonical fragments batch
@@ -315,12 +335,25 @@ fn baseline_signed_roundtrip(cert: &ogsa_core::security::Certificate) {
     assert!(baseline::verify(&received), "baseline response verify");
 }
 
-fn stage_json(name: &str, baseline_ns: f64, fast_ns: f64) -> String {
+fn spread_json(sorted: &[f64; 3]) -> String {
     format!(
-        "\"{name}\":{{\"baseline_ns_per_op\":{:.1},\"fast_ns_per_op\":{:.1},\"speedup\":{:.3}}}",
+        "{{\"min\":{:.1},\"median\":{:.1},\"max\":{:.1}}}",
+        sorted[0], sorted[1], sorted[2]
+    )
+}
+
+/// `baseline_ns_per_op` / `fast_ns_per_op` / `speedup` keep their original
+/// (min-of-3) meaning so downstream readers of old reports keep working;
+/// the `*_spread` objects carry all three rounds.
+fn stage_json(name: &str, samples: &Samples) -> String {
+    let (baseline_ns, fast_ns) = samples.min();
+    format!(
+        "\"{name}\":{{\"baseline_ns_per_op\":{:.1},\"fast_ns_per_op\":{:.1},\"speedup\":{:.3},\"baseline_ns_spread\":{},\"fast_ns_spread\":{}}}",
         baseline_ns,
         fast_ns,
-        baseline_ns / fast_ns
+        baseline_ns / fast_ns,
+        spread_json(&samples.baseline),
+        spread_json(&samples.fast),
     )
 }
 
@@ -329,7 +362,7 @@ fn main() -> ExitCode {
 
     // Stage 1: parse.
     let wire = request_envelope().to_wire();
-    let (parse_base, parse_fast) = measure_pair(
+    let parse_samples = measure_pair(
         &mut || {
             reference::parse(&wire).expect("reference parse");
         },
@@ -340,7 +373,7 @@ fn main() -> ExitCode {
 
     // Stage 2: write.
     let env = request_envelope();
-    let (write_base, write_fast) = measure_pair(
+    let write_samples = measure_pair(
         &mut || {
             env.to_element().into_document_string();
         },
@@ -352,7 +385,7 @@ fn main() -> ExitCode {
 
     // Stage 3: canonicalise + digest.
     let body = counter_body(50);
-    let (c14n_base, c14n_fast) = measure_pair(
+    let c14n_samples = measure_pair(
         &mut || {
             baseline::sha256(&canonicalize(&body));
         },
@@ -366,10 +399,14 @@ fn main() -> ExitCode {
     let identity = store.authority("CN=UVA-CA").issue("CN=wallclock,O=UVA-VO");
     let clock = VirtualClock::new();
     let model = CostModel::free();
-    let (signed_base, signed_fast) = measure_pair(
+    let signed_samples = measure_pair(
         &mut || baseline_signed_roundtrip(&identity.cert),
         &mut || fast_signed_roundtrip(&store, &identity, &clock, &model),
     );
+    let (parse_base, parse_fast) = parse_samples.min();
+    let (write_base, write_fast) = write_samples.min();
+    let (c14n_base, c14n_fast) = c14n_samples.min();
+    let (signed_base, signed_fast) = signed_samples.min();
     let signed_speedup = signed_base / signed_fast;
 
     // Real (host) throughput of the multi-client harness, signed, at the
@@ -412,10 +449,10 @@ fn main() -> ExitCode {
 
     let json = format!(
         "{{\"benchmark\":\"wallclock\",\"stages\":{{{},{},{},{}}},\"throughput\":{{\"workload\":\"counter\",\"policy\":\"x509\",\"clients\":{},\"shards\":8,\"requests\":{},\"real_elapsed_ms\":{:.1},\"real_rps\":{:.1}}},\"gate\":{{\"signed_roundtrip_min_speedup\":{},\"signed_roundtrip_speedup\":{:.3},\"pass\":{}}}}}\n",
-        stage_json("parse", parse_base, parse_fast),
-        stage_json("write", write_base, write_fast),
-        stage_json("c14n_digest", c14n_base, c14n_fast),
-        stage_json("signed_roundtrip", signed_base, signed_fast),
+        stage_json("parse", &parse_samples),
+        stage_json("write", &write_samples),
+        stage_json("c14n_digest", &c14n_samples),
+        stage_json("signed_roundtrip", &signed_samples),
         THROUGHPUT_CLIENTS,
         requests,
         wall.as_secs_f64() * 1_000.0,

@@ -277,6 +277,46 @@ impl ClientAgent {
         }
     }
 
+    /// Serialise one complete request for `action` on `target` —
+    /// addressing headers stamped, trace context omitted, signed under
+    /// the policy — returning `(address, wire)`. The real-socket load
+    /// generator signs one template and replays the bytes verbatim
+    /// (nothing in the protocol is nonce-checked, so replay parses and
+    /// verifies like a fresh request); the server still runs its full
+    /// verify + sign pipeline per copy.
+    pub fn prepare_wire(
+        &self,
+        target: &EndpointReference,
+        action: &str,
+        body: Element,
+    ) -> (String, String) {
+        let headers = MessageHeaders::request(target, action, self.next_message_id());
+        let mut env = headers.apply(Envelope::new(body));
+        if self.policy.signs_messages() {
+            sign_envelope(&mut env, &self.identity, &self.clock, &self.model);
+        }
+        (target.address.clone(), env.to_wire())
+    }
+
+    /// Decode a response that arrived over a real socket: parse the
+    /// envelope, verify its signature under the policy, surface SOAP
+    /// faults — the response half of [`ClientAgent::invoke`] for callers
+    /// that did their own transport.
+    pub fn decode_response(&self, wire: &str) -> Result<Element, InvokeError> {
+        let env = Envelope::from_wire(wire).map_err(|e| {
+            InvokeError::Transport(TransportError::WireGarbage {
+                detail: e.to_string(),
+            })
+        })?;
+        if self.policy.signs_messages() {
+            verify_envelope(&env, &self.cert_store, &self.clock, &self.model)?;
+        }
+        if let Some(fault) = env.fault() {
+            return Err(InvokeError::Fault(fault));
+        }
+        Ok(env.body)
+    }
+
     /// Fire a one-way (notification) message at `to`; signed under the
     /// X.509 policy like any other message. With a redelivery policy
     /// ([`ClientAgent::with_redelivery`]) lost sends are redelivered with

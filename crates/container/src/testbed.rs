@@ -31,9 +31,29 @@ pub struct Testbed {
 impl Testbed {
     /// A testbed with the given cost model and storage backend.
     pub fn new(model: CostModel, backend: BackendKind) -> Self {
+        Testbed::build(model, backend, false)
+    }
+
+    /// Like [`Testbed::new`] but with span recording disabled (metrics
+    /// still record). Long wall-clock runs — the real-socket load
+    /// generator in particular — would otherwise accumulate one span
+    /// record per request, unbounded.
+    pub fn new_quiet(model: CostModel, backend: BackendKind) -> Self {
+        Testbed::build(model, backend, true)
+    }
+
+    fn build(model: CostModel, backend: BackendKind, quiet: bool) -> Self {
         let clock = VirtualClock::new();
         let model = Arc::new(model);
-        let network = Network::new(clock.clone(), model.clone());
+        let network = if quiet {
+            Network::with_telemetry(
+                clock.clone(),
+                model.clone(),
+                ogsa_telemetry::Telemetry::disabled(),
+            )
+        } else {
+            Network::new(clock.clone(), model.clone())
+        };
         let cert_store = CertStore::new();
         let ca = cert_store.authority("CN=UVA-Grid-CA,O=University of Virginia");
         Testbed {
@@ -185,6 +205,20 @@ mod tests {
             Testbed::free().db("host-a").config().shards,
             ogsa_xmldb::DEFAULT_SHARDS
         );
+    }
+
+    #[test]
+    fn quiet_testbed_records_metrics_but_no_spans() {
+        let tb = Testbed::new_quiet(CostModel::free(), BackendKind::Memory);
+        assert!(!tb.telemetry().is_enabled());
+        {
+            let _s = tb
+                .telemetry()
+                .span(ogsa_telemetry::SpanKind::Other, "probe");
+        }
+        assert_eq!(tb.telemetry().span_count(), 0);
+        tb.telemetry().metrics().inc("probe.hits", &[]);
+        assert_eq!(tb.telemetry().metrics().counter("probe.hits", &[]), 1);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub use ogsa_counter as counter;
 pub use ogsa_eventing as eventing;
 pub use ogsa_gridbox as gridbox;
 pub use ogsa_security as security;
+pub use ogsa_serve as serve;
 pub use ogsa_sim as sim;
 pub use ogsa_soap as soap;
 pub use ogsa_telemetry as telemetry;

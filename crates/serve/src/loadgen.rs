@@ -1,0 +1,676 @@
+//! Wall-clock load generator for the serving tier.
+//!
+//! One thread drives every connection through its own epoll instance
+//! (mirroring the server's worker structure), replaying a pre-serialised
+//! request template over keep-alive connections. Two modes:
+//!
+//! * **Closed loop** — each connection keeps exactly one request in
+//!   flight; the next is sent the instant the response lands. Measures
+//!   peak sustainable throughput.
+//! * **Open loop** — requests arrive on a fixed global schedule
+//!   regardless of completions, round-robined across connections;
+//!   latency is measured from the *scheduled* arrival, so queueing delay
+//!   is charged to the server the way an outside observer would see it.
+//!
+//! Latencies land in a log-bucketed histogram (HDR-style: power-of-two
+//! groups split into 32 sub-buckets, ≤ ~3% relative error) so p50/p99/
+//! p999 come out of a fixed 2 KB table no matter how many requests run.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// How requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// One request in flight per connection, back-to-back.
+    Closed,
+    /// Fixed arrival rate (requests/second) across all connections.
+    Open { rps: f64 },
+}
+
+/// One load run against a bound server.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub addr: SocketAddr,
+    /// Concurrent keep-alive connections to hold open.
+    pub connections: usize,
+    /// Measured window (after warmup).
+    pub duration: Duration,
+    /// Requests completed before this much time are not recorded.
+    pub warmup: Duration,
+    pub mode: LoadMode,
+    /// Request target, e.g. `/services/counter`.
+    pub target: String,
+    /// `Host` header value (picks the container on the network).
+    pub host: String,
+    /// Pre-serialised request body — signed once, replayed verbatim; the
+    /// server still verifies and signs per request.
+    pub body: String,
+}
+
+/// What a run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub connections_requested: usize,
+    pub connections_established: usize,
+    pub requests: u64,
+    pub errors: u64,
+    pub elapsed: Duration,
+    /// Completed requests per wall-clock second over the measured window.
+    pub rps: f64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+    pub max_us: u64,
+}
+
+// ---- log-bucket latency histogram ------------------------------------------
+
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+const BUCKETS: usize = 2048;
+
+/// Fixed-size log-bucket histogram over microsecond values.
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+fn bucket_of(us: u64) -> usize {
+    let v = us.max(1);
+    let msb = 63 - v.leading_zeros() as u64;
+    if msb <= SUB_BITS as u64 {
+        v as usize
+    } else {
+        let shift = msb - SUB_BITS as u64;
+        let sub = (v >> shift) & (SUB - 1);
+        (((msb - SUB_BITS as u64) << SUB_BITS) + SUB + sub) as usize
+    }
+}
+
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < (2 * SUB as usize) {
+        idx as u64
+    } else {
+        let g = (idx >> SUB_BITS) as u64 - 1;
+        let sub = (idx & (SUB as usize - 1)) as u64;
+        (SUB + sub) << g
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, us: u64) {
+        self.counts[bucket_of(us).min(BUCKETS - 1)] += 1;
+        self.total += 1;
+        self.sum += us;
+        self.max = self.max.max(us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn mean_us(&self) -> u64 {
+        self.sum.checked_div(self.total).unwrap_or(0)
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in [0, 1]: the floor of the bucket holding
+    /// the q-th observation (≤ ~3% below the true value).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        self.max
+    }
+}
+
+// ---- RLIMIT_NOFILE ---------------------------------------------------------
+
+/// Raise the soft open-file limit toward `want` (capped at the hard
+/// limit), returning the resulting soft limit. Thousands of sockets need
+/// more than the 1024 default on stock CI runners. No-op off Linux.
+#[cfg(target_os = "linux")]
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    unsafe {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 0;
+        }
+        if lim.cur < want {
+            let raised = Rlimit {
+                cur: want.min(lim.max),
+                max: lim.max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &raised) == 0 {
+                return raised.cur;
+            }
+        }
+        lim.cur
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn raise_nofile_limit(_want: u64) -> u64 {
+    u64::MAX
+}
+
+// ---- response framing ------------------------------------------------------
+
+/// Locate one complete HTTP response at the front of `buf`, returning
+/// `(total_len, status)`.
+fn parse_response(buf: &[u8]) -> Option<(usize, u16)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = &buf[..head_end];
+    // "HTTP/1.1 NNN ..."
+    if head.len() < 12 || !head.starts_with(b"HTTP/1.") {
+        return Some((head_end, 999)); // unframable: force an error
+    }
+    let status =
+        (head[9] - b'0') as u16 * 100 + (head[10] - b'0') as u16 * 10 + (head[11] - b'0') as u16;
+    let mut content_length = 0usize;
+    for line in head.split(|&b| b == b'\n') {
+        let lower_prefix = b"content-length:";
+        if line.len() > lower_prefix.len()
+            && line[..lower_prefix.len()].eq_ignore_ascii_case(lower_prefix)
+        {
+            let digits = &line[lower_prefix.len()..];
+            content_length = std::str::from_utf8(digits).ok()?.trim().parse().ok()?;
+        }
+    }
+    let total = head_end + content_length;
+    if buf.len() >= total {
+        Some((total, status))
+    } else {
+        None
+    }
+}
+
+// ---- the generator ---------------------------------------------------------
+
+struct ClientConn {
+    stream: TcpStream,
+    /// Offset into the template for an in-progress send; `None` = idle.
+    wpos: Option<usize>,
+    rbuf: Vec<u8>,
+    /// Send (closed) or scheduled-arrival (open) instants of in-flight
+    /// requests, oldest first.
+    inflight: VecDeque<Instant>,
+    /// Open loop: arrivals assigned while the connection was busy.
+    backlog: u32,
+    dead: bool,
+}
+
+/// Run one load scenario. The template is built once; every request on
+/// every connection replays the same bytes.
+pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
+    let mut template = Vec::new();
+    crate::http::write_request(
+        &mut template,
+        &config.target,
+        &config.host,
+        true,
+        &config.body,
+    );
+    imp::run(config, &template)
+}
+
+fn finish(
+    config: &LoadConfig,
+    established: usize,
+    hist: &LatencyHistogram,
+    errors: u64,
+    measured: Duration,
+) -> LoadReport {
+    let secs = measured.as_secs_f64().max(1e-9);
+    LoadReport {
+        connections_requested: config.connections,
+        connections_established: established,
+        requests: hist.count(),
+        errors,
+        elapsed: measured,
+        rps: hist.count() as f64 / secs,
+        mean_us: hist.mean_us(),
+        p50_us: hist.quantile_us(0.50),
+        p99_us: hist.quantile_us(0.99),
+        p999_us: hist.quantile_us(0.999),
+        max_us: hist.max_us(),
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use crate::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+    use std::os::fd::AsRawFd;
+
+    pub(super) fn run(config: &LoadConfig, template: &[u8]) -> io::Result<LoadReport> {
+        raise_nofile_limit(config.connections as u64 * 2 + 512);
+        let ep = Epoll::new()?;
+        let mut conns = Vec::with_capacity(config.connections);
+        for i in 0..config.connections {
+            let stream = TcpStream::connect(config.addr)?;
+            stream.set_nonblocking(true)?;
+            stream.set_nodelay(true)?;
+            ep.add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, i as u64)?;
+            conns.push(ClientConn {
+                stream,
+                wpos: None,
+                rbuf: Vec::new(),
+                inflight: VecDeque::new(),
+                backlog: 0,
+                dead: false,
+            });
+        }
+        let established = conns.len();
+
+        let start = Instant::now();
+        let measure_from = start + config.warmup;
+        let deadline = measure_from + config.duration;
+        let mut hist = LatencyHistogram::new();
+        let mut errors = 0u64;
+
+        // Closed loop: prime one request per connection. Open loop: the
+        // schedule below issues them.
+        let open_interval = match config.mode {
+            LoadMode::Closed => {
+                for (i, conn) in conns.iter_mut().enumerate() {
+                    start_request(&ep, conn, i, template, Instant::now(), &mut errors);
+                }
+                None
+            }
+            LoadMode::Open { rps } => Some(Duration::from_secs_f64(1.0 / rps.max(1e-9))),
+        };
+        let mut next_arrival = start;
+        let mut next_conn = 0usize;
+
+        let mut events = [EpollEvent::zeroed(); 256];
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // Issue every open-loop arrival that is due, on schedule.
+            if let Some(interval) = open_interval {
+                while next_arrival <= now {
+                    let i = next_conn % conns.len();
+                    next_conn += 1;
+                    let scheduled = next_arrival;
+                    next_arrival += interval;
+                    let c = &mut conns[i];
+                    if c.dead {
+                        errors += 1;
+                        continue;
+                    }
+                    c.inflight.push_back(scheduled);
+                    if c.wpos.is_none() && c.inflight.len() == 1 {
+                        start_request(&ep, c, i, template, scheduled, &mut errors);
+                    } else {
+                        c.backlog += 1;
+                    }
+                }
+            }
+
+            let timeout = match open_interval {
+                Some(_) => next_arrival
+                    .saturating_duration_since(Instant::now())
+                    .min(deadline.saturating_duration_since(Instant::now()))
+                    .as_millis() as i32,
+                None => deadline
+                    .saturating_duration_since(Instant::now())
+                    .as_millis()
+                    .min(100) as i32,
+            };
+            let n = ep.wait(&mut events, timeout)?;
+            for ev in &events[..n] {
+                let (token, bits) = ev.parts();
+                let i = token as usize;
+                let c = &mut conns[i];
+                if c.dead {
+                    continue;
+                }
+                if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                    kill(&ep, c, &mut errors);
+                    continue;
+                }
+                if bits & EPOLLOUT != 0 {
+                    continue_write(&ep, c, i, template, &mut errors);
+                }
+                if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                    drain_responses(
+                        &ep,
+                        c,
+                        i,
+                        template,
+                        open_interval.is_some(),
+                        measure_from,
+                        &mut hist,
+                        &mut errors,
+                    );
+                }
+            }
+        }
+        let measured = Instant::now().saturating_duration_since(measure_from);
+        Ok(finish(config, established, &hist, errors, measured))
+    }
+
+    fn interest(c: &ClientConn) -> u32 {
+        let mut bits = EPOLLIN | EPOLLRDHUP;
+        if c.wpos.is_some() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    fn kill(ep: &Epoll, c: &mut ClientConn, errors: &mut u64) {
+        if !c.dead {
+            c.dead = true;
+            *errors += 1;
+            ep.delete(c.stream.as_raw_fd());
+        }
+    }
+
+    /// Begin sending one request; `at` is recorded as its start instant.
+    fn start_request(
+        ep: &Epoll,
+        c: &mut ClientConn,
+        token: usize,
+        template: &[u8],
+        at: Instant,
+        errors: &mut u64,
+    ) {
+        if c.inflight.is_empty() {
+            c.inflight.push_back(at);
+        }
+        c.wpos = Some(0);
+        continue_write(ep, c, token, template, errors);
+    }
+
+    fn continue_write(
+        ep: &Epoll,
+        c: &mut ClientConn,
+        token: usize,
+        template: &[u8],
+        errors: &mut u64,
+    ) {
+        let Some(mut pos) = c.wpos else { return };
+        loop {
+            match c.stream.write(&template[pos..]) {
+                Ok(n) => {
+                    pos += n;
+                    if pos == template.len() {
+                        c.wpos = None;
+                        let _ = ep.modify(c.stream.as_raw_fd(), interest(c), token as u64);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    c.wpos = Some(pos);
+                    let _ = ep.modify(c.stream.as_raw_fd(), interest(c), token as u64);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    kill(ep, c, errors);
+                    return;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drain_responses(
+        ep: &Epoll,
+        c: &mut ClientConn,
+        token: usize,
+        template: &[u8],
+        open_loop: bool,
+        measure_from: Instant,
+        hist: &mut LatencyHistogram,
+        errors: &mut u64,
+    ) {
+        // Read everything available.
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match c.stream.read(&mut chunk) {
+                Ok(0) => {
+                    kill(ep, c, errors);
+                    return;
+                }
+                Ok(n) => c.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    kill(ep, c, errors);
+                    return;
+                }
+            }
+        }
+        // Account every complete response.
+        let mut consumed = 0;
+        while let Some((len, status)) = parse_response(&c.rbuf[consumed..]) {
+            consumed += len;
+            let now = Instant::now();
+            let started = c.inflight.pop_front();
+            if status == 200 {
+                if let Some(t0) = started {
+                    if now >= measure_from && t0 >= measure_from {
+                        hist.record(now.saturating_duration_since(t0).as_micros() as u64);
+                    }
+                }
+            } else {
+                *errors += 1;
+            }
+            if open_loop {
+                if c.backlog > 0 {
+                    c.backlog -= 1;
+                    // Latency for the queued request still counts from its
+                    // scheduled arrival, already at inflight front.
+                    c.wpos = Some(0);
+                    continue_write(ep, c, token, template, errors);
+                }
+            } else {
+                start_request(ep, c, token, template, now, errors);
+            }
+            if c.dead {
+                return;
+            }
+        }
+        if consumed > 0 {
+            c.rbuf.drain(..consumed);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Portable fallback: one blocking thread per connection. Open loop
+    //! paces each thread at `rps / connections` from a per-thread
+    //! schedule; queueing is still charged from the scheduled instant.
+
+    use super::*;
+
+    pub(super) fn run(config: &LoadConfig, template: &[u8]) -> io::Result<LoadReport> {
+        let start = Instant::now();
+        let measure_from = start + config.warmup;
+        let deadline = measure_from + config.duration;
+        let per_conn_interval = match config.mode {
+            LoadMode::Closed => None,
+            LoadMode::Open { rps } => Some(Duration::from_secs_f64(
+                config.connections as f64 / rps.max(1e-9),
+            )),
+        };
+        let mut threads = Vec::new();
+        for _ in 0..config.connections {
+            let addr = config.addr;
+            let template = template.to_vec();
+            threads.push(std::thread::spawn(move || {
+                let mut hist = LatencyHistogram::new();
+                let mut errors = 0u64;
+                let Ok(mut stream) = TcpStream::connect(addr) else {
+                    return (hist, 1u64, false);
+                };
+                let _ = stream.set_nodelay(true);
+                let mut rbuf = Vec::new();
+                let mut chunk = [0u8; 16 * 1024];
+                let mut next = Instant::now();
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let scheduled = if let Some(interval) = per_conn_interval {
+                        if next > now {
+                            std::thread::sleep(next - now);
+                        }
+                        let s = next;
+                        next += interval;
+                        s
+                    } else {
+                        now
+                    };
+                    if stream.write_all(&template).is_err() {
+                        errors += 1;
+                        break;
+                    }
+                    let total = loop {
+                        if let Some((len, status)) = parse_response(&rbuf) {
+                            if status != 200 {
+                                errors += 1;
+                            }
+                            break len;
+                        }
+                        match stream.read(&mut chunk) {
+                            Ok(0) | Err(_) => break 0,
+                            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                        }
+                    };
+                    if total == 0 {
+                        errors += 1;
+                        break;
+                    }
+                    rbuf.drain(..total);
+                    let done = Instant::now();
+                    if done >= measure_from && scheduled >= measure_from {
+                        hist.record(done.saturating_duration_since(scheduled).as_micros() as u64);
+                    }
+                }
+                (hist, errors, true)
+            }));
+        }
+        let mut hist = LatencyHistogram::new();
+        let mut errors = 0u64;
+        let mut established = 0usize;
+        for t in threads {
+            if let Ok((h, e, ok)) = t.join() {
+                for (idx, &c) in h.counts.iter().enumerate() {
+                    for _ in 0..c {
+                        hist.record(super::bucket_floor(idx));
+                    }
+                }
+                hist.max = hist.max.max(h.max);
+                errors += e;
+                established += ok as usize;
+            }
+        }
+        let measured = Instant::now().saturating_duration_since(measure_from);
+        Ok(finish(config, established, &hist, errors, measured))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_consistent() {
+        let mut last = 0;
+        for v in [1u64, 2, 31, 32, 63, 64, 100, 1000, 65_535, 1 << 20, 1 << 40] {
+            let idx = bucket_of(v);
+            assert!(idx >= last, "bucket_of not monotone at {v}");
+            last = idx;
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            // Relative error bound from 5 sub-bucket bits: <= 1/32.
+            assert!(
+                (v - floor) as f64 <= v as f64 / 32.0 + 1.0,
+                "floor {floor} too far below {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_come_from_the_right_tail() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(100_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100);
+        assert!(h.quantile_us(0.99) <= 100_000);
+        let p999 = h.quantile_us(0.999);
+        assert!(p999 > 90_000, "p999 {p999} missed the outlier");
+        assert_eq!(h.max_us(), 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn parse_response_frames_exactly() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        assert_eq!(parse_response(wire), Some((wire.len(), 200)));
+        assert_eq!(parse_response(&wire[..wire.len() - 1]), None);
+        let mut two = wire.to_vec();
+        two.extend_from_slice(b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+        let (len, status) = parse_response(&two).unwrap();
+        assert_eq!((len, status), (wire.len(), 200));
+        assert_eq!(parse_response(&two[len..]), Some((two.len() - len, 404)));
+    }
+}

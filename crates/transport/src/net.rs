@@ -256,6 +256,17 @@ impl Network {
         self.inner.endpoints.write().remove(address);
     }
 
+    /// Look up the request/response handler bound at `address`, if any.
+    /// The real-socket serving tier uses this to dispatch straight into
+    /// the container pipeline without crossing the simulated wire (no
+    /// virtual-time charges, no simulated-fault injection).
+    pub fn handler_for(&self, address: &str) -> Option<Handler> {
+        match self.inner.endpoints.read().get(address) {
+            Some(Endpoint::RequestResponse(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
     /// A client port stationed on `host`.
     pub fn port(&self, host: &str) -> Port {
         Port {
@@ -295,17 +306,25 @@ impl Network {
     }
 
     /// Enable/disable the HTTPS session cache (the paper's "socket caching").
+    /// Turning it off evicts cached sessions *and* zeroes the connection
+    /// counters, so an ablation measured after a warm run starts from a
+    /// genuinely cold ledger.
     pub fn set_tls_session_cache(&self, enabled: bool) {
         *self.inner.tls_session_cache.write() = enabled;
         if !enabled {
             self.inner.tls_sessions.lock().clear();
+            self.inner.stats.reset_connection_counters();
         }
     }
 
-    /// Forget all pooled connections and TLS sessions (cold start).
+    /// Forget all pooled connections and TLS sessions (cold start). Also
+    /// zeroes the connection counters (`connects`, `tls_handshakes`,
+    /// `tls_resumptions`): stats accumulated while the pools were warm
+    /// would otherwise leak into whatever cold-start measurement follows.
     pub fn reset_connections(&self) {
         self.inner.connections.lock().clear();
         self.inner.tls_sessions.lock().clear();
+        self.inner.stats.reset_connection_counters();
     }
 
     // ---- fault injection ---------------------------------------------------
@@ -1382,8 +1401,70 @@ mod tests {
             .unwrap();
         assert_eq!(net.stats().connects(), 1);
         net.reset_connections();
+        // The reset zeroes the connection ledger along with the pools, so
+        // the post-reset measurement starts cold: exactly one connect.
+        assert_eq!(net.stats().connects(), 0);
         p.call("http://a/svc", Envelope::new(Element::new("X")))
             .unwrap();
-        assert_eq!(net.stats().connects(), 2);
+        assert_eq!(net.stats().connects(), 1);
+    }
+
+    #[test]
+    fn reset_connections_clears_stale_handshake_counts() {
+        let model = Arc::new(CostModel::calibrated_2005());
+        let net = Network::new(VirtualClock::new(), model);
+        net.bind("https://a/svc", echo_handler());
+        let p = net.port("b");
+        for _ in 0..3 {
+            p.call("https://a/svc", Envelope::new(Element::new("X")))
+                .unwrap();
+        }
+        assert_eq!(net.stats().tls_handshakes(), 1);
+        assert_eq!(net.stats().tls_resumptions(), 2);
+        let warm_messages = net.stats().messages();
+
+        net.reset_connections();
+        p.call("https://a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        // Cold-start ablation after a warm run: the connection ledger
+        // reflects only post-reset traffic...
+        assert_eq!(net.stats().connects(), 1);
+        assert_eq!(net.stats().tls_handshakes(), 1);
+        assert_eq!(net.stats().tls_resumptions(), 0);
+        // ...while the message ledger keeps accumulating.
+        assert_eq!(net.stats().messages(), warm_messages + 2);
+    }
+
+    #[test]
+    fn disabling_session_cache_resets_connection_ledger() {
+        let model = Arc::new(CostModel::calibrated_2005());
+        let net = Network::new(VirtualClock::new(), model);
+        net.bind("https://a/svc", echo_handler());
+        let p = net.port("b");
+        p.call("https://a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        assert_eq!(net.stats().tls_handshakes(), 1);
+        net.set_tls_session_cache(false);
+        assert_eq!(net.stats().tls_handshakes(), 0);
+        p.call("https://a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        p.call("https://a/svc", Envelope::new(Element::new("X")))
+            .unwrap();
+        assert_eq!(net.stats().tls_handshakes(), 2);
+        assert_eq!(net.stats().tls_resumptions(), 0);
+    }
+
+    #[test]
+    fn handler_for_returns_bound_request_handlers_only() {
+        let net = Network::free();
+        net.bind("http://a/svc", echo_handler());
+        net.bind_oneway("tcp://c/notify", Arc::new(|_| {}));
+        let h = net.handler_for("http://a/svc").expect("bound handler");
+        let resp = h(Envelope::new(Element::new("Ping")));
+        assert_eq!(&*resp.body.name.local, "Ping");
+        assert!(net.handler_for("http://a/other").is_none());
+        assert!(net.handler_for("tcp://c/notify").is_none());
+        net.unbind("http://a/svc");
+        assert!(net.handler_for("http://a/svc").is_none());
     }
 }

@@ -188,6 +188,18 @@ impl NetStats {
         self.snapshot().faults_injected()
     }
 
+    /// Zero the connection-lifecycle counters (`connects`,
+    /// `tls_handshakes`, `tls_resumptions`) while leaving the message
+    /// ledger intact. Called when the pooled connections / TLS sessions
+    /// are evicted so a cold-start ablation doesn't report stale warm-run
+    /// counts.
+    pub fn reset_connection_counters(&self) {
+        let mut s = self.inner.lock();
+        s.connects = 0;
+        s.tls_handshakes = 0;
+        s.tls_resumptions = 0;
+    }
+
     /// An atomically-consistent plain-data copy of every counter.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         *self.inner.lock()
@@ -237,6 +249,26 @@ mod tests {
         assert_eq!(snap.timeouts, 1);
         assert_eq!(snap.retries, 2);
         assert_eq!(snap.dead_letters, 1);
+    }
+
+    #[test]
+    fn reset_connection_counters_leaves_message_ledger() {
+        let s = NetStats::new();
+        s.record_request(10);
+        s.record_response(20);
+        s.record_connect();
+        s.record_tls_handshake();
+        s.record_tls_resumption();
+        s.record_retry();
+        s.reset_connection_counters();
+        let snap = s.snapshot();
+        assert_eq!(snap.connects, 0);
+        assert_eq!(snap.tls_handshakes, 0);
+        assert_eq!(snap.tls_resumptions, 0);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.responses, 1);
+        assert_eq!(snap.bytes, 30);
+        assert_eq!(snap.retries, 1);
     }
 
     #[test]
