@@ -7,7 +7,7 @@ use std::sync::Arc;
 use ogsa_security::{CertAuthority, CertStore, SecurityPolicy};
 use ogsa_sim::{CostModel, DetRng, VirtualClock};
 use ogsa_transport::Network;
-use ogsa_xmldb::{BackendKind, Database, DbConfig};
+use ogsa_xmldb::{BackendKind, Database, DbConfig, DurableBackend, DurableConfig, RecoveryReport};
 use parking_lot::Mutex;
 
 use crate::client::ClientAgent;
@@ -25,6 +25,8 @@ pub struct Testbed {
     rng: DetRng,
     backend: BackendKind,
     db_config: DbConfig,
+    durable_cfg: Option<DurableConfig>,
+    durables: Arc<Mutex<HashMap<String, Arc<DurableBackend>>>>,
     dbs: Arc<Mutex<HashMap<String, Database>>>,
 }
 
@@ -65,6 +67,8 @@ impl Testbed {
             rng: DetRng::default(),
             backend,
             db_config: DbConfig::default(),
+            durable_cfg: None,
+            durables: Arc::new(Mutex::new(HashMap::new())),
             dbs: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -81,6 +85,39 @@ impl Testbed {
     /// The shard count freshly-built per-host databases will use.
     pub fn shards(&self) -> usize {
         self.db_config.shards
+    }
+
+    /// Back every per-host database with a crash-injectable durable store
+    /// (WAL + snapshots, [`DurableBackend::sim`] media): the configuration
+    /// the crash harness drives. Must be set before the first call to
+    /// [`Testbed::db`] for a host. Virtual-time figures are unchanged —
+    /// the durable backend reports the same calibrated cost profile.
+    pub fn with_durable(mut self, cfg: DurableConfig) -> Self {
+        self.durable_cfg = Some(cfg);
+        self
+    }
+
+    /// The durable backend behind `host`'s database, when
+    /// [`Testbed::with_durable`] is active and the database exists — arm
+    /// crash points through its [`DurableBackend::sim_medium`].
+    pub fn durable(&self, host: &str) -> Option<Arc<DurableBackend>> {
+        self.durables.lock().get(host).cloned()
+    }
+
+    /// Kill and reboot `host`'s storage: every in-memory database state is
+    /// discarded (exactly what a process crash destroys), the durable
+    /// backend recovers from its WAL + snapshot, and a fresh database is
+    /// repopulated from the recovered image. Containers built before the
+    /// restart still hold the dead database — build new ones, as a real
+    /// redeploy would. Returns `None` when the testbed is not durable or
+    /// the host never had a database.
+    pub fn restart_host(&self, host: &str) -> Option<RecoveryReport> {
+        let backend = self.durable(host)?;
+        self.dbs.lock().remove(host)?;
+        let report = backend.recover();
+        let db = self.db(host);
+        backend.restore_into(&db);
+        Some(report)
     }
 
     /// The configuration all figures are regenerated under: calibrated 2005
@@ -131,10 +168,25 @@ impl Testbed {
             .lock()
             .entry(host.to_owned())
             .or_insert_with(|| {
+                let backend = match self.durable_cfg {
+                    Some(cfg) => BackendKind::Custom(
+                        self.durables
+                            .lock()
+                            .entry(host.to_owned())
+                            .or_insert_with(|| {
+                                Arc::new(
+                                    DurableBackend::sim(cfg)
+                                        .with_telemetry(self.network.telemetry().clone()),
+                                )
+                            })
+                            .clone(),
+                    ),
+                    None => self.backend.clone(),
+                };
                 Database::with_config(
                     self.clock.clone(),
                     self.model.clone(),
-                    self.backend.clone(),
+                    backend,
                     self.network.telemetry().clone(),
                     self.db_config,
                 )
@@ -219,6 +271,42 @@ mod tests {
         assert_eq!(tb.telemetry().span_count(), 0);
         tb.telemetry().metrics().inc("probe.hits", &[]);
         assert_eq!(tb.telemetry().metrics().counter("probe.hits", &[]), 1);
+    }
+
+    #[test]
+    fn durable_testbed_restarts_a_host_without_losing_fsynced_writes() {
+        let tb = Testbed::free().with_durable(DurableConfig::default());
+        let doc = |v: i64| {
+            ogsa_xml::Element::new("r")
+                .with_child(ogsa_xml::Element::text_element("v", v.to_string()))
+        };
+        tb.db("host-a").collection("c").insert("k", doc(7)).unwrap();
+        assert!(tb.durable("host-a").is_some());
+        assert!(tb.durable("host-b").is_none(), "no db built yet");
+
+        let report = tb.restart_host("host-a").unwrap();
+        assert_eq!(report.docs, 1);
+        assert_eq!(
+            tb.db("host-a")
+                .collection("c")
+                .get("k")
+                .unwrap()
+                .child_parse::<i64>("v"),
+            Some(7),
+            "a per-write-fsynced insert survives the restart"
+        );
+        // wal.* telemetry flows into the shared metrics registry.
+        assert!(tb.telemetry().metrics().counter("wal.appends", &[]) >= 1);
+        assert_eq!(tb.telemetry().metrics().counter("wal.recoveries", &[]), 1);
+    }
+
+    #[test]
+    fn restart_of_an_unknown_or_non_durable_host_is_none() {
+        let tb = Testbed::free();
+        tb.db("host-a");
+        assert!(tb.restart_host("host-a").is_none(), "not durable");
+        let tb = Testbed::free().with_durable(DurableConfig::default());
+        assert!(tb.restart_host("ghost").is_none(), "no database yet");
     }
 
     #[test]

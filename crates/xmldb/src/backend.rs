@@ -84,6 +84,13 @@ impl BackendKind {
             custom.on_write(collection, key, doc);
         }
     }
+
+    /// Notify a custom backend of a whole insert batch (no-op otherwise).
+    pub(crate) fn on_write_many(&self, collection: &str, entries: &[(String, Element)]) {
+        if let BackendKind::Custom(custom) = self {
+            custom.on_write_many(collection, entries);
+        }
+    }
 }
 
 /// Hook for integrating a legacy store: provides the cost profile and
@@ -92,6 +99,18 @@ impl BackendKind {
 pub trait CustomBackend: Send + Sync {
     fn cost_profile(&self, model: &CostModel) -> CostProfile;
     fn on_write(&self, collection: &str, key: &str, doc: Option<&Element>);
+
+    /// One [`Collection::insert_many`] batch, delivered as a unit — a
+    /// durable backend can make it atomic (one WAL record). The default
+    /// flattens to per-document `on_write` calls for backends that don't
+    /// care about batch boundaries.
+    ///
+    /// [`Collection::insert_many`]: crate::Collection::insert_many
+    fn on_write_many(&self, collection: &str, entries: &[(String, Element)]) {
+        for (key, doc) in entries {
+            self.on_write(collection, key, Some(doc));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +148,23 @@ mod tests {
                 .lock()
                 .push((collection.to_owned(), key.to_owned(), doc.is_some()));
         }
+    }
+
+    #[test]
+    fn default_on_write_many_flattens_to_per_doc_writes() {
+        let rec = Arc::new(Recorder {
+            writes: Mutex::new(Vec::new()),
+        });
+        let kind = BackendKind::Custom(rec.clone());
+        let entries = vec![
+            ("a".to_owned(), Element::new("doc")),
+            ("b".to_owned(), Element::new("doc")),
+        ];
+        kind.on_write_many("c", &entries);
+        let writes = rec.writes.lock();
+        assert_eq!(writes.len(), 2);
+        assert_eq!(writes[0].1, "a");
+        assert_eq!(writes[1].1, "b");
     }
 
     #[test]

@@ -173,6 +173,16 @@ impl Database {
         &self.inner.stats
     }
 
+    /// Zero every operation counter, the cache hit/miss ledger, the
+    /// contention count, and the per-shard busy accounting — parity with
+    /// `NetStats::reset_connection_counters`. The harnesses call this when
+    /// they swap a backend or start a fresh measured phase over a warmed
+    /// store, so a cold-start figure doesn't report warm-run counts.
+    /// Documents are untouched; only the accounting resets.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
     /// The structural configuration collections are created with.
     pub fn config(&self) -> DbConfig {
         self.inner.config
@@ -383,11 +393,20 @@ impl Collection {
                 }
             }
         }
-        for (gi, &shard) in shard_order.iter().enumerate() {
-            for (key, doc) in groups.remove(&shard).expect("grouped above") {
-                self.backend.on_write(&self.name, &key, Some(&doc));
-                guards[gi].insert(key, Stored::new(doc));
-            }
+        // Notify the backend of the whole batch as one unit — a durable
+        // backend logs exactly one WAL record, so a crash can never
+        // half-apply the batch. Every touched shard lock is still held, so
+        // the batch is observed atomically with respect to other writers.
+        let flat: Vec<(String, Element)> = shard_order
+            .iter()
+            .flat_map(|s| groups.remove(s).expect("grouped above"))
+            .collect();
+        self.backend.on_write_many(&self.name, &flat);
+        for (key, doc) in flat {
+            let gi = shard_order
+                .binary_search(&self.shard_of(&key))
+                .expect("key grouped above");
+            guards[gi].insert(key, Stored::new(doc));
         }
         Ok(())
     }
@@ -824,6 +843,40 @@ mod tests {
         let busy = db.stats().shard_busy_snapshot(c.shard_count());
         assert_eq!(busy.iter().sum::<u64>(), elapsed.as_micros());
         assert!(db.stats().shard_busy_us(c.shard_of("a")) >= model.db_insert_us + model.db_read_us);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_and_survives_a_backend_swap() {
+        // Regression (PR-7): the stats object is shared by every collection
+        // regardless of backend, so swapping a collection's backend must
+        // neither lose nor duplicate counters, and a reset must reach the
+        // collections built before it.
+        let db = xindice();
+        let disk = db.collection_with_backend("disk", BackendKind::SimDisk);
+        disk.insert("a", doc(1)).unwrap();
+        disk.get("a");
+        assert_eq!(db.stats().inserts(), 1);
+        assert!(db.stats().total_busy_us() > 0);
+
+        db.reset_stats();
+        assert!(db.stats().snapshot().iter().all(|(_, v)| *v == 0));
+        assert_eq!(db.stats().total_busy_us(), 0);
+
+        // A collection on a different backend accumulates into the same,
+        // freshly zeroed counters — and so does the pre-reset collection.
+        let mem = db.collection_with_backend("mem", BackendKind::Memory);
+        mem.insert("b", doc(2)).unwrap();
+        disk.get("a");
+        assert_eq!(db.stats().inserts(), 1);
+        assert_eq!(db.stats().reads(), 1);
+        assert_eq!(
+            db.stats().total_busy_us(),
+            CostModel::calibrated_2005().db_insert_us / 16
+                + CostModel::calibrated_2005().db_read_us,
+            "busy accounting restarts cleanly from zero"
+        );
+        // The documents themselves survive the reset untouched.
+        assert!(disk.get_uncharged("a").is_some());
     }
 
     #[test]

@@ -100,6 +100,24 @@ impl DbStats {
             .sum()
     }
 
+    /// Zero every counter, including the per-shard busy accounting. The
+    /// clones-share-state property means one reset is visible to every
+    /// holder — collections created before the reset keep accumulating
+    /// into the freshly zeroed counters.
+    pub fn reset(&self) {
+        self.inner.reads.store(0, Ordering::Relaxed);
+        self.inner.inserts.store(0, Ordering::Relaxed);
+        self.inner.updates.store(0, Ordering::Relaxed);
+        self.inner.deletes.store(0, Ordering::Relaxed);
+        self.inner.queries.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.lock_contentions.store(0, Ordering::Relaxed);
+        for b in &self.inner.shard_busy_us {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot all scalar counters as (name, value) pairs.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
         vec![
@@ -158,6 +176,22 @@ mod tests {
         assert_eq!(s.shard_busy_us(3), 42);
         assert_eq!(s.shard_busy_snapshot(4), vec![100, 0, 0, 42]);
         assert_eq!(s.total_busy_us(), 142);
+    }
+
+    #[test]
+    fn reset_zeroes_every_counter_for_every_holder() {
+        let s = DbStats::new();
+        let clone = s.clone();
+        s.bump_reads();
+        s.bump_cache_hits();
+        s.bump_lock_contentions();
+        s.add_shard_busy(2, 99);
+        clone.reset();
+        assert!(s.snapshot().iter().all(|(_, v)| *v == 0));
+        assert_eq!(s.total_busy_us(), 0);
+        // The shared counters keep working after the reset.
+        s.bump_reads();
+        assert_eq!(clone.reads(), 1);
     }
 
     #[test]

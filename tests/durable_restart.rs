@@ -1,0 +1,104 @@
+//! End-to-end crash/restart: a WSRF container whose host database sits on
+//! the durable WAL backend is killed mid-`createBatch` and rebooted. The
+//! paper's stack survives with exactly the durability the WAL promises —
+//! every fsync-acked resource operation converges after the restart, and
+//! the torn batch vanishes wholly (its single WAL record never became
+//! durable), never as a half-created group of resources.
+
+use ogsa_grid::container::Testbed;
+use ogsa_grid::counter::{CounterApi, WsrfCounter};
+use ogsa_grid::security::SecurityPolicy;
+use ogsa_grid::xmldb::{CrashPoint, DurableConfig};
+
+fn deploy(tb: &Testbed) -> ogsa_grid::counter::WsrfCounterClient {
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let service = WsrfCounter::deploy(&container);
+    service.client(tb.client("host-b", "CN=alice,O=VO", SecurityPolicy::None))
+}
+
+#[test]
+fn killing_a_container_mid_batch_keeps_acked_counters_and_drops_the_batch_wholly() {
+    let tb = Testbed::free().with_durable(DurableConfig::default());
+    let api = deploy(&tb);
+
+    // Fsync-acked state: two counters with distinct values (create + set
+    // are one WAL record each under the per-write policy).
+    let c1 = api.create().unwrap();
+    let c2 = api.create().unwrap();
+    api.set(&c1, 7).unwrap();
+    api.set(&c2, 40).unwrap();
+
+    let backend = tb.durable("host-a").expect("durable testbed");
+    let acked_before = backend.acked_ops();
+    assert!(acked_before >= 4, "creates and sets are fsynced");
+
+    // Power loss a few bytes into the batch's single WAL record.
+    backend
+        .sim_medium()
+        .unwrap()
+        .arm(CrashPoint::AtByte(backend.wal_len() + 16));
+    let batch = api
+        .create_many(8)
+        .expect("the in-memory store keeps serving");
+    assert_eq!(batch.len(), 8);
+    assert!(backend.has_failed(), "the WAL medium is down");
+    // Pre-restart the doomed resources still answer — disk-died semantics.
+    assert!(api.get(&batch[0]).is_ok());
+
+    // Reboot the host: in-memory state is discarded, the WAL replays.
+    let report = tb.restart_host("host-a").unwrap();
+    assert!(report.torn.is_some(), "the batch record is torn");
+    assert_eq!(
+        report.docs as u64 + 2,
+        acked_before,
+        "2 creates + 2 sets → 2 docs"
+    );
+
+    // Redeploy (a real operator would restart the container process) and
+    // aim the *old* EPRs at it: the acked counters converge...
+    let api2 = deploy(&tb);
+    assert_eq!(api2.get(&c1).unwrap(), 7);
+    assert_eq!(api2.get(&c2).unwrap(), 40);
+    // ...the unacked batch is gone — all eight of it, not a half-batch.
+    for epr in &batch {
+        assert!(
+            api2.get(epr).is_err(),
+            "torn batch resource survived the crash"
+        );
+    }
+    // The recovered resources are live WSRF resources, not a read-only echo.
+    api2.set(&c1, 8).unwrap();
+    assert_eq!(api2.get(&c1).unwrap(), 8);
+    assert_eq!(tb.telemetry().metrics().counter("wal.recoveries", &[]), 1);
+}
+
+#[test]
+fn a_clean_restart_converges_every_resource_including_batches() {
+    let tb = Testbed::free().with_durable(DurableConfig::default());
+    let api = deploy(&tb);
+
+    let single = api.create().unwrap();
+    api.set(&single, 3).unwrap();
+    let batch = api.create_many(6).unwrap();
+    api.set(&batch[2], 99).unwrap();
+
+    let report = tb.restart_host("host-a").unwrap();
+    assert_eq!(report.torn, None);
+    assert_eq!(report.docs, 7);
+
+    let api2 = deploy(&tb);
+    assert_eq!(api2.get(&single).unwrap(), 3);
+    assert_eq!(api2.get(&batch[2]).unwrap(), 99);
+    for (i, epr) in batch.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(api2.get(epr).unwrap(), 0, "batch counter {i}");
+        }
+    }
+    // Destroy works on recovered resources and is logged durably: a second
+    // restart must not resurrect the destroyed counter.
+    api2.destroy(&batch[0]).unwrap();
+    tb.restart_host("host-a").unwrap();
+    let api3 = deploy(&tb);
+    assert!(api3.get(&batch[0]).is_err(), "destroy survived the restart");
+    assert_eq!(api3.get(&batch[1]).unwrap(), 0);
+}
