@@ -132,6 +132,7 @@ fn main() -> ExitCode {
         target,
         host,
         body: wire,
+        scrape_admin: None,
     };
 
     println!(

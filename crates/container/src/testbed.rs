@@ -163,6 +163,14 @@ impl Testbed {
 
     /// The database on `host` (one Xindice instance per machine; containers
     /// on the same host share it).
+    ///
+    /// The first build for a host registers a scrape-time collector on the
+    /// shared [`MetricsRegistry`](ogsa_telemetry::MetricsRegistry): every
+    /// `gather()` — and therefore every `/metrics` scrape of a serving tier
+    /// sharing this telemetry — reports the host's live [`ogsa_xmldb::DbStats`]
+    /// scalars (`db.reads`, `db.lock_contentions`, ...) and per-shard busy
+    /// time (`db.shard_busy_us{host,shard}`) without the store pushing
+    /// anything on its hot path.
     pub fn db(&self, host: &str) -> Database {
         self.dbs
             .lock()
@@ -183,13 +191,33 @@ impl Testbed {
                     ),
                     None => self.backend.clone(),
                 };
-                Database::with_config(
+                let db = Database::with_config(
                     self.clock.clone(),
                     self.model.clone(),
                     backend,
                     self.network.telemetry().clone(),
                     self.db_config,
-                )
+                );
+                let stats_db = db.clone();
+                let stats_host = host.to_owned();
+                let shards = db.config().shards;
+                self.network
+                    .telemetry()
+                    .metrics()
+                    .register_collector(move |snap| {
+                        let stats = stats_db.stats();
+                        for (name, value) in stats.snapshot() {
+                            snap.set_gauge(&format!("db.{name}"), &[("host", &stats_host)], value);
+                        }
+                        for (i, busy) in stats.shard_busy_snapshot(shards).into_iter().enumerate() {
+                            snap.set_gauge(
+                                "db.shard_busy_us",
+                                &[("host", &stats_host), ("shard", &i.to_string())],
+                                busy,
+                            );
+                        }
+                    });
+                db
             })
             .clone()
     }
@@ -307,6 +335,32 @@ mod tests {
         assert!(tb.restart_host("host-a").is_none(), "not durable");
         let tb = Testbed::free().with_durable(DurableConfig::default());
         assert!(tb.restart_host("ghost").is_none(), "no database yet");
+    }
+
+    #[test]
+    fn db_stats_flow_into_gathered_metrics_per_host_and_shard() {
+        let tb = Testbed::calibrated();
+        let db = tb.db("host-a");
+        let c = db.collection("c");
+        c.insert("k", ogsa_xml::Element::new("d")).unwrap();
+        c.get("k");
+
+        let snap = tb.telemetry().metrics().gather();
+        assert!(snap.gauge("db.inserts{host=host-a}") >= 1);
+        assert!(snap.gauge("db.reads{host=host-a}") >= 1);
+        // Contention scalar is present even when never contended.
+        assert_eq!(snap.gauge("db.lock_contentions{host=host-a}"), 0);
+
+        // Per-shard busy gauges partition the store's total busy time.
+        let per_shard: u64 = (0..db.config().shards)
+            .map(|i| snap.gauge(&format!("db.shard_busy_us{{host=host-a,shard={i}}}")))
+            .sum();
+        assert!(per_shard > 0, "calibrated inserts charge shard busy time");
+        assert_eq!(per_shard, db.stats().total_busy_us());
+
+        // The deterministic snapshot stays gauge-free: collectors run only
+        // on gather(), so figure regeneration is unaffected.
+        assert!(tb.telemetry().metrics().snapshot().gauges.is_empty());
     }
 
     #[test]

@@ -16,13 +16,14 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
-use crate::http::{self, HeadParse, HttpError};
+use crate::http::{self, HeadParse, HttpError, Method};
 
 /// How much to grow the read buffer by per read call.
 const READ_CHUNK: usize = 16 * 1024;
 
 /// A request borrowed out of the connection's read buffer.
 pub struct Request<'a> {
+    pub method: Method,
     /// Request target, e.g. `/services/counter`.
     pub target: &'a [u8],
     /// `Host` header value, if the client sent one.
@@ -183,6 +184,7 @@ impl Conn {
                     let keep_alive = head.keep_alive;
                     let base = consumed;
                     let req = Request {
+                        method: head.method,
                         target: &self.rbuf[base + head.target.0..base + head.target.1],
                         host: head.host.map(|(lo, hi)| &self.rbuf[base + lo..base + hi]),
                         body: &self.rbuf[body_start..body_end],

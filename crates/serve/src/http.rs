@@ -4,11 +4,13 @@
 //! [`Head`] holds byte *ranges* into that buffer, never owned strings, so
 //! the only per-request allocation on the happy path is the response body
 //! (which comes from the SOAP string pool anyway). Only the subset the
-//! serving tier needs is implemented: POST with `Content-Length` framing,
-//! `Host`, `Connection`, and tolerant skipping of everything else. No
-//! chunked encoding — the grid clients (and `loadgen`) never send it, and
-//! a `Transfer-Encoding` header is rejected up front rather than
-//! mis-framed.
+//! serving tier needs is implemented: POST with `Content-Length` framing
+//! (the SOAP path), bodyless GET (the admin plane), `Host`, `Connection`,
+//! and tolerant skipping of everything else. No chunked encoding — the
+//! grid clients (and `loadgen`) never send it, and a `Transfer-Encoding`
+//! header is rejected up front rather than mis-framed. Whether a given
+//! listener *accepts* a method is the dispatcher's decision, not the
+//! parser's: the service port answers 405 to GET, the admin port to POST.
 
 /// Hard cap on the request head (start line + headers + blank line).
 pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -17,10 +19,21 @@ pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Content-Length pin the worker's buffer.
 pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
 
+/// The request methods the serving tier understands. Anything else is
+/// refused at parse time with 405.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Bodyless reads — the admin plane (`/metrics`, `/healthz`, ...).
+    Get,
+    /// SOAP request dispatch (Content-Length framed).
+    Post,
+}
+
 /// A parsed request head. All ranges index into the buffer that was
 /// passed to [`parse_head`]; nothing is copied out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Head {
+    pub method: Method,
     /// Byte range of the request target (`/services/counter`).
     pub target: (usize, usize),
     /// Byte range of the `Host` header value, if present.
@@ -42,7 +55,8 @@ pub struct Head {
 pub enum HttpError {
     /// Malformed start line or header syntax.
     BadRequest,
-    /// Anything other than POST.
+    /// A method the parser does not understand, or one the answering
+    /// dispatcher does not serve on its port.
     MethodNotAllowed,
     /// Head grew past [`DEFAULT_MAX_HEAD_BYTES`] without terminating.
     HeadTooLarge,
@@ -156,9 +170,11 @@ pub fn parse_head(buf: &[u8]) -> HeadParse {
     if version != b"HTTP/1.1" && version != b"HTTP/1.0" {
         return invalid(HttpError::BadRequest);
     }
-    if method != b"POST" {
-        return invalid(HttpError::MethodNotAllowed);
-    }
+    let method = match method {
+        b"GET" => Method::Get,
+        b"POST" => Method::Post,
+        _ => return invalid(HttpError::MethodNotAllowed),
+    };
 
     // Headers.
     let mut host = None;
@@ -213,15 +229,19 @@ pub fn parse_head(buf: &[u8]) -> HeadParse {
         pos += eol + 2;
     }
 
-    let content_length = match content_length {
-        Some(n) => n,
-        None => return invalid(HttpError::LengthRequired),
+    // GET is bodyless: a missing Content-Length means zero. POST without
+    // one is unframed and must be refused.
+    let content_length = match (content_length, method) {
+        (Some(n), _) => n,
+        (None, Method::Get) => 0,
+        (None, Method::Post) => return invalid(HttpError::LengthRequired),
     };
     if content_length > DEFAULT_MAX_BODY_BYTES {
         return invalid(HttpError::BodyTooLarge);
     }
 
     HeadParse::Parsed(Head {
+        method,
         target,
         host,
         content_length,
@@ -234,6 +254,27 @@ pub fn parse_head(buf: &[u8]) -> HeadParse {
 /// the head is composed without `format!` so the hot path stays off the
 /// allocator once `out` has warmed up.
 pub fn write_response(out: &mut Vec<u8>, status: u16, reason: &str, keep_alive: bool, body: &str) {
+    write_response_typed(
+        out,
+        status,
+        reason,
+        keep_alive,
+        "text/xml; charset=utf-8",
+        body,
+    );
+}
+
+/// [`write_response`] with an explicit Content-Type — the admin plane
+/// serves `text/plain` (Prometheus exposition) and `application/json`
+/// next to the SOAP port's `text/xml`.
+pub fn write_response_typed(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    keep_alive: bool,
+    content_type: &str,
+    body: &str,
+) {
     out.extend_from_slice(b"HTTP/1.1 ");
     let mut digits = [0u8; 3];
     digits[0] = b'0' + (status / 100) as u8;
@@ -242,7 +283,9 @@ pub fn write_response(out: &mut Vec<u8>, status: u16, reason: &str, keep_alive: 
     out.extend_from_slice(&digits);
     out.push(b' ');
     out.extend_from_slice(reason.as_bytes());
-    out.extend_from_slice(b"\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: ");
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
     out.extend_from_slice(itoa(body.len()).as_bytes());
     if keep_alive {
         out.extend_from_slice(b"\r\nConnection: keep-alive\r\n\r\n");
@@ -266,6 +309,19 @@ pub fn write_request(out: &mut Vec<u8>, target: &str, host: &str, keep_alive: bo
         out.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
     }
     out.extend_from_slice(body.as_bytes());
+}
+
+/// Append a bodyless GET request (what the admin scraper sends) to `out`.
+pub fn write_get_request(out: &mut Vec<u8>, target: &str, host: &str, keep_alive: bool) {
+    out.extend_from_slice(b"GET ");
+    out.extend_from_slice(target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\nHost: ");
+    out.extend_from_slice(host.as_bytes());
+    if keep_alive {
+        out.extend_from_slice(b"\r\n\r\n");
+    } else {
+        out.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
+    }
 }
 
 /// Tiny stack-allocated integer formatter.
@@ -339,8 +395,24 @@ mod tests {
     }
 
     #[test]
-    fn get_is_method_not_allowed() {
-        let wire = b"GET /s HTTP/1.1\r\nHost: h\r\n\r\n";
+    fn get_parses_without_content_length() {
+        let mut wire = Vec::new();
+        write_get_request(&mut wire, "/metrics", "h", true);
+        match parse_head(&wire) {
+            HeadParse::Parsed(h) => {
+                assert_eq!(h.method, Method::Get);
+                assert_eq!(&wire[h.target.0..h.target.1], b"/metrics");
+                assert_eq!(h.content_length, 0);
+                assert_eq!(h.head_len, wire.len());
+                assert!(h.keep_alive);
+            }
+            other => panic!("expected parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_method_not_allowed() {
+        let wire = b"DELETE /s HTTP/1.1\r\nHost: h\r\n\r\n";
         match parse_head(wire) {
             HeadParse::Invalid { error, consumed } => {
                 assert_eq!(error, HttpError::MethodNotAllowed);

@@ -14,8 +14,12 @@
 //!   pipelined dispatch, precise error answers).
 //! * [`server`] — acceptor + per-worker epoll loops dispatching into
 //!   [`ogsa_transport::Network`] handlers.
+//! * [`admin`] — the live observability plane: `/metrics`, `/healthz`,
+//!   `/readyz`, `/vars`, and the `/debug/trace` flight-recorder dump,
+//!   served on a dedicated admin port by the same worker loops.
 //! * [`loadgen`] — closed/open-loop keep-alive load generator with a
-//!   log-bucket latency histogram.
+//!   log-bucket latency histogram and an optional mid-run `/metrics`
+//!   scrape for server-vs-client cross-checks.
 //!
 //! The serving tier deliberately charges **no virtual time**: the
 //! simulation twin stays the paper-invariant instrument, and nothing here
@@ -24,12 +28,14 @@
 #[cfg(target_os = "linux")]
 pub mod epoll;
 
+pub mod admin;
 pub mod conn;
 pub mod http;
 pub mod loadgen;
 pub mod server;
 
+pub use admin::{AdminPlane, ObsConfig, ReadyState};
 pub use conn::{Advance, Conn, Dispatch, Request};
-pub use http::{Head, HeadParse, HttpError};
-pub use loadgen::{LatencyHistogram, LoadConfig, LoadMode, LoadReport};
+pub use http::{Head, HeadParse, HttpError, Method};
+pub use loadgen::{LatencyHistogram, LoadConfig, LoadMode, LoadReport, ScrapeCheck};
 pub use server::{ServeConfig, ServeStats, Server};

@@ -48,6 +48,36 @@ pub struct LoadConfig {
     /// Pre-serialised request body — signed once, replayed verbatim; the
     /// server still verifies and signs per request.
     pub body: String,
+    /// When set, a scraper thread GETs `/metrics` from this admin address
+    /// mid-run (halfway through the measured window) and again after the
+    /// run, proving the exposition stays parseable under sustained load
+    /// and that the server-side request counter squares with the
+    /// client-side tally ([`ScrapeCheck`]).
+    pub scrape_admin: Option<SocketAddr>,
+}
+
+/// What the optional mid-run admin scrape saw.
+#[derive(Debug, Clone)]
+pub struct ScrapeCheck {
+    /// Whether the mid-run exposition parsed and its histograms were
+    /// cumulative + consistent.
+    pub mid_run_parsed: bool,
+    /// `serve_requests` from the mid-run scrape.
+    pub mid_run_server_requests: u64,
+    /// `serve_requests` from the post-run scrape.
+    pub final_server_requests: u64,
+}
+
+impl ScrapeCheck {
+    /// Server-vs-client consistency: a mid-run scrape must parse, the
+    /// server counter must be monotone across scrapes, and the final
+    /// server-side count must cover every request the client measured
+    /// (the server also counts warmup and foreign traffic, so `>=`).
+    pub fn consistent_with(&self, client_requests: u64) -> bool {
+        self.mid_run_parsed
+            && self.mid_run_server_requests <= self.final_server_requests
+            && self.final_server_requests >= client_requests
+    }
 }
 
 /// What a run measured.
@@ -65,6 +95,8 @@ pub struct LoadReport {
     pub p99_us: u64,
     pub p999_us: u64,
     pub max_us: u64,
+    /// Present when [`LoadConfig::scrape_admin`] was set.
+    pub scrape: Option<ScrapeCheck>,
 }
 
 // ---- log-bucket latency histogram ------------------------------------------
@@ -227,6 +259,36 @@ fn parse_response(buf: &[u8]) -> Option<(usize, u16)> {
     }
 }
 
+// ---- admin scraping --------------------------------------------------------
+
+/// Fetch one `/metrics` body from an admin address over a throwaway
+/// connection (blocking; used by the scraper thread, never the hot path).
+pub fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut wire = Vec::new();
+    crate::http::write_get_request(&mut wire, "/metrics", "loadgen", false);
+    stream.write_all(&wire)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    match text.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_owned()),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "admin /metrics did not answer 200",
+        )),
+    }
+}
+
+/// `serve_requests` from an exposition body, when it parses cleanly with
+/// consistent histograms.
+fn parse_server_requests(body: &str) -> Option<u64> {
+    let exp = ogsa_telemetry::prometheus::parse_exposition(body).ok()?;
+    exp.check_histograms().ok()?;
+    Some(exp.get("serve_requests", &[])?.value as u64)
+}
+
 // ---- the generator ---------------------------------------------------------
 
 struct ClientConn {
@@ -253,7 +315,35 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         true,
         &config.body,
     );
-    imp::run(config, &template)
+    // The scraper rides a separate thread and a separate connection, so
+    // a scrape under sustained load is exactly what production sees.
+    let scraper = config.scrape_admin.map(|admin| {
+        let delay = config.warmup + config.duration / 2;
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            scrape_metrics(admin).ok()
+        })
+    });
+    let mut report = imp::run(config, &template)?;
+    if let Some(handle) = scraper {
+        let mid = handle
+            .join()
+            .ok()
+            .flatten()
+            .as_deref()
+            .and_then(parse_server_requests);
+        let fin = config
+            .scrape_admin
+            .and_then(|a| scrape_metrics(a).ok())
+            .as_deref()
+            .and_then(parse_server_requests);
+        report.scrape = Some(ScrapeCheck {
+            mid_run_parsed: mid.is_some(),
+            mid_run_server_requests: mid.unwrap_or(0),
+            final_server_requests: fin.unwrap_or(0),
+        });
+    }
+    Ok(report)
 }
 
 fn finish(
@@ -276,6 +366,7 @@ fn finish(
         p99_us: hist.quantile_us(0.99),
         p999_us: hist.quantile_us(0.999),
         max_us: hist.max_us(),
+        scrape: None,
     }
 }
 

@@ -27,9 +27,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use ogsa_soap::Envelope;
-use ogsa_telemetry::SpanKind;
+use ogsa_telemetry::{wall_now_us, SpanKind, WallHistogram};
 use ogsa_transport::Network;
 
+use crate::admin::{AdminDispatcher, AdminPlane, ObsConfig, ReadyState};
 use crate::conn::{Conn, Dispatch, Request};
 use crate::http;
 
@@ -48,6 +49,10 @@ pub struct ServeConfig {
     /// Scheme used to reconstruct the bound address (`http` unless the
     /// container was deployed with a TLS policy).
     pub scheme: String,
+    /// Live observability plane (admin port, wall-clock latency shards,
+    /// flight recorder). On by default; [`ObsConfig::disabled`] is the
+    /// instrumentation-stripped ablation.
+    pub observe: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +62,7 @@ impl Default for ServeConfig {
             workers: 2,
             keep_alive: true,
             scheme: "http".to_owned(),
+            observe: ObsConfig::default(),
         }
     }
 }
@@ -92,6 +98,17 @@ impl ServeStats {
     }
 }
 
+/// Per-worker observability hooks: the latency shard this worker records
+/// into plus shared plane handles. `None` when the plane is disabled —
+/// the stripped dispatch path then touches no wall clocks at all.
+struct WorkerObs {
+    plane: AdminPlane,
+    shard: Arc<WallHistogram>,
+    /// Scratch copy of the request target, taken before dispatch borrows
+    /// the read buffer, so a retained flight trace can own it.
+    target_buf: String,
+}
+
 /// Turns parsed requests into HTTP responses by calling the container
 /// handler bound on the [`Network`]. One per worker: the scratch buffers
 /// make the happy path allocation-free once warmed.
@@ -100,6 +117,7 @@ struct Dispatcher {
     scheme: String,
     force_close: bool,
     stats: Arc<ServeStats>,
+    obs: Option<WorkerObs>,
     /// Scratch for the reconstructed bound address.
     addr_buf: String,
     /// Pooled response-serialisation buffer (`Envelope::to_wire_into`).
@@ -107,12 +125,18 @@ struct Dispatcher {
 }
 
 impl Dispatcher {
-    fn new(net: Network, config: &ServeConfig, stats: Arc<ServeStats>) -> Dispatcher {
+    fn new(
+        net: Network,
+        config: &ServeConfig,
+        stats: Arc<ServeStats>,
+        obs: Option<WorkerObs>,
+    ) -> Dispatcher {
         Dispatcher {
             net,
             scheme: config.scheme.clone(),
             force_close: !config.keep_alive,
             stats,
+            obs,
             addr_buf: String::with_capacity(64),
             body_buf: String::with_capacity(4096),
         }
@@ -144,6 +168,42 @@ fn status_label(status: u16) -> &'static str {
 
 impl Dispatch for Dispatcher {
     fn dispatch(&mut self, req: Request<'_>, keep_alive: bool, out: &mut Vec<u8>) {
+        // The stripped path: exactly the pre-observability dispatch.
+        let Some(mut obs) = self.obs.take() else {
+            return self.handle(req, keep_alive, out);
+        };
+        // The instrumented path brackets the handler with a wall-clock
+        // read on each side and a span capture; all sinks are per-worker
+        // shards or lock-on-retention rings, so nothing here serialises
+        // workers against each other.
+        obs.target_buf.clear();
+        obs.target_buf
+            .push_str(std::str::from_utf8(req.target).unwrap_or("?"));
+        let tel = self.net.telemetry().clone();
+        tel.begin_capture();
+        let t0 = wall_now_us();
+        self.handle(req, keep_alive, out);
+        let latency_us = wall_now_us().saturating_sub(t0);
+        let spans = tel.end_capture();
+        obs.shard.record(latency_us);
+        let slow = latency_us >= obs.plane.recorder().threshold_us();
+        if let Some(seq) = obs
+            .plane
+            .recorder()
+            .offer(latency_us, &obs.target_buf, spans)
+        {
+            // Only threshold-crossing traces become bucket exemplars;
+            // reservoir picks stay reachable via /debug/trace.
+            if slow {
+                obs.plane.exemplars().note(latency_us, seq);
+            }
+        }
+        self.obs = Some(obs);
+    }
+}
+
+impl Dispatcher {
+    fn handle(&mut self, req: Request<'_>, keep_alive: bool, out: &mut Vec<u8>) {
         let tel = self.net.telemetry().clone();
         let mut span = tel.span(SpanKind::Server, "serve:request");
         let metrics = tel.metrics();
@@ -158,6 +218,12 @@ impl Dispatch for Dispatcher {
             metrics.inc("serve.resumptions", &[]);
         }
         let keep_alive = keep_alive && !self.force_close;
+
+        // SOAP dispatch is POST-only; GETs belong on the admin port.
+        if req.method != http::Method::Post {
+            span.set_attr("outcome", "method-not-allowed");
+            return self.answer_error(http::HttpError::MethodNotAllowed, keep_alive, out);
+        }
 
         let (Some(host), Ok(target)) = (
             req.host.and_then(|h| std::str::from_utf8(h).ok()),
@@ -216,6 +282,8 @@ impl Dispatch for Dispatcher {
 /// stops the acceptor, drains the workers, and closes every connection.
 pub struct Server {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
+    plane: Option<AdminPlane>,
     stats: Arc<ServeStats>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -231,10 +299,38 @@ impl Server {
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServeStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (threads, platform) =
-            platform::start(net, &config, listener, stats.clone(), shutdown.clone())?;
+        let admin = if config.observe.enabled {
+            let admin_listener = TcpListener::bind(&config.observe.admin_addr)?;
+            let admin_addr = admin_listener.local_addr()?;
+            let plane = AdminPlane::new(
+                config.workers.max(1),
+                &config.observe,
+                net.telemetry().clone(),
+            );
+            // Spans opened while serving carry wall timestamps from here
+            // on; the deterministic exporters never render them.
+            net.telemetry().set_wall_clock(true);
+            Some((admin_listener, admin_addr, plane))
+        } else {
+            None
+        };
+        let plane = admin.as_ref().map(|(_, _, p)| p.clone());
+        let admin_addr = admin.as_ref().map(|(_, a, _)| *a);
+        let (threads, platform) = platform::start(
+            net,
+            &config,
+            listener,
+            admin.map(|(l, _, p)| (l, p)),
+            stats.clone(),
+            shutdown.clone(),
+        )?;
+        if let Some(p) = &plane {
+            p.set_state(ReadyState::Ready);
+        }
         Ok(Server {
             addr,
+            admin_addr,
+            plane,
             stats,
             shutdown,
             threads,
@@ -247,6 +343,17 @@ impl Server {
         self.addr
     }
 
+    /// The admin-plane address, when observability is enabled.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
+    /// The live observability plane, when enabled — for registering
+    /// readiness probes or inspecting the flight recorder in-process.
+    pub fn plane(&self) -> Option<&AdminPlane> {
+        self.plane.as_ref()
+    }
+
     /// Wall-clock serving counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
@@ -256,6 +363,9 @@ impl Server {
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
+        }
+        if let Some(p) = &self.plane {
+            p.set_state(ReadyState::Draining);
         }
         self.platform.wake_all(self.addr);
         for t in self.threads.drain(..) {
@@ -284,6 +394,9 @@ mod platform {
 
     /// Token reserved for each loop's eventfd; connections start above it.
     const WAKE: u64 = 0;
+    /// Acceptor tokens for the service and admin listeners.
+    const SERVICE_LISTENER: u64 = 1;
+    const ADMIN_LISTENER: u64 = 2;
 
     /// Handles the shutdown path needs to reach from the control thread.
     pub(super) struct Shutdown {
@@ -300,17 +413,27 @@ mod platform {
 
     struct WorkerShared {
         wake: Arc<EventFd>,
-        inbox: Mutex<Vec<TcpStream>>,
+        /// Accepted connections awaiting pickup; the bool marks admin-port
+        /// connections, which dispatch to the [`AdminDispatcher`].
+        inbox: Mutex<Vec<(TcpStream, bool)>>,
     }
 
     pub(super) fn start(
         net: &Network,
         config: &ServeConfig,
         listener: TcpListener,
+        admin: Option<(TcpListener, AdminPlane)>,
         stats: Arc<ServeStats>,
         shutdown: Arc<AtomicBool>,
     ) -> io::Result<(Vec<JoinHandle<()>>, Shutdown)> {
         listener.set_nonblocking(true)?;
+        let (admin_listener, plane) = match admin {
+            Some((l, p)) => {
+                l.set_nonblocking(true)?;
+                (Some(l), Some(p))
+            }
+            None => (None, None),
+        };
         let workers = config.workers.max(1);
         let mut threads = Vec::with_capacity(workers + 1);
         let mut shared = Vec::with_capacity(workers);
@@ -322,13 +445,30 @@ mod platform {
             });
             wakes.push(ws.wake.clone());
             shared.push(ws.clone());
-            let dispatcher = Dispatcher::new(net.clone(), config, stats.clone());
+            let obs = plane.as_ref().map(|p| WorkerObs {
+                plane: p.clone(),
+                shard: p.shard(i),
+                target_buf: String::with_capacity(64),
+            });
+            let dispatcher = Dispatcher::new(net.clone(), config, stats.clone(), obs);
+            let admin_dispatcher = plane.as_ref().map(|p| AdminDispatcher::new(p.clone()));
+            let worker_plane = plane.clone();
             let shutdown = shutdown.clone();
             let metrics = net.telemetry().metrics().clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("ogsa-serve-worker-{i}"))
-                    .spawn(move || worker_loop(ws, dispatcher, shutdown, metrics))?,
+                    .spawn(move || {
+                        worker_loop(
+                            ws,
+                            i,
+                            dispatcher,
+                            admin_dispatcher,
+                            worker_plane,
+                            shutdown,
+                            metrics,
+                        )
+                    })?,
             );
         }
 
@@ -342,15 +482,69 @@ mod platform {
                 std::thread::Builder::new()
                     .name("ogsa-serve-accept".into())
                     .spawn(move || {
-                        accept_loop(listener, shared, accept_wake, stats, shutdown, metrics)
+                        accept_loop(
+                            listener,
+                            admin_listener,
+                            plane,
+                            shared,
+                            accept_wake,
+                            stats,
+                            shutdown,
+                            metrics,
+                        )
                     })?,
             );
         }
         Ok((threads, Shutdown { wakes }))
     }
 
+    /// Drain one listener's accept backlog, handing connections to the
+    /// workers round-robin. Returns the advanced round-robin cursor.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_accepts(
+        listener: &TcpListener,
+        is_admin: bool,
+        workers: &[Arc<WorkerShared>],
+        plane: &Option<AdminPlane>,
+        stats: &ServeStats,
+        metrics: &ogsa_telemetry::MetricsRegistry,
+        mut next: usize,
+    ) -> usize {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    metrics.inc("serve.accepted", &[]);
+                    let idx = next % workers.len();
+                    let w = &workers[idx];
+                    next += 1;
+                    let depth = {
+                        let mut inbox = w.inbox.lock();
+                        inbox.push((stream, is_admin));
+                        inbox.len() as u64
+                    };
+                    if let Some(p) = plane {
+                        p.worker(idx)
+                            .pending_handoffs
+                            .store(depth, Ordering::Relaxed);
+                    }
+                    w.wake.wake();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient per-connection accept failures (e.g.
+                // ECONNABORTED, EMFILE) must not kill the acceptor.
+                Err(_) => break,
+            }
+        }
+        next
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn accept_loop(
         listener: TcpListener,
+        admin_listener: Option<TcpListener>,
+        plane: Option<AdminPlane>,
         workers: Vec<Arc<WorkerShared>>,
         wake: Arc<EventFd>,
         stats: Arc<ServeStats>,
@@ -358,8 +552,16 @@ mod platform {
         metrics: ogsa_telemetry::MetricsRegistry,
     ) {
         let Ok(ep) = Epoll::new() else { return };
-        if ep.add(listener.as_raw_fd(), EPOLLIN, 1).is_err() {
+        if ep
+            .add(listener.as_raw_fd(), EPOLLIN, SERVICE_LISTENER)
+            .is_err()
+        {
             return;
+        }
+        if let Some(al) = &admin_listener {
+            if ep.add(al.as_raw_fd(), EPOLLIN, ADMIN_LISTENER).is_err() {
+                return;
+            }
         }
         if ep.add(wake.raw(), EPOLLIN, WAKE).is_err() {
             return;
@@ -372,25 +574,20 @@ mod platform {
                 Err(_) => break,
             };
             for ev in &events[..n] {
-                if ev.parts().0 == WAKE {
-                    wake.drain();
-                    continue;
-                }
-                loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            stats.accepted.fetch_add(1, Ordering::Relaxed);
-                            metrics.inc("serve.accepted", &[]);
-                            let w = &workers[next % workers.len()];
-                            next += 1;
-                            w.inbox.lock().push(stream);
-                            w.wake.wake();
+                match ev.parts().0 {
+                    WAKE => {
+                        wake.drain();
+                    }
+                    ADMIN_LISTENER => {
+                        if let Some(al) = &admin_listener {
+                            next =
+                                drain_accepts(al, true, &workers, &plane, &stats, &metrics, next);
                         }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                        // Transient per-connection accept failures (e.g.
-                        // ECONNABORTED, EMFILE) must not kill the acceptor.
-                        Err(_) => break,
+                    }
+                    _ => {
+                        next = drain_accepts(
+                            &listener, false, &workers, &plane, &stats, &metrics, next,
+                        );
                     }
                 }
             }
@@ -400,11 +597,16 @@ mod platform {
     struct Entry {
         conn: Conn,
         wants_write: bool,
+        admin: bool,
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         shared: Arc<WorkerShared>,
+        index: usize,
         mut dispatcher: Dispatcher,
+        mut admin_dispatcher: Option<AdminDispatcher>,
+        plane: Option<AdminPlane>,
         shutdown: Arc<AtomicBool>,
         metrics: ogsa_telemetry::MetricsRegistry,
     ) {
@@ -412,6 +614,7 @@ mod platform {
         if ep.add(shared.wake.raw(), EPOLLIN, WAKE).is_err() {
             return;
         }
+        let gauges = plane.as_ref().map(|p| p.worker(index));
         let mut conns: HashMap<u64, Entry> = HashMap::new();
         let mut next_token: u64 = 1;
         let mut events = [EpollEvent::zeroed(); 256];
@@ -420,6 +623,9 @@ mod platform {
                 Ok(n) => n,
                 Err(_) => return,
             };
+            if let Some(g) = gauges {
+                g.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
             for ev in &events[..n] {
                 let (token, bits) = ev.parts();
                 if token == WAKE {
@@ -435,7 +641,11 @@ mod platform {
                         &[],
                         SimDuration::from_micros(fresh.len() as u64),
                     );
-                    for stream in fresh {
+                    if let Some(g) = gauges {
+                        g.queue_depth.store(fresh.len() as u64, Ordering::Relaxed);
+                        g.pending_handoffs.store(0, Ordering::Relaxed);
+                    }
+                    for (stream, admin) in fresh {
                         let Ok(conn) = Conn::new(stream) else {
                             continue;
                         };
@@ -450,9 +660,13 @@ mod platform {
                                 Entry {
                                     conn,
                                     wants_write: false,
+                                    admin,
                                 },
                             );
                         }
+                    }
+                    if let Some(g) = gauges {
+                        g.connections.store(conns.len() as u64, Ordering::Relaxed);
                     }
                     continue;
                 }
@@ -462,12 +676,22 @@ mod platform {
                 if bits & (EPOLLERR | EPOLLHUP) != 0 {
                     let entry = conns.remove(&token).unwrap();
                     ep.delete(entry.conn.stream().as_raw_fd());
+                    if let Some(g) = gauges {
+                        g.connections.store(conns.len() as u64, Ordering::Relaxed);
+                    }
                     continue;
                 }
-                match entry.conn.advance(&mut dispatcher) {
+                let advance = match (&mut admin_dispatcher, entry.admin) {
+                    (Some(ad), true) => entry.conn.advance(ad),
+                    _ => entry.conn.advance(&mut dispatcher),
+                };
+                match advance {
                     crate::conn::Advance::Closed => {
                         let entry = conns.remove(&token).unwrap();
                         ep.delete(entry.conn.stream().as_raw_fd());
+                        if let Some(g) = gauges {
+                            g.connections.store(conns.len() as u64, Ordering::Relaxed);
+                        }
                     }
                     crate::conn::Advance::Open { wants_write } => {
                         if wants_write != entry.wants_write {
@@ -492,12 +716,32 @@ mod platform {
     use super::*;
     use std::net::SocketAddr;
 
-    pub(super) struct Shutdown;
+    pub(super) struct Shutdown {
+        admin_addr: Option<SocketAddr>,
+    }
 
     impl Shutdown {
         pub(super) fn wake_all(&self, addr: SocketAddr) {
-            // Unblock the acceptor with a throwaway connection.
+            // Unblock the acceptors with throwaway connections.
             let _ = TcpStream::connect(addr);
+            if let Some(a) = self.admin_addr {
+                let _ = TcpStream::connect(a);
+            }
+        }
+    }
+
+    fn serve_blocking(stream: TcpStream, dispatch: &mut impl Dispatch) {
+        // A blocking stream makes Conn::advance a read-dispatch-write
+        // cycle per call.
+        let Ok(mut conn) = Conn::new(stream) else {
+            return;
+        };
+        let _ = conn.stream().set_nonblocking(false);
+        loop {
+            match conn.advance(dispatch) {
+                crate::conn::Advance::Closed => break,
+                crate::conn::Advance::Open { .. } => {}
+            }
         }
     }
 
@@ -505,41 +749,60 @@ mod platform {
         net: &Network,
         config: &ServeConfig,
         listener: TcpListener,
+        admin: Option<(TcpListener, AdminPlane)>,
         stats: Arc<ServeStats>,
         shutdown: Arc<AtomicBool>,
     ) -> io::Result<(Vec<JoinHandle<()>>, Shutdown)> {
+        let mut threads = Vec::new();
+        let mut admin_addr = None;
+        let plane = admin.as_ref().map(|(_, p)| p.clone());
+        if let Some((admin_listener, plane)) = admin {
+            admin_addr = admin_listener.local_addr().ok();
+            let shutdown = shutdown.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ogsa-serve-admin-accept".into())
+                    .spawn(move || {
+                        for stream in admin_listener.incoming() {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            let mut dispatcher = AdminDispatcher::new(plane.clone());
+                            let _ = std::thread::Builder::new()
+                                .name("ogsa-serve-admin-conn".into())
+                                .spawn(move || serve_blocking(stream, &mut dispatcher));
+                        }
+                    })?,
+            );
+        }
         let net = net.clone();
         let config = config.clone();
-        let acceptor = std::thread::Builder::new()
-            .name("ogsa-serve-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    net.telemetry().metrics().inc("serve.accepted", &[]);
-                    let mut dispatcher = Dispatcher::new(net.clone(), &config, stats.clone());
-                    let _ = std::thread::Builder::new()
-                        .name("ogsa-serve-conn".into())
-                        .spawn(move || {
-                            // A blocking stream makes Conn::advance a
-                            // read-dispatch-write cycle per call.
-                            let Ok(mut conn) = Conn::new(stream) else {
-                                return;
-                            };
-                            let _ = conn.stream().set_nonblocking(false);
-                            loop {
-                                match conn.advance(&mut dispatcher) {
-                                    crate::conn::Advance::Closed => break,
-                                    crate::conn::Advance::Open { .. } => {}
-                                }
-                            }
+        threads.push(
+            std::thread::Builder::new()
+                .name("ogsa-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        net.telemetry().metrics().inc("serve.accepted", &[]);
+                        let obs = plane.as_ref().map(|p| WorkerObs {
+                            plane: p.clone(),
+                            shard: p.shard(0),
+                            target_buf: String::with_capacity(64),
                         });
-                }
-            })?;
-        Ok((vec![acceptor], Shutdown))
+                        let mut dispatcher =
+                            Dispatcher::new(net.clone(), &config, stats.clone(), obs);
+                        let _ = std::thread::Builder::new()
+                            .name("ogsa-serve-conn".into())
+                            .spawn(move || serve_blocking(stream, &mut dispatcher));
+                    }
+                })?,
+        );
+        Ok((threads, Shutdown { admin_addr }))
     }
 }
 
@@ -667,6 +930,138 @@ mod tests {
         assert_eq!(m.counter("serve.resumptions"), 2);
         assert_eq!(m.counter("serve.requests"), 3);
         assert_eq!(server.stats().accepted(), 1);
+    }
+
+    fn get_request(target: &str) -> Vec<u8> {
+        let mut wire = Vec::new();
+        http::write_get_request(&mut wire, target, "admin", false);
+        wire
+    }
+
+    #[test]
+    fn get_on_the_service_port_is_405() {
+        let net = echo_net();
+        let server = Server::bind(&net, ServeConfig::default()).unwrap();
+        let text = raw_request(server.addr(), &get_request("/services/echo"));
+        assert!(text.starts_with("HTTP/1.1 405 "), "got: {text}");
+    }
+
+    #[test]
+    fn admin_endpoints_answer_over_the_shared_workers() {
+        let net = echo_net();
+        let server = Server::bind(&net, ServeConfig::default()).unwrap();
+        let admin = server.admin_addr().expect("observability on by default");
+
+        // Generate some traffic so /metrics has latency observations.
+        for _ in 0..3 {
+            let text = raw_request(server.addr(), &soap_request("/services/echo", false));
+            assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "got: {text}");
+        }
+
+        let health = raw_request(admin, &get_request("/healthz"));
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "got: {health}");
+
+        let ready = raw_request(admin, &get_request("/readyz"));
+        assert!(ready.starts_with("HTTP/1.1 200 OK\r\n"), "got: {ready}");
+        assert!(ready.contains("ready"), "got: {ready}");
+
+        let metrics = raw_request(admin, &get_request("/metrics"));
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "got: {metrics}");
+        let body = metrics.split("\r\n\r\n").nth(1).unwrap();
+        let exp = ogsa_telemetry::prometheus::parse_exposition(body).expect("scrape parses");
+        exp.check_histograms().expect("histograms consistent");
+        let count = exp
+            .get("serve_request_wall_us_count", &[])
+            .expect("latency histogram present");
+        assert!(count.value as u64 >= 3, "got: {}", count.value);
+        assert!(exp.get("serve_ready", &[]).unwrap().value as u64 == 1);
+
+        let vars = raw_request(admin, &get_request("/vars"));
+        let body = vars.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with('{'), "got: {body}");
+        assert!(body.contains("\"state\":\"ready\""), "got: {body}");
+        assert!(body.contains("\"workers\":["), "got: {body}");
+
+        let nope = raw_request(admin, &get_request("/nope"));
+        assert!(nope.starts_with("HTTP/1.1 404 "), "got: {nope}");
+
+        // The admin plane is GET-only.
+        let post = raw_request(admin, &soap_request("/metrics", false));
+        assert!(post.starts_with("HTTP/1.1 405 "), "got: {post}");
+    }
+
+    #[test]
+    fn slow_requests_are_retained_with_exemplars() {
+        let net = echo_net();
+        let server = Server::bind(
+            &net,
+            ServeConfig {
+                observe: ObsConfig {
+                    // Everything counts as slow: every request must be
+                    // retained in full and attached as an exemplar.
+                    slow_threshold_us: 0,
+                    ..ObsConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let admin = server.admin_addr().unwrap();
+        let text = raw_request(server.addr(), &soap_request("/services/echo", false));
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "got: {text}");
+
+        let trace = raw_request(admin, &get_request("/debug/trace"));
+        let body = trace.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("\"slow\":true"), "got: {body}");
+        assert!(body.contains("/services/echo"), "got: {body}");
+        assert!(body.contains("serve:request"), "got: {body}");
+
+        let metrics = raw_request(admin, &get_request("/metrics"));
+        let body = metrics.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("# {seq=\""), "no exemplar in: {body}");
+
+        let plane = server.plane().unwrap();
+        assert!(!plane.recorder().is_empty());
+        assert!(plane.recorder().dump().iter().all(|t| t.slow));
+    }
+
+    #[test]
+    fn disabled_observability_binds_no_admin_port() {
+        let net = echo_net();
+        let server = Server::bind(
+            &net,
+            ServeConfig {
+                observe: ObsConfig::disabled(),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(server.admin_addr().is_none());
+        assert!(server.plane().is_none());
+        let text = raw_request(server.addr(), &soap_request("/services/echo", false));
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "got: {text}");
+    }
+
+    #[test]
+    fn readiness_probe_failure_turns_readyz_503() {
+        let net = echo_net();
+        let server = Server::bind(&net, ServeConfig::default()).unwrap();
+        let admin = server.admin_addr().unwrap();
+        let healthy = StdArc::new(AtomicBool::new(true));
+        let h = healthy.clone();
+        server.plane().unwrap().add_ready_probe(Box::new(move || {
+            if h.load(Ordering::SeqCst) {
+                Ok(())
+            } else {
+                Err("wal disk died".to_owned())
+            }
+        }));
+        let ready = raw_request(admin, &get_request("/readyz"));
+        assert!(ready.starts_with("HTTP/1.1 200 OK\r\n"), "got: {ready}");
+        healthy.store(false, Ordering::SeqCst);
+        let ready = raw_request(admin, &get_request("/readyz"));
+        assert!(ready.starts_with("HTTP/1.1 503 "), "got: {ready}");
+        assert!(ready.contains("wal disk died"), "got: {ready}");
     }
 
     #[test]

@@ -84,6 +84,8 @@ mod tests {
             kind,
             start: SimInstant(start),
             end: SimInstant(end),
+            wall_start_us: None,
+            wall_end_us: None,
             attrs: Vec::new(),
             events: Vec::new(),
         }

@@ -178,6 +178,10 @@ mod tests {
             kind: SpanKind::Db,
             start: SimInstant(start),
             end: SimInstant(end),
+            // Wall stamps must never leak into the deterministic dumps;
+            // `jsonl_ignores_wall_stamps` below checks exactly that.
+            wall_start_us: Some(123_456),
+            wall_end_us: Some(789_012),
             attrs: vec![("key", "va\"lue".into())],
             events: vec![SpanEvent {
                 at: SimInstant(start + 1),
@@ -200,6 +204,24 @@ mod tests {
         assert!(lines[0].contains("va\\\"lue"));
         assert!(
             lines[0].contains("\"events\":[{\"at_us\":11,\"name\":\"fault:drop\",\"attrs\":{}}]")
+        );
+    }
+
+    #[test]
+    fn jsonl_ignores_wall_stamps() {
+        let with_wall = span(1, 2, None, 10, 20);
+        let mut without_wall = with_wall.clone();
+        without_wall.wall_start_us = None;
+        without_wall.wall_end_us = None;
+        assert_eq!(
+            spans_to_jsonl(std::slice::from_ref(&with_wall)),
+            spans_to_jsonl(&[without_wall.clone()]),
+            "wall stamps must not affect the deterministic JSONL dump"
+        );
+        assert_eq!(
+            spans_to_chrome_trace(&[with_wall]),
+            spans_to_chrome_trace(&[without_wall]),
+            "wall stamps must not affect the Chrome trace"
         );
     }
 

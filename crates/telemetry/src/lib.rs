@@ -27,18 +27,42 @@ mod span;
 
 pub mod analysis;
 pub mod export;
+pub mod flight;
+pub mod prometheus;
+pub mod wallclock;
 pub mod wire;
 
+pub use flight::{FlightRecorder, FlightTrace};
 pub use metrics::{series_key, Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS_US};
 pub use span::{SpanEvent, SpanId, SpanKind, SpanRecord, TraceId};
+pub use wallclock::{
+    wall_now_us, Exemplar, ExemplarStore, ShardedWallHistogram, WallHistogram, WallSnapshot,
+};
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::ThreadId;
 
 use ogsa_sim::{SimInstant, VirtualClock};
 use parking_lot::Mutex;
+
+thread_local! {
+    /// Per-thread stack of open spans, keyed by Telemetry instance (the
+    /// `Arc` pointer). Thread-local instead of a shared
+    /// `Mutex<HashMap<ThreadId, ...>>`: span open/close is the serving
+    /// tier's hot path, and a global lock there is exactly the kind of
+    /// cross-worker synchronisation the observability plane must not add.
+    static CTX: RefCell<HashMap<usize, Vec<(TraceId, SpanId)>>> =
+        RefCell::new(HashMap::new());
+    /// Per-thread capture buffers, keyed the same way. While a capture is
+    /// active, this thread's finished spans are copied here — even on a
+    /// globally disabled instance — so a serving worker can collect one
+    /// request's span tree for the flight recorder without turning on
+    /// unbounded global span accumulation.
+    static CAPTURE: RefCell<HashMap<usize, Vec<SpanRecord>>> =
+        RefCell::new(HashMap::new());
+}
 
 /// The tracing handle: shared by everything wired to one virtual clock
 /// (cloning shares the store). A disabled instance ([`Telemetry::disabled`])
@@ -56,9 +80,10 @@ struct TelemetryInner {
     next_id: AtomicU64,
     spans: Mutex<Vec<SpanRecord>>,
     metrics: MetricsRegistry,
-    /// Per-thread stack of open spans: (trace, span) pairs. Keyed by thread
-    /// so the delivery worker and the client thread each nest correctly.
-    ctx: Mutex<HashMap<ThreadId, Vec<(TraceId, SpanId)>>>,
+    /// When set, spans additionally carry monotonic host-clock stamps
+    /// ([`wallclock::wall_now_us`]). Excluded from every deterministic
+    /// exporter; read by the live-observability plane.
+    wall: AtomicBool,
 }
 
 impl Telemetry {
@@ -71,7 +96,7 @@ impl Telemetry {
                 next_id: AtomicU64::new(1),
                 spans: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::new(),
-                ctx: Mutex::new(HashMap::new()),
+                wall: AtomicBool::new(false),
             }),
         }
     }
@@ -99,22 +124,68 @@ impl Telemetry {
         &self.inner.metrics
     }
 
+    /// The key identifying this instance (shared by clones) in the
+    /// thread-local context/capture maps.
+    fn instance_key(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
+    /// Stamp wall-clock timestamps onto spans from now on. Wall stamps are
+    /// excluded from the deterministic exporters, so flipping this cannot
+    /// change any virtual-time figure or dump.
+    pub fn set_wall_clock(&self, on: bool) {
+        self.inner.wall.store(on, Ordering::Relaxed);
+    }
+
+    pub fn wall_clock_enabled(&self) -> bool {
+        self.inner.wall.load(Ordering::Relaxed)
+    }
+
+    /// Start capturing this thread's finished spans into a private buffer.
+    /// Works even on a disabled instance — the global store stays empty (or,
+    /// on an enabled instance, is fed exactly as without the capture), so
+    /// deterministic dumps are unaffected. The serving tier brackets each
+    /// request with this to feed the flight recorder.
+    pub fn begin_capture(&self) {
+        let key = self.instance_key();
+        CAPTURE.with(|c| {
+            c.borrow_mut().insert(key, Vec::new());
+        });
+    }
+
+    /// Stop the capture started by [`Telemetry::begin_capture`] and return
+    /// the spans this thread finished since. Empty if no capture was active.
+    pub fn end_capture(&self) -> Vec<SpanRecord> {
+        let key = self.instance_key();
+        CAPTURE
+            .with(|c| c.borrow_mut().remove(&key))
+            .unwrap_or_default()
+    }
+
+    /// Is a capture active on this thread for this instance?
+    pub fn is_capturing(&self) -> bool {
+        let key = self.instance_key();
+        CAPTURE.with(|c| c.borrow().contains_key(&key))
+    }
+
+    /// Should spans opened on this thread record right now?
+    fn recording_here(&self) -> bool {
+        self.inner.enabled || self.is_capturing()
+    }
+
     /// The innermost open span on this thread, if any.
     pub fn current(&self) -> Option<(TraceId, SpanId)> {
-        if !self.inner.enabled {
+        if !self.recording_here() {
             return None;
         }
-        self.inner
-            .ctx
-            .lock()
-            .get(&std::thread::current().id())
-            .and_then(|stack| stack.last().copied())
+        let key = self.instance_key();
+        CTX.with(|c| c.borrow().get(&key).and_then(|stack| stack.last().copied()))
     }
 
     /// Open a span under the thread's current context; with no context open,
     /// this starts a **new trace** rooted here.
     pub fn span(&self, kind: SpanKind, name: &'static str) -> Span {
-        if !self.inner.enabled {
+        if !self.recording_here() {
             return Span { state: None };
         }
         match self.current() {
@@ -135,7 +206,7 @@ impl Telemetry {
         trace: TraceId,
         parent: Option<SpanId>,
     ) -> Span {
-        if !self.inner.enabled {
+        if !self.recording_here() {
             return Span { state: None };
         }
         self.open(kind, name, trace, parent)
@@ -164,12 +235,13 @@ impl Telemetry {
         parent: Option<SpanId>,
         id: SpanId,
     ) -> Span {
-        self.inner
-            .ctx
-            .lock()
-            .entry(std::thread::current().id())
-            .or_default()
-            .push((trace, id));
+        let key = self.instance_key();
+        CTX.with(|c| c.borrow_mut().entry(key).or_default().push((trace, id)));
+        let wall_start = if self.inner.wall.load(Ordering::Relaxed) {
+            Some(wallclock::wall_now_us())
+        } else {
+            None
+        };
         Span {
             state: Some(SpanState {
                 tel: self.clone(),
@@ -179,6 +251,7 @@ impl Telemetry {
                 name,
                 kind,
                 start: self.inner.clock.now(),
+                wall_start,
                 attrs: Vec::new(),
                 events: Vec::new(),
             }),
@@ -186,20 +259,38 @@ impl Telemetry {
     }
 
     fn record(&self, record: SpanRecord) {
-        self.inner.spans.lock().push(record);
+        let key = self.instance_key();
+        CAPTURE.with(|c| match c.borrow_mut().get_mut(&key) {
+            Some(buf) => {
+                // A capture observes; it never diverts. The global store is
+                // fed exactly as it would be without the capture, so
+                // deterministic dumps are unchanged by live observation.
+                if self.inner.enabled {
+                    self.inner.spans.lock().push(record.clone());
+                }
+                buf.push(record);
+            }
+            None => {
+                if self.inner.enabled {
+                    self.inner.spans.lock().push(record);
+                }
+            }
+        });
     }
 
     fn pop_ctx(&self, trace: TraceId, id: SpanId) {
-        let mut ctx = self.inner.ctx.lock();
-        let tid = std::thread::current().id();
-        if let Some(stack) = ctx.get_mut(&tid) {
-            if let Some(pos) = stack.iter().rposition(|&e| e == (trace, id)) {
-                stack.remove(pos);
+        let key = self.instance_key();
+        CTX.with(|c| {
+            let mut ctx = c.borrow_mut();
+            if let Some(stack) = ctx.get_mut(&key) {
+                if let Some(pos) = stack.iter().rposition(|&e| e == (trace, id)) {
+                    stack.remove(pos);
+                }
+                if stack.is_empty() {
+                    ctx.remove(&key);
+                }
             }
-            if stack.is_empty() {
-                ctx.remove(&tid);
-            }
-        }
+        });
     }
 
     /// Copies of every finished span, in finish order.
@@ -239,6 +330,7 @@ struct SpanState {
     name: &'static str,
     kind: SpanKind,
     start: SimInstant,
+    wall_start: Option<u64>,
     attrs: Vec<(&'static str, String)>,
     events: Vec<SpanEvent>,
 }
@@ -301,6 +393,7 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(s) = self.state.take() else { return };
         let end = s.tel.inner.clock.now();
+        let wall_end = s.wall_start.map(|_| wallclock::wall_now_us());
         s.tel.pop_ctx(s.trace, s.id);
         s.tel.record(SpanRecord {
             trace: s.trace,
@@ -310,6 +403,8 @@ impl Drop for Span {
             kind: s.kind,
             start: s.start,
             end,
+            wall_start_us: s.wall_start,
+            wall_end_us: wall_end,
             attrs: s.attrs,
             events: s.events,
         });
@@ -415,6 +510,73 @@ mod tests {
         tel.span(SpanKind::Other, "a").finish();
         assert_eq!(tel.take_spans().len(), 1);
         assert_eq!(tel.span_count(), 0);
+    }
+
+    #[test]
+    fn capture_collects_spans_on_a_disabled_instance() {
+        let tel = Telemetry::disabled();
+        tel.begin_capture();
+        {
+            let root = tel.span(SpanKind::Server, "serve:request");
+            assert!(root.is_recording(), "capture forces recording");
+            let child = tel.span(SpanKind::Db, "db:get");
+            assert_eq!(child.trace_id(), root.trace_id());
+        }
+        let captured = tel.end_capture();
+        assert_eq!(captured.len(), 2);
+        assert_eq!(tel.span_count(), 0, "global store stays empty");
+        assert!(!tel.is_capturing());
+        // After the capture ends the instance is silent again.
+        tel.span(SpanKind::Other, "after").finish();
+        assert!(tel.end_capture().is_empty());
+        assert_eq!(tel.span_count(), 0);
+    }
+
+    #[test]
+    fn capture_observes_without_diverting_on_an_enabled_instance() {
+        let tel = Telemetry::new(VirtualClock::new());
+        tel.begin_capture();
+        tel.span(SpanKind::Other, "both").finish();
+        let captured = tel.end_capture();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(tel.span_count(), 1, "global store is fed as usual");
+        assert_eq!(captured[0], tel.finished_spans()[0]);
+    }
+
+    #[test]
+    fn captures_are_per_thread_and_per_instance() {
+        let tel = Telemetry::disabled();
+        tel.begin_capture();
+        let tel2 = tel.clone();
+        std::thread::spawn(move || {
+            // Same instance, different thread: not capturing here.
+            assert!(!tel2.is_capturing());
+            tel2.span(SpanKind::Other, "elsewhere").finish();
+        })
+        .join()
+        .unwrap();
+        let other = Telemetry::disabled();
+        other.span(SpanKind::Other, "other-instance").finish();
+        assert!(tel.end_capture().is_empty());
+    }
+
+    #[test]
+    fn wall_clock_stamps_only_when_enabled() {
+        let tel = Telemetry::new(VirtualClock::new());
+        tel.span(SpanKind::Other, "before").finish();
+        tel.set_wall_clock(true);
+        assert!(tel.wall_clock_enabled());
+        tel.span(SpanKind::Other, "after").finish();
+        let spans = tel.finished_spans();
+        assert_eq!(spans[0].wall_start_us, None);
+        assert_eq!(spans[0].wall_end_us, None);
+        let (ws, we) = (
+            spans[1].wall_start_us.expect("stamped"),
+            spans[1].wall_end_us.expect("stamped"),
+        );
+        assert!(we >= ws);
+        // Virtual time is untouched by wall stamping.
+        assert_eq!(spans[1].start, spans[1].end);
     }
 
     #[test]

@@ -65,10 +65,16 @@ impl Histogram {
 }
 
 /// A point-in-time copy of every counter and histogram.
+///
+/// `gauges` is populated only by [`MetricsRegistry::gather`] (set gauges +
+/// registered collectors): the deterministic [`MetricsRegistry::snapshot`]
+/// path never touches live-observability state, so same-seed metric dumps
+/// stay byte-identical whether or not an admin plane is scraping.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub histograms: BTreeMap<String, Histogram>,
+    pub gauges: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -87,7 +93,25 @@ impl MetricsSnapshot {
             .map(|(_, v)| v)
             .sum()
     }
+
+    /// Value of one rendered gauge key, 0 if absent (gauges only exist on
+    /// [`MetricsRegistry::gather`] snapshots).
+    pub fn gauge(&self, key: &str) -> u64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Record a gauge value directly on this snapshot — how registered
+    /// collectors contribute.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.gauges.insert(series_key(name, labels), value);
+    }
 }
+
+/// A scrape-time callback contributing gauges (or late counters) to a
+/// [`MetricsRegistry::gather`] snapshot — the seam through which xmldb shard
+/// stats and serve worker state appear in `/metrics` without those crates
+/// depending on each other.
+pub type Collector = Box<dyn Fn(&mut MetricsSnapshot) + Send + Sync>;
 
 /// Shared registry of counters and histograms. Cloning shares the store.
 #[derive(Debug, Clone, Default)]
@@ -95,10 +119,25 @@ pub struct MetricsRegistry {
     inner: Arc<MetricsInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct MetricsInner {
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    /// Last-write-wins point-in-time values; only surfaced by `gather`.
+    gauges: Mutex<BTreeMap<String, u64>>,
+    /// Scrape-time contributors; only run by `gather`.
+    collectors: Mutex<Vec<Collector>>,
+}
+
+impl std::fmt::Debug for MetricsInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsInner")
+            .field("counters", &self.counters)
+            .field("histograms", &self.histograms)
+            .field("gauges", &self.gauges)
+            .field("collectors", &self.collectors.lock().len())
+            .finish()
+    }
 }
 
 /// `name{k=v,...}` with labels sorted by key — the canonical series key.
@@ -172,6 +211,23 @@ impl MetricsRegistry {
             .cloned()
     }
 
+    /// Set a gauge series to a point-in-time value (last write wins).
+    /// Gauges are live-observability state: they appear only on
+    /// [`MetricsRegistry::gather`] snapshots, never on deterministic
+    /// [`MetricsRegistry::snapshot`]s.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.inner
+            .gauges
+            .lock()
+            .insert(series_key(name, labels), value);
+    }
+
+    /// Register a scrape-time collector run by every
+    /// [`MetricsRegistry::gather`] call.
+    pub fn register_collector(&self, f: impl Fn(&mut MetricsSnapshot) + Send + Sync + 'static) {
+        self.inner.collectors.lock().push(Box::new(f));
+    }
+
     /// A deterministic-order copy of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
         // Take both locks before copying either map so the snapshot is a
@@ -181,7 +237,23 @@ impl MetricsRegistry {
         MetricsSnapshot {
             counters: counters.clone(),
             histograms: histograms.clone(),
+            gauges: BTreeMap::new(),
         }
+    }
+
+    /// The scrape view: [`MetricsRegistry::snapshot`] plus set gauges plus
+    /// every registered collector's contribution. This is what `/metrics`
+    /// renders; the deterministic snapshot path is untouched by it.
+    pub fn gather(&self) -> MetricsSnapshot {
+        let mut snap = self.snapshot();
+        snap.gauges = self.inner.gauges.lock().clone();
+        // Collectors run outside the data locks: they may read other
+        // subsystems (db stats, worker state) and re-enter set_gauge.
+        let collectors = self.inner.collectors.lock();
+        for f in collectors.iter() {
+            f(&mut snap);
+        }
+        snap
     }
 
     /// Drop every series (a fresh measurement window).
@@ -254,5 +326,27 @@ mod tests {
         let m = MetricsRegistry::new();
         m.clone().inc("n", &[]);
         assert_eq!(m.counter("n", &[]), 1);
+    }
+
+    #[test]
+    fn gauges_and_collectors_appear_only_on_gather() {
+        let m = MetricsRegistry::new();
+        m.inc("hits", &[]);
+        m.set_gauge("queue.depth", &[("worker", "0")], 7);
+        m.register_collector(|snap| snap.set_gauge("db.shards", &[], 4));
+
+        let det = m.snapshot();
+        assert!(
+            det.gauges.is_empty(),
+            "deterministic snapshot has no gauges"
+        );
+
+        let live = m.gather();
+        assert_eq!(live.gauge("queue.depth{worker=0}"), 7);
+        assert_eq!(live.gauge("db.shards"), 4);
+        assert_eq!(live.counter("hits"), 1, "counters ride along");
+        // Last write wins.
+        m.set_gauge("queue.depth", &[("worker", "0")], 2);
+        assert_eq!(m.gather().gauge("queue.depth{worker=0}"), 2);
     }
 }

@@ -116,6 +116,15 @@ pub struct SpanRecord {
     pub kind: SpanKind,
     pub start: SimInstant,
     pub end: SimInstant,
+    /// Monotonic host-clock stamps ([`crate::wallclock::wall_now_us`]),
+    /// populated only when [`crate::Telemetry::set_wall_clock`] is on.
+    /// Deliberately **excluded** from every deterministic exporter
+    /// ([`crate::export`]): the byte-identical same-seed JSONL/Chrome
+    /// dumps are statements about virtual time only. Live-observability
+    /// consumers (the flight recorder's `/debug/trace` dump) read them
+    /// for wall-clock self-time attribution.
+    pub wall_start_us: Option<u64>,
+    pub wall_end_us: Option<u64>,
     pub attrs: Vec<(&'static str, String)>,
     pub events: Vec<SpanEvent>,
 }
@@ -137,6 +146,14 @@ impl SpanRecord {
     /// True if any event carries this name.
     pub fn has_event(&self, name: &str) -> bool {
         self.events.iter().any(|e| e.name == name)
+    }
+
+    /// Wall-clock duration in microseconds, when both stamps are present.
+    pub fn wall_duration_us(&self) -> Option<u64> {
+        match (self.wall_start_us, self.wall_end_us) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        }
     }
 }
 
@@ -173,6 +190,8 @@ mod tests {
             kind: SpanKind::Other,
             start: SimInstant(100),
             end: SimInstant(40),
+            wall_start_us: None,
+            wall_end_us: None,
             attrs: vec![("k", "v".into())],
             events: Vec::new(),
         };
@@ -180,5 +199,12 @@ mod tests {
         assert_eq!(r.attr("k"), Some("v"));
         assert_eq!(r.attr("missing"), None);
         assert!(!r.has_event("boom"));
+        assert_eq!(r.wall_duration_us(), None);
+        let timed = SpanRecord {
+            wall_start_us: Some(10),
+            wall_end_us: Some(35),
+            ..r
+        };
+        assert_eq!(timed.wall_duration_us(), Some(25));
     }
 }

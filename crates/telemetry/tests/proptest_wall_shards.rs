@@ -1,0 +1,79 @@
+//! Property tests for the lock-free wall-clock histogram shards: merging
+//! per-worker shards must equal one global histogram fed the same
+//! observations, for **any** assignment of observations to shards and any
+//! interleaving — the correctness claim that lets `/metrics` merge lazily
+//! at scrape time instead of synchronising workers on the hot path.
+
+use ogsa_telemetry::prometheus::{parse_exposition, render_wall_histogram};
+use ogsa_telemetry::{ShardedWallHistogram, WallHistogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_shards_equal_a_global_histogram(
+        // (which shard records it, the observed latency) — latencies span
+        // sub-microsecond to ~13 days, far past every coarse bound; kept
+        // below 2^40 so 400 observations cannot overflow the u64 sum.
+        obs in proptest::collection::vec((0usize..8, 0u64..1 << 40), 0..400),
+        shards in 1usize..8,
+    ) {
+        let sharded = ShardedWallHistogram::new(shards);
+        let global = WallHistogram::new();
+        for (worker, us) in &obs {
+            sharded.shard(*worker).record(*us);
+            global.record(*us);
+        }
+        prop_assert_eq!(sharded.merged(), global.snapshot());
+    }
+
+    #[test]
+    fn merge_is_order_independent(
+        obs in proptest::collection::vec(0u64..10_000_000, 1..200),
+    ) {
+        // Forward vs reverse feed order, different shard assignment: the
+        // merged snapshot must be identical (counts are pure sums).
+        let a = ShardedWallHistogram::new(4);
+        for (i, us) in obs.iter().enumerate() {
+            a.shard(i).record(*us);
+        }
+        let b = ShardedWallHistogram::new(3);
+        for (i, us) in obs.iter().rev().enumerate() {
+            b.shard(i * 7 + 1).record(*us);
+        }
+        prop_assert_eq!(a.merged(), b.merged());
+    }
+
+    #[test]
+    fn merged_snapshot_renders_a_consistent_exposition(
+        obs in proptest::collection::vec(0u64..5_000_000, 0..200),
+    ) {
+        let sharded = ShardedWallHistogram::new(4);
+        for (i, us) in obs.iter().enumerate() {
+            sharded.shard(i).record(*us);
+        }
+        let text = render_wall_histogram("wall_us", &[], &sharded.merged(), None);
+        let exp = parse_exposition(&text).expect("exposition parses");
+        exp.check_histograms().expect("cumulative + consistent");
+        let count = exp.get("wall_us_count", &[]).expect("count sample");
+        prop_assert_eq!(count.value as u64, obs.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_recorded_max(
+        obs in proptest::collection::vec(1u64..50_000_000, 1..200),
+        q_millis in 0u64..1001,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = WallHistogram::new();
+        let mut max = 0;
+        for us in &obs {
+            h.record(*us);
+            max = max.max(*us);
+        }
+        let snap = h.snapshot();
+        prop_assert!(snap.quantile_us(q) <= max);
+        prop_assert_eq!(snap.max_us, max);
+    }
+}

@@ -85,9 +85,19 @@ fn main() {
     println!("\n== metrics ==");
     println!("{}", metrics_to_json(&tb.telemetry().metrics().snapshot()));
 
-    std::fs::write("traced_job.chrome.json", spans_to_chrome_trace(&spans))
-        .expect("write chrome trace");
-    std::fs::write("traced_job.spans.jsonl", spans_to_jsonl(&spans)).expect("write jsonl");
-    println!("\nwrote traced_job.chrome.json (open in chrome://tracing or Perfetto)");
-    println!("wrote traced_job.spans.jsonl (byte-identical across same-seed runs)");
+    std::fs::create_dir_all("bench-artifacts").expect("mkdir bench-artifacts");
+    std::fs::write(
+        "bench-artifacts/traced_job.chrome.json",
+        spans_to_chrome_trace(&spans),
+    )
+    .expect("write chrome trace");
+    std::fs::write(
+        "bench-artifacts/traced_job.spans.jsonl",
+        spans_to_jsonl(&spans),
+    )
+    .expect("write jsonl");
+    println!(
+        "\nwrote bench-artifacts/traced_job.chrome.json (open in chrome://tracing or Perfetto)"
+    );
+    println!("wrote bench-artifacts/traced_job.spans.jsonl (byte-identical across same-seed runs)");
 }
