@@ -1,0 +1,327 @@
+//! The replication bench: re-proves the failover theorems in release mode,
+//! times replica catch-up on wall clock, and checks the virtual-time
+//! invariance of shipping, written to `BENCH_replication.json`.
+//!
+//! Gates (exit nonzero on violation):
+//!
+//! 1. **Zero lost quorum-acked writes** — a partition sweep over every
+//!    replication-record boundary (replica first, then the primary),
+//!    promoting the longest-acked survivor each time: the promotion point
+//!    must never fall below the quorum-acked watermark, and every member
+//!    must converge to a single whole-prefix history.
+//! 2. **Replica catch-up under 10 s wall** — an empty replica joining a
+//!    primary with a compacted base plus a log suffix (snapshot + suffix
+//!    shipping) must fully catch up in under 10 seconds of real time.
+//! 3. **Virtual-time invariance** — a fixed calibrated workload charges
+//!    the identical virtual duration with a replication tap attached and
+//!    without one, so every virtual-time figure in the repo is
+//!    bit-identical with replication enabled.
+//! 4. **Deterministic failover** — the full partition sweep, run twice,
+//!    produces byte-identical converged images at every boundary.
+//!
+//! Pass an output directory as the first argument (default: `.`).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ogsa_core::sim::{CostModel, VirtualClock};
+use ogsa_core::xml::Element;
+use ogsa_core::xmldb::repl::{promote, LoopbackFabric, ReplConfig, ReplicaNode, Replicator};
+use ogsa_core::xmldb::snapshot::apply_op;
+use ogsa_core::xmldb::wal::WalOp;
+use ogsa_core::xmldb::{
+    encode_store, BackendKind, Database, DurableBackend, DurableConfig, FsyncPolicy, StoreImage,
+};
+
+const COLL: &str = "resources";
+const PRIMARY: &str = "primary";
+
+fn doc(v: i64) -> Element {
+    Element::new("counter").with_child(Element::text_element("value", v.to_string()))
+}
+
+struct Cluster {
+    db: Database,
+    repl: Arc<Replicator>,
+    fabric: Arc<LoopbackFabric>,
+    replicas: Vec<(String, Arc<ReplicaNode>)>,
+}
+
+fn cluster() -> Cluster {
+    let backend = Arc::new(DurableBackend::sim(DurableConfig {
+        fsync: FsyncPolicy::PerWrite,
+        snapshot_every: 0,
+    }));
+    let db = Database::new(
+        VirtualClock::new(),
+        Arc::new(CostModel::free()),
+        BackendKind::Custom(backend.clone()),
+    );
+    let fabric = LoopbackFabric::new();
+    let mut replicas = Vec::new();
+    for id in ["r1", "r2"] {
+        let node = ReplicaNode::new(FsyncPolicy::PerWrite);
+        fabric.register(id, node.clone());
+        replicas.push((id.to_owned(), node));
+    }
+    let repl = Arc::new(Replicator::new(
+        PRIMARY,
+        &["r1", "r2"],
+        fabric.clone(),
+        ReplConfig::majority(3),
+    ));
+    backend.set_observer(repl.clone());
+    Cluster {
+        db,
+        repl,
+        fabric,
+        replicas,
+    }
+}
+
+fn workload_ops(n: usize) -> Vec<WalOp> {
+    (0..n)
+        .map(|i| WalOp::Put {
+            collection: COLL.to_owned(),
+            key: format!("k{i}"),
+            doc: doc(i as i64),
+        })
+        .collect()
+}
+
+fn run_workload(db: &Database, lo: usize, hi: usize) {
+    let c = db.collection(COLL);
+    for i in lo..hi {
+        c.insert(&format!("k{i}"), doc(i as i64)).unwrap();
+    }
+}
+
+/// Image after each whole-op prefix of `workload_ops(n)`.
+fn prefix_images(n: usize) -> Vec<Vec<u8>> {
+    let mut image = StoreImage::new();
+    let mut out = vec![encode_store(&image)];
+    for op in &workload_ops(n) {
+        apply_op(&mut image, op);
+        out.push(encode_store(&image));
+    }
+    out
+}
+
+struct SweepResult {
+    boundaries: u64,
+    lost_acked: u64,
+    diverged: u64,
+    images: Vec<Vec<u8>>,
+}
+
+/// Partition r1 after 2 part-2 records and the primary after `j`, promote
+/// the longest-acked survivor, rejoin the deposed primary, and report
+/// whether anything quorum-acked was lost or any member diverged.
+fn failover_at(part1: usize, part2: usize, j: u64) -> (bool, bool, Vec<u8>) {
+    let images = prefix_images(part1 + part2);
+    let cl = cluster();
+    run_workload(&cl.db, 0, part1);
+    cl.fabric.sever_after(PRIMARY, "r1", 2.min(j));
+    cl.fabric.sever_after(PRIMARY, "r2", j);
+    run_workload(&cl.db, part1, part1 + part2);
+    cl.fabric.sever(PRIMARY, "r1");
+    cl.fabric.sever(PRIMARY, "r2");
+    let watermark = cl.repl.quorum_acked_seq();
+
+    let promotee = if cl.replicas[0].1.acked_seq() >= cl.replicas[1].1.acked_seq() {
+        "r1"
+    } else {
+        "r2"
+    };
+    let new_repl = promote(
+        promotee,
+        &cl.replicas,
+        3,
+        cl.fabric.clone(),
+        ReplConfig::majority(3),
+    )
+    .expect("two survivors allow promotion");
+    let lost = new_repl.promotion_seq() < watermark;
+
+    let old_node = cl.repl.to_node(FsyncPolicy::PerWrite);
+    cl.fabric.register("old-primary", old_node.clone());
+    for peer in ["r1", "r2", "old-primary"] {
+        cl.fabric.heal(promotee, peer);
+    }
+    new_repl.admit("old-primary");
+    let mut diverged = !new_repl.catch_up("old-primary");
+    for (id, _) in &cl.replicas {
+        if id != promotee {
+            diverged |= !new_repl.catch_up(id);
+        }
+    }
+    let converged = encode_store(&new_repl.image());
+    diverged |= old_node.encoded_image() != converged;
+    for (id, node) in &cl.replicas {
+        if id != promotee {
+            diverged |= node.encoded_image() != converged;
+        }
+    }
+    // The converged image must be a whole prefix at or past the watermark.
+    match images.iter().rposition(|img| *img == converged) {
+        Some(p) if (p as u64) >= watermark => {}
+        _ => diverged = true,
+    }
+    (lost, diverged, converged)
+}
+
+fn failover_sweep(part1: usize, part2: usize) -> SweepResult {
+    let mut lost_acked = 0;
+    let mut diverged = 0;
+    let mut images = Vec::new();
+    for j in 0..=(part2 as u64) {
+        let (lost, div, image) = failover_at(part1, part2, j);
+        lost_acked += u64::from(lost);
+        diverged += u64::from(div);
+        images.push(image);
+    }
+    SweepResult {
+        boundaries: part2 as u64 + 1,
+        lost_acked,
+        diverged,
+        images,
+    }
+}
+
+/// Wall time for an empty replica to catch up to a primary holding
+/// `base_ops` compacted into a snapshot plus `suffix_ops` of log.
+fn catch_up_wall(base_ops: usize, suffix_ops: usize) -> (bool, f64) {
+    let cl = cluster();
+    cl.fabric.sever(PRIMARY, "r2");
+    run_workload(&cl.db, 0, base_ops);
+    cl.repl.compact();
+    run_workload(&cl.db, base_ops, base_ops + suffix_ops);
+    cl.fabric.heal(PRIMARY, "r2");
+    let start = Instant::now();
+    let ok = cl.repl.catch_up("r2");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let total = (base_ops + suffix_ops) as u64;
+    let caught = ok && cl.replicas[1].1.acked_seq() == total;
+    (caught, wall_ms)
+}
+
+/// Virtual duration of a fixed calibrated workload, with or without a
+/// replication tap on the durable backend.
+fn virtual_elapsed(replicate: bool) -> u64 {
+    let clock = VirtualClock::new();
+    let start = clock.now();
+    let backend = Arc::new(DurableBackend::sim(DurableConfig::default()));
+    let db = Database::new(
+        clock.clone(),
+        Arc::new(CostModel::calibrated_2005()),
+        BackendKind::Custom(backend.clone()),
+    );
+    let _repl = replicate.then(|| {
+        let fabric = LoopbackFabric::new();
+        fabric.register("r1", ReplicaNode::new(FsyncPolicy::PerWrite));
+        fabric.register("r2", ReplicaNode::new(FsyncPolicy::PerWrite));
+        let repl = Arc::new(Replicator::new(
+            PRIMARY,
+            &["r1", "r2"],
+            fabric,
+            ReplConfig::majority(3),
+        ));
+        backend.set_observer(repl.clone());
+        repl
+    });
+    let c = db.collection(COLL);
+    for i in 0..20 {
+        c.insert(&format!("k{i}"), doc(i)).unwrap();
+    }
+    c.insert_many((0..10).map(|i| (format!("b{i}"), doc(i))).collect())
+        .unwrap();
+    for i in 0..20 {
+        c.get(&format!("k{i}"));
+    }
+    c.update("k3", doc(33)).unwrap();
+    c.remove("k7");
+    clock.now().since(start).as_micros()
+}
+
+fn main() -> ExitCode {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+
+    // 1 + 4: the partition-boundary failover sweep, twice, for the
+    // zero-loss and determinism gates.
+    let (part1, part2) = (4, 10);
+    let sweep = failover_sweep(part1, part2);
+    let again = failover_sweep(part1, part2);
+    let deterministic = sweep.images == again.images;
+
+    // 2: snapshot + suffix catch-up on wall clock.
+    let (base_ops, suffix_ops) = (2_000, 500);
+    let (caught_up, catch_up_ms) = catch_up_wall(base_ops, suffix_ops);
+
+    // 3: virtual time must not notice the replication tap.
+    let vt_plain = virtual_elapsed(false);
+    let vt_replicated = virtual_elapsed(true);
+
+    println!(
+        "failover sweep: {} boundaries, {} lost acked, {} diverged, deterministic: {}",
+        sweep.boundaries, sweep.lost_acked, sweep.diverged, deterministic
+    );
+    println!(
+        "catch-up: {} base + {} suffix records in {catch_up_ms:.1} ms (complete: {caught_up})",
+        base_ops, suffix_ops
+    );
+    println!(
+        "virtual time: plain {vt_plain} µs vs replicated {vt_replicated} µs (must be identical)"
+    );
+
+    let gates: Vec<(&str, bool)> = vec![
+        ("zero_lost_acked_writes", sweep.lost_acked == 0),
+        ("single_history_convergence", sweep.diverged == 0),
+        ("deterministic_failover", deterministic),
+        ("catch_up_under_10s", caught_up && catch_up_ms < 10_000.0),
+        ("virtual_time_identical", vt_plain == vt_replicated),
+    ];
+
+    let gates_json: Vec<String> = gates
+        .iter()
+        .map(|(name, pass)| format!("{{\"name\":\"{name}\",\"pass\":{pass}}}"))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"benchmark\":\"replication\",",
+            "\"sweep\":{{\"boundaries\":{},\"lost_acked\":{},\"diverged\":{},",
+            "\"deterministic\":{}}},",
+            "\"catch_up\":{{\"base_ops\":{},\"suffix_ops\":{},\"wall_ms\":{:.3},\"complete\":{}}},",
+            "\"virtual_time\":{{\"plain_us\":{},\"replicated_us\":{}}},",
+            "\"gates\":[{}]}}\n"
+        ),
+        sweep.boundaries,
+        sweep.lost_acked,
+        sweep.diverged,
+        deterministic,
+        base_ops,
+        suffix_ops,
+        catch_up_ms,
+        caught_up,
+        vt_plain,
+        vt_replicated,
+        gates_json.join(",")
+    );
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| panic!("mkdir {out_dir}: {e}"));
+    let path = format!("{out_dir}/BENCH_replication.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+
+    let failed: Vec<&str> = gates
+        .iter()
+        .filter(|(_, pass)| !pass)
+        .map(|(name, _)| *name)
+        .collect();
+    if failed.is_empty() {
+        println!("replication gates: all hold");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("replication gates REGRESSED: {}", failed.join(", "));
+        ExitCode::FAILURE
+    }
+}

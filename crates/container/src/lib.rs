@@ -27,11 +27,13 @@
 pub mod client;
 pub mod host;
 pub mod lifetime;
+pub mod replication;
 pub mod service;
 pub mod testbed;
 
 pub use client::{ClientAgent, InvokeError};
 pub use host::Container;
 pub use lifetime::LifetimeManager;
+pub use replication::{NetFabric, ReplicaSet};
 pub use service::{Operation, OperationContext, WebService};
 pub use testbed::Testbed;

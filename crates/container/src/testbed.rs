@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 
 use crate::client::ClientAgent;
 use crate::host::Container;
+use crate::replication::ReplicaSet;
 
 /// Owns the virtual clock, cost model, network, PKI, and per-host databases;
 /// stamps out containers and client agents wired to all of them.
@@ -120,6 +121,19 @@ impl Testbed {
         Some(report)
     }
 
+    /// Discard `host`'s in-memory database and build a fresh one (same
+    /// durable backend). The replication seams use this when a host's
+    /// authoritative state changes wholesale — a promoted replica
+    /// installing the converged image, a deposed primary truncating its
+    /// split-brain tail — because merging into the stale in-memory state
+    /// would resurrect deleted documents. Same caveat as
+    /// [`Testbed::restart_host`]: containers built before the reset still
+    /// hold the dead database.
+    pub(crate) fn reset_host_db(&self, host: &str) -> Database {
+        self.dbs.lock().remove(host);
+        self.db(host)
+    }
+
     /// The configuration all figures are regenerated under: calibrated 2005
     /// costs, Xindice-like disk storage.
     pub fn calibrated() -> Self {
@@ -220,6 +234,56 @@ impl Testbed {
                 db
             })
             .clone()
+    }
+
+    /// Replicate `primary`'s durable store to `replicas`: the primary's
+    /// WAL is tapped by a [`Replicator`](ogsa_xmldb::Replicator) shipping
+    /// framed records over the simulated network (judged by the armed
+    /// [`FaultPlan`](ogsa_transport::FaultPlan) on `repl://{host}` edges,
+    /// charging **zero** virtual time), with one
+    /// [`ReplicaNode`](ogsa_xmldb::ReplicaNode) per replica host. Requires
+    /// [`Testbed::with_durable`].
+    ///
+    /// The returned [`ReplicaSet`] owns the failover seams —
+    /// [`ReplicaSet::promote_longest_acked`] when the fault plan partitions
+    /// the primary, [`ReplicaSet::rejoin`] to truncate and readmit it.
+    ///
+    /// Registers a scrape-time collector publishing `repl.term`,
+    /// `repl.quorum_acked_seq`, and per-host `repl.acked_seq` /
+    /// `repl.lag_records` / `repl.reachable` gauges on every `gather()`;
+    /// like the db stats gauges, these never appear in the deterministic
+    /// `snapshot()`.
+    pub fn with_replicas(&self, primary: &str, replicas: &[&str]) -> Arc<ReplicaSet> {
+        let cfg = self
+            .durable_cfg
+            .expect("with_replicas requires with_durable (the WAL is what ships)");
+        self.db(primary);
+        let set = ReplicaSet::new(self.clone(), primary, replicas, cfg.fsync);
+        let stats = set.clone();
+        self.network
+            .telemetry()
+            .metrics()
+            .register_collector(move |snap| {
+                let repl = stats.replicator();
+                snap.set_gauge("repl.term", &[], repl.term());
+                snap.set_gauge("repl.quorum_acked_seq", &[], repl.quorum_acked_seq());
+                snap.set_gauge(
+                    "repl.acked_seq",
+                    &[("host", repl.self_id())],
+                    repl.primary_acked_seq(),
+                );
+                let last = repl.last_seq();
+                for (host, _matched, acked, reachable) in repl.member_status() {
+                    snap.set_gauge("repl.acked_seq", &[("host", &host)], acked);
+                    snap.set_gauge(
+                        "repl.lag_records",
+                        &[("host", &host)],
+                        last.saturating_sub(acked),
+                    );
+                    snap.set_gauge("repl.reachable", &[("host", &host)], u64::from(reachable));
+                }
+            });
+        set
     }
 
     /// A container on `host` under `policy`, with its own service identity.

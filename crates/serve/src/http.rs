@@ -200,6 +200,13 @@ pub fn parse_head(buf: &[u8]) -> HeadParse {
         if name.eq_ignore_ascii_case(b"host") {
             host = Some((vlo, vhi));
         } else if name.eq_ignore_ascii_case(b"content-length") {
+            // RFC 7230 §3.3.2: a message with more than one Content-Length
+            // is malformed — repeated headers (even with identical values)
+            // are how request-smuggling splits a body between two parsers,
+            // so the answer is 400, not last-wins.
+            if content_length.is_some() {
+                return invalid(HttpError::BadRequest);
+            }
             let digits = &buf[vlo..vhi];
             if digits.is_empty() || !digits.iter().all(|b| b.is_ascii_digit()) {
                 return invalid(HttpError::LengthRequired);
@@ -473,6 +480,34 @@ mod tests {
             HeadParse::Invalid { error, .. } => assert_eq!(error, HttpError::LengthRequired),
             other => panic!("expected invalid, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_400_never_last_wins() {
+        // RFC 7230 §3.3.2: conflicting values, repeated identical values,
+        // and a valid length shadowed by garbage are all malformed — the
+        // smuggling-prone "last value wins" answer is exactly the bug.
+        let cases: &[&[u8]] = &[
+            b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n",
+            b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n",
+            b"POST /s HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: zzz\r\n\r\n",
+        ];
+        for case in cases {
+            match parse_head(case) {
+                HeadParse::Invalid { error, .. } => {
+                    assert_eq!(
+                        error,
+                        HttpError::BadRequest,
+                        "{}",
+                        String::from_utf8_lossy(case)
+                    );
+                }
+                other => panic!("expected invalid, got {other:?}"),
+            }
+        }
+        // A single Content-Length still frames normally.
+        let ok = b"POST /s HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(matches!(parse_head(ok), HeadParse::Parsed(_)));
     }
 
     #[test]

@@ -1064,6 +1064,61 @@ mod tests {
         assert!(ready.contains("wal disk died"), "got: {ready}");
     }
 
+    /// The replication-aware readiness seam: a primary whose replicas fall
+    /// more than `max_lag` records behind stops advertising ready, so a
+    /// load balancer drains it before the unreplicated window grows.
+    #[test]
+    fn replica_lag_probe_gates_readyz() {
+        use ogsa_xmldb::repl::{LoopbackFabric, ReplConfig, ReplicaNode, Replicator};
+        use ogsa_xmldb::wal::WalOp;
+        use ogsa_xmldb::{FsyncPolicy, WalObserver};
+
+        let net = echo_net();
+        let server = Server::bind(&net, ServeConfig::default()).unwrap();
+        let admin = server.admin_addr().unwrap();
+
+        let fabric = LoopbackFabric::new();
+        fabric.register("r1", ReplicaNode::new(FsyncPolicy::PerWrite));
+        let repl = StdArc::new(Replicator::new(
+            "primary",
+            &["r1"],
+            fabric.clone(),
+            ReplConfig {
+                quorum: 1,
+                max_retries: 2,
+            },
+        ));
+        let probe_repl = repl.clone();
+        server
+            .plane()
+            .unwrap()
+            .add_ready_probe(Box::new(move || probe_repl.lag_check(1)));
+
+        let put = |key: &str| WalOp::Put {
+            collection: "c".to_owned(),
+            key: key.to_owned(),
+            doc: ogsa_xml::Element::new("d"),
+        };
+        // In sync: ready.
+        repl.on_append(&put("k1"), true);
+        let ready = raw_request(admin, &get_request("/readyz"));
+        assert!(ready.starts_with("HTTP/1.1 200 OK\r\n"), "got: {ready}");
+
+        // Partition the replica; writes pile up past the lag budget.
+        fabric.sever("primary", "r1");
+        repl.on_append(&put("k2"), true);
+        repl.on_append(&put("k3"), true);
+        let ready = raw_request(admin, &get_request("/readyz"));
+        assert!(ready.starts_with("HTTP/1.1 503 "), "got: {ready}");
+        assert!(ready.contains("lag"), "got: {ready}");
+
+        // Heal and catch up: ready again.
+        fabric.heal("primary", "r1");
+        assert!(repl.catch_up("r1"));
+        let ready = raw_request(admin, &get_request("/readyz"));
+        assert!(ready.starts_with("HTTP/1.1 200 OK\r\n"), "got: {ready}");
+    }
+
     #[test]
     fn shutdown_joins_cleanly() {
         let net = echo_net();

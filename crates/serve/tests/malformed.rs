@@ -142,6 +142,28 @@ fn garbled_envelope_corpus_yields_400s_not_panics() {
 }
 
 #[test]
+fn duplicate_content_length_is_400_on_the_wire() {
+    let net = echo_network();
+    let server = Server::bind(&net, ServeConfig::default()).expect("bind");
+    // RFC 7230 §3.3.2: two differing values, two identical values, and a
+    // real value followed by garbage are all 400 — never last-wins framing
+    // (the request-smuggling shape).
+    let cases: &[&[u8]] = &[
+        b"POST /services/echo HTTP/1.1\r\nHost: host-a\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\n<a/>",
+        b"POST /services/echo HTTP/1.1\r\nHost: host-a\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n<a/>",
+        b"POST /services/echo HTTP/1.1\r\nHost: host-a\r\nContent-Length: 4\r\nContent-Length: gar\r\n\r\n<a/>",
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        let text = exchange(&server, case, true);
+        assert!(
+            text.starts_with("HTTP/1.1 400 "),
+            "case {i}: expected 400, got {text}"
+        );
+        assert_still_serving(&server);
+    }
+}
+
+#[test]
 fn garbage_bytes_on_the_wire_never_kill_workers() {
     let net = echo_network();
     // One worker, so every piece of garbage lands on the same event loop.

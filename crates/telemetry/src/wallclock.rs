@@ -58,13 +58,27 @@ pub fn bucket_of(us: u64) -> usize {
 
 /// Smallest value mapping to log bucket `idx` (quantiles report this
 /// floor, ≤ ~3% below the true value).
+///
+/// Saturates at `u64::MAX` for the tail of the fixed bucket range that no
+/// real value can reach: `bucket_of` tops out at bucket 1919 (the group of
+/// `u64::MAX`), but callers iterate indices up to [`WALL_BUCKETS`], and
+/// the unsaturated shift `(SUB + sub) << g` overflows from group 59
+/// (idx ≥ 1920) — a debug-build panic in scrape paths that walk the whole
+/// bucket array.
 pub fn bucket_floor(idx: usize) -> u64 {
     if idx < (2 * SUB as usize) {
         idx as u64
     } else {
-        let g = (idx >> SUB_BITS) as u64 - 1;
+        let g = ((idx >> SUB_BITS) - 1) as u32;
         let sub = (idx & (SUB as usize - 1)) as u64;
-        (SUB + sub) << g
+        let base = SUB + sub;
+        // `base << g` fits iff the shift stays within base's leading
+        // zeros; past that the true floor exceeds u64 — clamp.
+        if g > base.leading_zeros() {
+            u64::MAX
+        } else {
+            base << g
+        }
     }
 }
 
@@ -196,13 +210,16 @@ impl WallSnapshot {
         }
     }
 
-    /// Fold another snapshot in (bucket-wise sums, max of maxima).
+    /// Fold another snapshot in (bucket-wise sums, max of maxima). The
+    /// sum is modular, matching the shards' relaxed `fetch_add`: a merge
+    /// of wrapped shard sums equals the wrapped global sum, rather than
+    /// panicking in debug builds on extreme observations.
     pub fn merge(&mut self, other: &WallSnapshot) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.count += other.count;
-        self.sum_us += other.sum_us;
+        self.sum_us = self.sum_us.wrapping_add(other.sum_us);
         self.max_us = self.max_us.max(other.max_us);
     }
 
@@ -306,6 +323,45 @@ mod tests {
                 "floor {floor} too far below {v}"
             );
         }
+    }
+
+    #[test]
+    fn extreme_values_record_without_panicking_or_aliasing() {
+        let h = WallHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max_us, u64::MAX);
+        // 0 clamps into the first real bucket; u64::MAX lands in the top
+        // reachable bucket (1919), far from the 0 end — no aliasing.
+        assert_ne!(bucket_of(0), bucket_of(u64::MAX));
+        assert_eq!(bucket_of(u64::MAX), 1919);
+        assert!(bucket_of(u64::MAX) < WALL_BUCKETS);
+        // sum wraps (relaxed fetch_add is modular); the histogram must not
+        // misreport count or buckets because of it.
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().count, 3);
+    }
+
+    #[test]
+    fn top_bucket_round_trips_and_floor_saturates_past_it() {
+        // The top reachable bucket round-trips exactly.
+        let top = bucket_of(u64::MAX);
+        let floor = bucket_floor(top);
+        assert_eq!(bucket_of(floor), top);
+        // Every index in the fixed range has a non-panicking floor, the
+        // floors are monotone, and the unreachable tail saturates.
+        let mut last = 0u64;
+        for idx in 0..WALL_BUCKETS {
+            let f = bucket_floor(idx);
+            assert!(f >= last, "floor not monotone at {idx}");
+            last = f;
+        }
+        assert_eq!(bucket_floor(WALL_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_floor(1920), u64::MAX, "first overflowing group");
+        // The last non-saturated floor is the top bucket's.
+        assert!(bucket_floor(1919) < u64::MAX);
     }
 
     #[test]

@@ -371,6 +371,26 @@ impl Network {
         self.inner.pending_oneways.wait_idle_forever();
     }
 
+    /// Judge a raw (non-SOAP) transfer from host `from` to host `to_host`
+    /// against the armed fault plan, WITHOUT charging the virtual clock and
+    /// without touching the SOAP per-edge sequence streams: the decision is
+    /// drawn on a distinct `repl://{to_host}` edge. Replication shipping
+    /// uses this, so arming a fault plan perturbs the replication stream
+    /// with the same seeded schedule machinery as port calls while the
+    /// virtual-time figures stay byte-identical with replication enabled —
+    /// and the SOAP fault schedule never shifts underneath existing tests.
+    pub fn judge_raw(&self, from: &str, to_host: &str) -> FaultDecision {
+        let plan = self.inner.fault_plan.read().clone();
+        match &plan {
+            Some(p) if !p.is_benign() => {
+                let edge = format!("repl://{to_host}");
+                let seq = self.next_edge_seq(from, &edge);
+                p.decide(from, to_host, seq, self.inner.clock.now())
+            }
+            _ => FaultDecision::CLEAN,
+        }
+    }
+
     /// Next per-edge sequence number for a message from `from` to the
     /// destination address `to`.
     fn next_edge_seq(&self, from: &str, to: &str) -> u64 {

@@ -65,6 +65,18 @@ pub struct RecoveryReport {
     pub valid_wal_len: usize,
     /// Documents in the recovered store.
     pub docs: usize,
+    /// Stale staged snapshot images (crash mid-install) swept away.
+    pub orphan_snapshots_removed: usize,
+}
+
+/// Sees every op the durable backend logs, in WAL order (the callback runs
+/// under the backend's write lock, so observers see the exact serialized
+/// write order across all db shards). `synced` reports whether this very
+/// append completed an fsync — i.e. whether everything logged so far is
+/// durable on the primary. The [`crate::repl::Replicator`] hangs off this
+/// seam to ship records to replicas.
+pub trait WalObserver: Send + Sync {
+    fn on_append(&self, op: &WalOp, synced: bool);
 }
 
 #[derive(Debug, Default)]
@@ -82,6 +94,8 @@ pub struct DurableBackend {
     wal: Wal,
     snap: Arc<dyn SnapshotMedium>,
     sim: Option<Arc<SimMedium>>,
+    /// Typed handle to the sim snapshot medium (crash-harness arming).
+    sim_snap: Option<Arc<SimSnapshotMedium>>,
     cfg: DurableConfig,
     tel: Telemetry,
     /// The medium crashed (or an append failed): stop persisting. The
@@ -97,6 +111,8 @@ pub struct DurableBackend {
     /// Ops appended to the WAL since the last recovery/construction.
     appended: AtomicU64,
     recoveries: AtomicU64,
+    /// Replication tap: sees every logged op under the write lock.
+    observer: Mutex<Option<Arc<dyn WalObserver>>>,
 }
 
 impl std::fmt::Debug for DurableBackend {
@@ -113,7 +129,10 @@ impl DurableBackend {
     /// A backend over crash-injectable in-memory media.
     pub fn sim(cfg: DurableConfig) -> DurableBackend {
         let medium = SimMedium::new();
-        DurableBackend::over(medium.clone(), SimSnapshotMedium::new(), Some(medium), cfg)
+        let snap = SimSnapshotMedium::new();
+        let mut backend = DurableBackend::over(medium.clone(), snap.clone(), Some(medium), cfg);
+        backend.sim_snap = Some(snap);
+        backend
     }
 
     /// A backend over real files in `dir` (`wal.log` + `snapshot.bin`),
@@ -136,6 +155,7 @@ impl DurableBackend {
             wal: Wal::new(medium, cfg.fsync),
             snap,
             sim,
+            sim_snap: None,
             cfg,
             tel: Telemetry::disabled(),
             failed: AtomicBool::new(false),
@@ -143,7 +163,19 @@ impl DurableBackend {
             acked: AtomicU64::new(0),
             appended: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Attach a [`WalObserver`] (replication tap). At most one; setting a
+    /// new one replaces the old.
+    pub fn set_observer(&self, observer: Arc<dyn WalObserver>) {
+        *self.observer.lock() = Some(observer);
+    }
+
+    /// Detach the observer, if any.
+    pub fn clear_observer(&self) {
+        *self.observer.lock() = None;
     }
 
     /// Report WAL counters into `tel` (`wal.appends` / `wal.fsyncs` /
@@ -161,6 +193,12 @@ impl DurableBackend {
     /// [`DurableBackend::sim`] — arm [`crate::wal::CrashPoint`]s here.
     pub fn sim_medium(&self) -> Option<&Arc<SimMedium>> {
         self.sim.as_ref()
+    }
+
+    /// The crash-injectable snapshot medium, when constructed via
+    /// [`DurableBackend::sim`] — arm install crashes here.
+    pub fn sim_snapshot_medium(&self) -> Option<&Arc<SimSnapshotMedium>> {
+        self.sim_snap.as_ref()
     }
 
     /// Ops whose durability was acknowledged (fsynced or snapshotted)
@@ -217,6 +255,10 @@ impl DurableBackend {
             return false;
         }
         if !self.snap.install(encode_store(&inner.mem)) {
+            // The install crashed or errored mid-way: same disk-died
+            // semantics as a torn WAL append — stop persisting until
+            // recovery (which also sweeps the orphaned staging image).
+            self.failed.store(true, Ordering::Relaxed);
             return false;
         }
         // Truncation may tear (crash between install and truncate): safe,
@@ -252,6 +294,11 @@ impl DurableBackend {
             self.tel.metrics().inc("wal.fsyncs", &[]);
             self.acked.store(appended, Ordering::Relaxed);
         }
+        // Ship to the replication tap while still holding the write lock,
+        // so replicas observe the exact primary WAL order.
+        if let Some(observer) = self.observer.lock().clone() {
+            observer.on_append(&op, outcome.synced);
+        }
         inner.ops_since_snapshot += 1;
         if self.cfg.snapshot_every > 0 && inner.ops_since_snapshot >= self.cfg.snapshot_every {
             self.snapshot_locked(&mut inner);
@@ -265,6 +312,10 @@ impl DurableBackend {
     /// [`Database`] with [`DurableBackend::restore_into`].
     pub fn recover(&self) -> RecoveryReport {
         let _span = self.tel.span(SpanKind::Db, "db:recover");
+        // A crash inside a snapshot install leaves the staged image (the
+        // `*.tmp` file) beside the WAL; it was never renamed into place, so
+        // it is garbage — delete it before reading the published snapshot.
+        let orphan_snapshots_removed = self.snap.discard_orphans();
         let mut image = StoreImage::new();
         let mut used_snapshot = false;
         if let Some(bytes) = self.snap.load() {
@@ -298,7 +349,21 @@ impl DurableBackend {
             torn,
             valid_wal_len,
             docs,
+            orphan_snapshots_removed,
         }
+    }
+
+    /// Replace the durable image wholesale and persist it as a snapshot.
+    /// This is the replication promotion/rejoin seam: a freshly promoted
+    /// primary installs the replica's converged image, and a demoted
+    /// primary installs the truncated history it rejoined with — in both
+    /// cases the new image must be immediately durable and must *not* be
+    /// re-logged or re-shipped (it is already replicated state, not a
+    /// client write). Returns `false` if the snapshot install failed.
+    pub fn install_image(&self, image: StoreImage) -> bool {
+        let mut inner = self.inner.lock();
+        inner.mem = image;
+        self.snapshot_locked(&mut inner)
     }
 
     /// Replay the recovered image into `db`'s collections (which should be

@@ -28,11 +28,21 @@
 //! torn record. The crash-harness suite (`tests/crash_harness.rs`) proves
 //! the recovery invariants at every injected WAL byte offset.
 
+//!
+//! The durable store replicates: [`repl::Replicator`] taps the primary's
+//! WAL and ships `[term|seq]`-headed, CRC-framed records to N
+//! [`repl::ReplicaNode`]s, with quorum-fsync ack watermarks, snapshot +
+//! log-suffix catch-up, and deterministic partition-tolerant failover
+//! (promotion of the longest acked prefix, divergent-tail truncation on
+//! rejoin). The failover harness (`tests/replication_failover.rs`) sweeps
+//! a partition across every replication-record boundary.
+
 pub mod backend;
 pub mod cache;
 pub mod db;
 pub mod durable;
 pub mod error;
+pub mod repl;
 pub mod snapshot;
 pub mod stats;
 pub mod wal;
@@ -40,8 +50,12 @@ pub mod wal;
 pub use backend::{BackendKind, CostProfile, CustomBackend};
 pub use cache::ResourceCache;
 pub use db::{Collection, Database, DbConfig, InvalidationHook, DEFAULT_SHARDS};
-pub use durable::{DurableBackend, DurableConfig, RecoveryReport};
+pub use durable::{DurableBackend, DurableConfig, RecoveryReport, WalObserver};
 pub use error::DbError;
+pub use repl::{
+    promote, LoopbackFabric, PromoteError, ReplConfig, ReplFabric, ReplRecord, ReplicaNode,
+    Replicator, ShipError,
+};
 pub use snapshot::{encode_store, StoreImage};
 pub use stats::{DbStats, MAX_SHARDS};
 pub use wal::{CrashPoint, FsyncPolicy, SimMedium, TornReason};

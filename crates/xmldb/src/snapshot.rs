@@ -115,28 +115,76 @@ pub fn apply_op(image: &mut StoreImage, op: &WalOp) {
 pub trait SnapshotMedium: Send + Sync {
     fn install(&self, bytes: Vec<u8>) -> bool;
     fn load(&self) -> Option<Vec<u8>>;
+    /// Remove any partially-written install left behind by a crash (the
+    /// staged `*.tmp` image that never got renamed into place). Returns how
+    /// many orphans were removed. Recovery calls this so a crash inside
+    /// `install` can never leave a stale staging file beside the WAL.
+    fn discard_orphans(&self) -> usize {
+        0
+    }
 }
 
-/// In-memory snapshot slot (atomic by construction).
+/// In-memory snapshot slot (atomic by construction). Installation stages
+/// the bytes first and then publishes them, mirroring the file medium's
+/// tmp+rename dance — so the crash harness can arm a power loss *between*
+/// the two and leave a simulated orphan tmp image behind.
 #[derive(Debug, Default)]
 pub struct SimSnapshotMedium {
     slot: Mutex<Option<Vec<u8>>>,
+    /// Staged-but-not-published install (the `*.tmp` analogue).
+    staged: Mutex<Option<Vec<u8>>>,
+    installs: Mutex<u64>,
+    crash_install: Mutex<Option<u64>>,
 }
 
 impl SimSnapshotMedium {
     pub fn new() -> Arc<SimSnapshotMedium> {
         Arc::new(SimSnapshotMedium::default())
     }
+
+    /// Arm a crash at the `k`-th (0-based) install from now: the staged
+    /// bytes are written but never published — exactly a crash between the
+    /// tmp write and the rename.
+    pub fn arm_install_crash(&self, k: u64) {
+        *self.crash_install.lock() = Some(k);
+    }
+
+    /// Is a staged-but-unpublished install lying around?
+    pub fn has_orphan(&self) -> bool {
+        self.staged.lock().is_some()
+    }
+
+    /// Completed `install` attempts (for arming sweep points).
+    pub fn installs(&self) -> u64 {
+        *self.installs.lock()
+    }
 }
 
 impl SnapshotMedium for SimSnapshotMedium {
     fn install(&self, bytes: Vec<u8>) -> bool {
-        *self.slot.lock() = Some(bytes);
+        let mut installs = self.installs.lock();
+        let at = *installs;
+        *installs += 1;
+        drop(installs);
+        *self.staged.lock() = Some(bytes);
+        let mut crash = self.crash_install.lock();
+        if *crash == Some(at) {
+            // Power loss between staging and publish: the orphan stays.
+            *crash = None;
+            return false;
+        }
+        drop(crash);
+        let staged = self.staged.lock().take();
+        *self.slot.lock() = staged;
         true
     }
 
     fn load(&self) -> Option<Vec<u8>> {
         self.slot.lock().clone()
+    }
+
+    fn discard_orphans(&self) -> usize {
+        usize::from(self.staged.lock().take().is_some())
     }
 }
 
@@ -174,6 +222,11 @@ impl SnapshotMedium for FileSnapshotMedium {
 
     fn load(&self) -> Option<Vec<u8>> {
         std::fs::read(&self.path).ok()
+    }
+
+    fn discard_orphans(&self) -> usize {
+        let tmp = self.path.with_extension("tmp");
+        usize::from(tmp.exists() && std::fs::remove_file(&tmp).is_ok())
     }
 }
 
@@ -279,6 +332,48 @@ mod tests {
         assert!(m.load().is_none());
         assert!(m.install(encode_store(&image())));
         assert_eq!(decode_store(&m.load().unwrap()).unwrap(), image());
+    }
+
+    #[test]
+    fn sim_install_crash_stages_an_orphan_and_keeps_the_old_snapshot() {
+        let m = SimSnapshotMedium::new();
+        assert!(m.install(encode_store(&image())));
+        assert!(!m.has_orphan());
+        m.arm_install_crash(m.installs());
+        let mut bigger = image();
+        bigger
+            .entry("c".into())
+            .or_default()
+            .insert("k9".into(), doc(9));
+        assert!(!m.install(encode_store(&bigger)), "armed install crashes");
+        // The previous snapshot is still the published one; the new bytes
+        // are stranded in the staging slot.
+        assert_eq!(decode_store(&m.load().unwrap()).unwrap(), image());
+        assert!(m.has_orphan());
+        assert_eq!(m.discard_orphans(), 1);
+        assert!(!m.has_orphan());
+        assert_eq!(m.discard_orphans(), 0);
+        // Installs work again after the orphan is gone.
+        assert!(m.install(encode_store(&bigger)));
+        assert_eq!(decode_store(&m.load().unwrap()).unwrap(), bigger);
+    }
+
+    #[test]
+    fn file_medium_discards_orphan_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("ogsa-snap-orphan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.bin");
+        let m = FileSnapshotMedium::new(&path);
+        assert!(m.install(encode_store(&image())));
+        // Fake a crash mid-install: a stale tmp image beside the snapshot.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, b"half-written snapshot").unwrap();
+        assert_eq!(m.discard_orphans(), 1);
+        assert!(!tmp.exists());
+        assert_eq!(m.discard_orphans(), 0);
+        // The published snapshot was untouched.
+        assert_eq!(decode_store(&m.load().unwrap()).unwrap(), image());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -538,9 +538,16 @@ impl Wal {
 
     /// Append one op as one framed record and apply the fsync policy.
     pub fn append(&self, op: &WalOp) -> AppendOutcome {
-        let payload = op.encode();
+        self.append_payload(&op.encode())
+    }
+
+    /// Append an arbitrary pre-encoded payload as one framed record and
+    /// apply the fsync policy. Replication logs its `[term|seq]`-headed
+    /// records through this, reusing the exact CRC envelope and torn-write
+    /// semantics of the op log.
+    pub fn append_payload(&self, payload: &[u8]) -> AppendOutcome {
         let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
-        frame_record(&payload, &mut record);
+        frame_record(payload, &mut record);
         if !self.medium.append(&record) {
             return AppendOutcome {
                 ok: false,
