@@ -30,6 +30,7 @@ pub use ogsa_addressing as addressing;
 pub use ogsa_container as container;
 pub use ogsa_counter as counter;
 pub use ogsa_eventing as eventing;
+pub use ogsa_fanout as fanout;
 pub use ogsa_gridbox as gridbox;
 pub use ogsa_security as security;
 pub use ogsa_serve as serve;

@@ -17,8 +17,15 @@
 //!   path in Figures 2-4. Delivery modes are an extension point
 //!   ([`delivery::DeliveryMode`]), with push the only spec-defined mode.
 
+//!
+//! Fan-out rides the shared `ogsa_fanout` core through [`fanout::EventIndex`]
+//! — with honest per-stack accounting: WS-Eventing has no topics, so every
+//! entry lands on the wildcard shard (no shard scaling), and no batch
+//! container, so coalescing never folds events into one envelope.
+
 pub mod consumer;
 pub mod delivery;
+pub mod fanout;
 pub mod manager;
 pub mod messages;
 pub mod source;
@@ -26,6 +33,7 @@ pub mod store;
 
 pub use consumer::EventConsumer;
 pub use delivery::{DeliveryMode, PushDelivery, PUSH_MODE};
+pub use fanout::EventIndex;
 pub use manager::EventingSubscriptionManager;
 pub use messages::{actions, SubscribeRequest, SubscriptionStatus};
 pub use source::{EventSourceService, NotificationManager};

@@ -6,17 +6,20 @@ use ogsa_sim::SimInstant;
 use ogsa_soap::Fault;
 use ogsa_xml::Element;
 
+use crate::fanout::EventIndex;
 use crate::messages::SubscriptionStatus;
 use crate::store::FlatXmlStore;
 
-/// Deployable subscription manager sharing the event source's store.
+/// Deployable subscription manager sharing the event source's store (and
+/// keeping the fan-out index in lock-step with it).
 pub struct EventingSubscriptionManager {
     store: FlatXmlStore,
+    index: EventIndex,
 }
 
 impl EventingSubscriptionManager {
-    pub fn new(store: FlatXmlStore) -> Self {
-        EventingSubscriptionManager { store }
+    pub fn new(store: FlatXmlStore, index: EventIndex) -> Self {
+        EventingSubscriptionManager { store, index }
     }
 
     fn require_sub(&self, op: &Operation) -> Result<crate::store::EventSubscription, Fault> {
@@ -46,6 +49,7 @@ impl WebService for EventingSubscriptionManager {
                     .ok_or_else(|| Fault::client("Renew without Expires"))?;
                 sub.expires = Some(new_expires);
                 self.store.update(&sub);
+                self.index.update(sub);
                 Ok(SubscriptionStatus {
                     expires: Some(new_expires),
                 }
@@ -54,6 +58,9 @@ impl WebService for EventingSubscriptionManager {
             "Unsubscribe" => {
                 let sub = self.require_sub(op)?;
                 self.store.remove(&sub.id);
+                // Eager eviction: the unsubscribed endpoint leaves the
+                // fan-out path (and loses parked batches) immediately.
+                self.index.evict(&sub.id);
                 Ok(Element::new("UnsubscribeResponse"))
             }
             other => Err(Fault::client(format!(

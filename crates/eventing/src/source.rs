@@ -6,10 +6,12 @@ use std::sync::Arc;
 
 use ogsa_addressing::EndpointReference;
 use ogsa_container::{ClientAgent, Container, Operation, OperationContext, WebService};
+use ogsa_fanout::{Deliverer, DelivererConfig, Sink};
 use ogsa_soap::Fault;
 use ogsa_xml::{Element, XPath, XPathContext};
 
 use crate::delivery::{DeliveryMode, PushDelivery};
+use crate::fanout::EventIndex;
 use crate::manager::EventingSubscriptionManager;
 use crate::messages::SubscribeRequest;
 use crate::store::{EventSubscription, FlatXmlStore};
@@ -18,6 +20,7 @@ use crate::store::{EventSubscription, FlatXmlStore};
 /// manager EPR.
 pub struct EventSourceService {
     store: FlatXmlStore,
+    index: EventIndex,
     manager_address: String,
     modes: Arc<HashMap<String, Arc<dyn DeliveryMode>>>,
     seq: AtomicU64,
@@ -40,10 +43,18 @@ impl EventSourceService {
             container.clock().clone(),
             Arc::new(container.model().clone()),
         );
+        let index = EventIndex::new(
+            container.clock().clone(),
+            container.model(),
+            container.telemetry(),
+        );
         let manager_path = format!("{path}/manager");
         let manager_epr = container.deploy(
             &manager_path,
-            Arc::new(EventingSubscriptionManager::new(store.clone())),
+            Arc::new(EventingSubscriptionManager::new(
+                store.clone(),
+                index.clone(),
+            )),
         );
 
         let mode_map: Arc<HashMap<String, Arc<dyn DeliveryMode>>> =
@@ -51,17 +62,14 @@ impl EventSourceService {
 
         let source = EventSourceService {
             store: store.clone(),
+            index: index.clone(),
             manager_address: manager_epr.address.clone(),
             modes: mode_map.clone(),
             seq: AtomicU64::new(0),
         };
         let source_epr = container.deploy(path, Arc::new(source));
 
-        let notifier = NotificationManager {
-            store,
-            agent: container.service_agent(),
-            modes: mode_map,
-        };
+        let notifier = NotificationManager::new(store, index, container.service_agent(), mode_map);
         (source_epr, notifier)
     }
 }
@@ -85,14 +93,18 @@ impl WebService for EventSourceService {
                     XPath::compile(f).map_err(|e| Fault::client(format!("invalid filter: {e}")))?;
                 }
                 let id = format!("es-{}", self.seq.fetch_add(1, Ordering::Relaxed));
-                self.store.insert(EventSubscription {
+                let sub = EventSubscription {
                     id: id.clone(),
                     notify_to: req.notify_to.clone(),
                     mode: req.mode.clone(),
                     filter: req.filter.clone(),
                     expires: req.expires,
                     end_to: req.end_to.clone(),
-                });
+                };
+                // The flat file stays the charged store of record; the
+                // index mirrors it for cache-hit-priced fan-out.
+                self.store.insert(sub.clone());
+                self.index.insert(sub);
                 let manager = EndpointReference::resource(self.manager_address.clone(), id);
                 let _ = ctx;
                 Ok(SubscribeRequest::response(&manager, req.expires))
@@ -110,11 +122,65 @@ impl WebService for EventSourceService {
 #[derive(Clone)]
 pub struct NotificationManager {
     store: FlatXmlStore,
+    index: EventIndex,
     agent: ClientAgent,
     modes: Arc<HashMap<String, Arc<dyn DeliveryMode>>>,
+    deliverer: Deliverer<EventSubscription>,
 }
 
 impl NotificationManager {
+    fn new(
+        store: FlatXmlStore,
+        index: EventIndex,
+        agent: ClientAgent,
+        modes: Arc<HashMap<String, Arc<dyn DeliveryMode>>>,
+    ) -> Self {
+        let deliverer = Self::build_deliverer(&index, &agent, &modes);
+        NotificationManager {
+            store,
+            index,
+            agent,
+            modes,
+            deliverer,
+        }
+    }
+
+    /// The WS-Eventing sink. Honest accounting: the spec has no batch
+    /// container, so even a coalesced drain sends **one wire message per
+    /// event** — batching only amortises the queueing, never the wire.
+    fn build_deliverer(
+        index: &EventIndex,
+        agent: &ClientAgent,
+        modes: &Arc<HashMap<String, Arc<dyn DeliveryMode>>>,
+    ) -> Deliverer<EventSubscription> {
+        let sender = agent.clone();
+        let sink_modes = modes.clone();
+        let sink: Sink<EventSubscription> =
+            Arc::new(move |sub: &EventSubscription, bodies: Vec<Element>| {
+                let Some(mode) = sink_modes.get(&sub.mode) else {
+                    return;
+                };
+                for body in bodies {
+                    mode.deliver(&sender, sub, body);
+                }
+            });
+        let deliverer = Deliverer::new(
+            agent.network().clone(),
+            agent.port().host().to_owned(),
+            index.stats().clone(),
+            "eventing",
+            sink,
+        );
+        // Expired/unsubscribed subscribers lose their parked events and
+        // their ledger row too — nothing in the fan-out plane outlives them.
+        let evictor = deliverer.clone();
+        index.on_evict(Arc::new(move |id| {
+            evictor.evict(id);
+            evictor.ledger().forget(id);
+        }));
+        deliverer
+    }
+
     /// Redeliver lost pushes under `policy`: each matching subscriber's
     /// event is retried with backoff when the wire loses it, and
     /// dead-lettered in the network's record when the budget runs out.
@@ -122,26 +188,48 @@ impl NotificationManager {
     /// setting — fire-and-forget by default.)
     pub fn with_redelivery(mut self, policy: ogsa_transport::RetryPolicy) -> Self {
         self.agent = self.agent.with_redelivery(policy);
+        let config = self.deliverer.config();
+        self.deliverer = Self::build_deliverer(&self.index, &self.agent, &self.modes);
+        self.deliverer.set_config(config);
         self
     }
 
-    /// Trigger an event: purge expired subscriptions (notifying their
-    /// `EndTo`), evaluate filters, and deliver through each subscription's
-    /// mode. Returns the number of deliveries.
+    /// Switch the delivery plan (builder style) — queueing only; see the
+    /// sink's honest-accounting note.
+    pub fn with_delivery(self, config: DelivererConfig) -> Self {
+        self.deliverer.set_config(config);
+        self
+    }
+
+    /// The fan-out deliverer (outbox state, redelivery ledger, flush).
+    pub fn deliverer(&self) -> &Deliverer<EventSubscription> {
+        &self.deliverer
+    }
+
+    /// Trigger an event: purge expired subscriptions only when the expiry
+    /// watermark says one is actually due (notifying their `EndTo`),
+    /// evaluate filters over the index, and deliver through each
+    /// subscription's mode. Returns the number of deliveries.
     pub fn trigger(&self, event: Element) -> usize {
         let now = self.agent.clock().now();
-        for dead in self.store.purge_expired(now) {
-            if let Some(end_to) = &dead.end_to {
-                self.agent.send_oneway(
-                    end_to,
-                    crate::messages::actions::SUBSCRIPTION_END,
-                    crate::messages::subscription_end("expired"),
-                );
+        if self.index.expiry_due(now) {
+            // Something is due: the purge runs against the flat file (the
+            // charged store of record) and evicts eagerly — an expired
+            // subscriber is never charged a delivery attempt.
+            for dead in self.store.purge_expired(now) {
+                self.index.evict(&dead.id);
+                if let Some(end_to) = &dead.end_to {
+                    self.agent.send_oneway(
+                        end_to,
+                        crate::messages::actions::SUBSCRIPTION_END,
+                        crate::messages::subscription_end("expired"),
+                    );
+                }
             }
         }
         let matching: Vec<_> = self
-            .store
-            .load()
+            .index
+            .all_active()
             .into_iter()
             .filter(|sub| match &sub.filter {
                 None => true,
@@ -156,13 +244,13 @@ impl NotificationManager {
         let last = matching.len();
         let mut event = Some(event);
         for (i, sub) in matching.iter().enumerate() {
-            let mode = self.modes.get(&sub.mode).expect("filtered above");
             let body = if i + 1 == last {
                 event.take().expect("event present until final delivery")
             } else {
                 event.clone().expect("event present until final delivery")
             };
-            mode.deliver(&self.agent, sub, body);
+            self.deliverer
+                .enqueue(sub, self.index.stats().shards() - 1, body);
         }
         last
     }
@@ -170,5 +258,10 @@ impl NotificationManager {
     /// The underlying store (tests and benches inspect it).
     pub fn store(&self) -> &FlatXmlStore {
         &self.store
+    }
+
+    /// The in-memory fan-out index mirroring the store.
+    pub fn index(&self) -> &EventIndex {
+        &self.index
     }
 }

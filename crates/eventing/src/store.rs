@@ -58,6 +58,17 @@ impl EventSubscription {
     }
 }
 
+/// The fan-out core indexes WS-Eventing subscriptions directly.
+impl ogsa_fanout::Subscriber for EventSubscription {
+    fn sub_id(&self) -> &str {
+        &self.id
+    }
+
+    fn endpoint(&self) -> &EndpointReference {
+        &self.notify_to
+    }
+}
+
 /// The flat file: serialised XML text guarded by a mutex, with clock
 /// charging on every access.
 #[derive(Clone)]

@@ -1,0 +1,40 @@
+//! # ogsa-fanout
+//!
+//! The notification fan-out core shared by both of the paper's stacks
+//! (WS-Notification in `crates/wsn`, WS-Eventing in `crates/eventing`).
+//!
+//! The paper's notification measurements cover a handful of subscribers;
+//! this crate rebuilds the delivery path so the same two stacks scale to
+//! internet-size subscriber populations without changing the calibrated
+//! per-message costs:
+//!
+//! * [`table::ShardedTable`] — subscription tables sharded by topic-root
+//!   key via the xmldb FNV-1a router, per-shard `RwLock`s with contention
+//!   telemetry (`wsn.shard_contention`) and per-shard busy attribution so
+//!   the PR-3 makespan model (`rps = work / max-shard-busy`) applies to
+//!   fan-out exactly as it does to the database.
+//! * [`trie::TopicTrie`] — a precompiled WS-Topics trie over interned path
+//!   segments, with `*` (one-segment) and `//` (any-depth) wildcard nodes;
+//!   resolves a concrete topic path to its subscriber set in one walk. The
+//!   naive per-subscription matcher ([`trie::CompiledTopic::matches`]) is
+//!   retained as a differential oracle.
+//! * [`outbox::Deliverer`] — bounded per-subscriber outboxes drained by a
+//!   coalescing deliverer, with drop-oldest backpressure
+//!   (`wsn.backpressure_drops` + PR-1 dead-letter records) and a durable
+//!   [`outbox::RedeliveryLedger`]. Parked batches count as external work
+//!   on the [`ogsa_transport::Network`], so `quiesce()`/`drain()` cannot
+//!   return while notifications are still queued.
+//!
+//! Honest accounting: WS-Eventing has no topic space, so its entries all
+//! use [`trie::CompiledTopic::match_all`] and land on the wildcard shard —
+//! it gets none of the shard-scaling benefit, exactly as the real stack
+//! wouldn't. Its sink also never coalesces multiple events into one
+//! envelope, because WS-Eventing's spec has no batch container.
+
+pub mod outbox;
+pub mod table;
+pub mod trie;
+
+pub use outbox::{Deliverer, DelivererConfig, DeliveryPlan, LedgerEntry, RedeliveryLedger, Sink};
+pub use table::{FanoutCosts, FanoutStats, ShardedTable, Subscriber};
+pub use trie::{CompiledTopic, Seg, TopicTrie};

@@ -1,0 +1,135 @@
+//! Differential property tests: on every generated (expression set, path)
+//! pair, the precompiled [`TopicTrie`] must resolve exactly the set of
+//! registrations whose naive matcher ([`CompiledTopic::matches`]) accepts
+//! the path — across all three WS-Topics dialects, including the `*`
+//! (one-segment) and `//` (any-depth) wildcards, and under removal churn.
+
+use ogsa_fanout::{CompiledTopic, TopicTrie};
+use proptest::prelude::*;
+
+/// Topic names drawn from a small alphabet so generated expressions and
+/// paths collide often — the interesting cases are shared prefixes and
+/// wildcard overlap, not disjoint namespaces.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("jobs".to_owned()),
+        Just("data".to_owned()),
+        Just("vo".to_owned()),
+        Just("exited".to_owned()),
+        Just("status".to_owned()),
+        Just("x".to_owned()),
+    ]
+}
+
+/// A raw Full-dialect segment: a literal, `*`, or the empty string that
+/// `CompiledTopic::full` reads as `//`.
+fn arb_full_seg() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_name(),
+        arb_name(),
+        arb_name(),
+        Just("*".to_owned()),
+        Just(String::new()),
+    ]
+}
+
+/// One compiled expression in any dialect.
+fn arb_topic() -> impl Strategy<Value = CompiledTopic> {
+    prop_oneof![
+        // Simple: root + subtree.
+        arb_name().prop_map(|n| CompiledTopic::simple(&n)),
+        // Concrete: exact path.
+        proptest::collection::vec(arb_name(), 1..4)
+            .prop_map(|segs| CompiledTopic::concrete(&segs.join("/"))),
+        // Full: wildcards allowed anywhere.
+        proptest::collection::vec(arb_full_seg(), 1..5)
+            .prop_map(|segs| CompiledTopic::full(&segs.join("/"))),
+        // The topic-less stack's registration.
+        Just(CompiledTopic::match_all()),
+    ]
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_name(), 1..5)
+}
+
+fn naive_set(exprs: &[CompiledTopic], path: &[&str]) -> Vec<u64> {
+    exprs
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.matches(path))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn trie_resolution_equals_naive_matcher(
+        exprs in proptest::collection::vec(arb_topic(), 0..24),
+        paths in proptest::collection::vec(arb_path(), 1..8),
+    ) {
+        let mut trie = TopicTrie::new();
+        for (i, e) in exprs.iter().enumerate() {
+            trie.insert(i as u64, e);
+        }
+        for path in &paths {
+            let path: Vec<&str> = path.iter().map(String::as_str).collect();
+            let mut got = Vec::new();
+            trie.resolve(&path, &mut got);
+            prop_assert_eq!(got, naive_set(&exprs, &path), "path {:?}", path);
+        }
+    }
+
+    #[test]
+    fn equivalence_survives_removal_churn(
+        exprs in proptest::collection::vec(arb_topic(), 1..24),
+        remove_mask in proptest::collection::vec(any::<bool>(), 1..24),
+        path in arb_path(),
+    ) {
+        let mut trie = TopicTrie::new();
+        for (i, e) in exprs.iter().enumerate() {
+            trie.insert(i as u64, e);
+        }
+        // Remove a generated subset, then check the survivors resolve
+        // identically to the naive matcher over the survivor set.
+        let mut survivors = Vec::new();
+        for (i, e) in exprs.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                prop_assert!(trie.remove(i as u64));
+            } else {
+                survivors.push((i as u64, e.clone()));
+            }
+        }
+        let path: Vec<&str> = path.iter().map(String::as_str).collect();
+        let mut got = Vec::new();
+        trie.resolve(&path, &mut got);
+        let want: Vec<u64> = survivors
+            .iter()
+            .filter(|(_, e)| e.matches(&path))
+            .map(|(i, _)| *i)
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(trie.len(), survivors.len());
+    }
+
+    #[test]
+    fn reinsertion_after_removal_is_clean(
+        expr in arb_topic(),
+        path in arb_path(),
+    ) {
+        // Insert → remove → reinsert under the same id must behave like a
+        // fresh insert (interior nodes are re-used, terminals must not
+        // duplicate).
+        let mut trie = TopicTrie::new();
+        trie.insert(1, &expr);
+        prop_assert!(trie.remove(1));
+        trie.insert(1, &expr);
+        let path: Vec<&str> = path.iter().map(String::as_str).collect();
+        let mut got = Vec::new();
+        trie.resolve(&path, &mut got);
+        let want: Vec<u64> = if expr.matches(&path) { vec![1] } else { vec![] };
+        prop_assert_eq!(got, want);
+    }
+}

@@ -371,6 +371,39 @@ impl Network {
         self.inner.pending_oneways.wait_idle_forever();
     }
 
+    // ---- external in-flight work -------------------------------------------
+
+    /// Register one unit of in-flight work that lives *outside* the wire
+    /// layer — e.g. a notification parked in a fan-out outbox awaiting a
+    /// coalesced drain. While any external work is open, [`Network::quiesce`]
+    /// and [`Network::drain`] block, exactly as they do for accepted one-way
+    /// messages; the unit also shows up in [`Network::pending_oneways`].
+    pub fn begin_external_work(&self) {
+        self.inner.pending_oneways.accept();
+    }
+
+    /// Resolve one unit of external work opened by
+    /// [`Network::begin_external_work`]. Call only after any follow-on wire
+    /// sends have been accepted, so the network never looks momentarily idle
+    /// mid-hand-off.
+    pub fn end_external_work(&self) {
+        self.inner.pending_oneways.resolve();
+    }
+
+    /// Record a dead letter decided *outside* the wire retry machinery —
+    /// e.g. a notification evicted from a bounded fan-out outbox by
+    /// backpressure. Counted in the stats, the `oneway.dead_letters` metric,
+    /// and the [`Network::dead_letters`] record like any wire-level dead
+    /// letter.
+    pub fn record_dead_letter(&self, letter: DeadLetter) {
+        self.inner.stats.record_dead_letter();
+        self.inner
+            .tel
+            .metrics()
+            .inc("oneway.dead_letters", &[("reason", letter.reason.label())]);
+        self.inner.dead_letters.lock().push(letter);
+    }
+
     /// Judge a raw (non-SOAP) transfer from host `from` to host `to_host`
     /// against the armed fault plan, WITHOUT charging the virtual clock and
     /// without touching the SOAP per-edge sequence streams: the decision is

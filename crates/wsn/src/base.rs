@@ -134,6 +134,13 @@ impl Subscription {
         if self.paused || !self.topic.matches(topic) {
             return false;
         }
+        self.selector_accepts(message)
+    }
+
+    /// The message-content selector alone — what remains to check after the
+    /// sharded table's trie already matched the topic and filtered paused
+    /// entries.
+    pub fn selector_accepts(&self, message: &Element) -> bool {
         match &self.selector {
             None => true,
             Some(expr) => XPath::compile(expr)
@@ -192,20 +199,33 @@ pub struct NotificationMessage {
 }
 
 impl NotificationMessage {
-    /// The wrapped `<wsnt:Notify>` body.
-    pub fn to_notify_element(&self) -> Element {
+    /// The bare `<wsnt:NotificationMessage>` subtree — what the coalescing
+    /// deliverer queues per subscriber, so a drain can fold several of them
+    /// into one `<wsnt:Notify>` envelope.
+    pub fn to_element(&self) -> Element {
         let mut nm = Element::new(q("NotificationMessage"));
         nm.add_child(Element::text_element(q("Topic"), self.topic.to_string()));
         if let Some(p) = &self.producer {
             nm.add_child(p.to_element_named(q("ProducerReference")));
         }
         nm.add_child(Element::new(q("Message")).with_child(self.message.clone()));
-        Element::new(q("Notify")).with_child(nm)
+        nm
     }
 
-    /// Parse a wrapped `<wsnt:Notify>` body (first notification message).
-    pub fn from_notify_element(e: &Element) -> Option<Self> {
-        let nm = e.child_local("NotificationMessage")?;
+    /// The wrapped `<wsnt:Notify>` body.
+    pub fn to_notify_element(&self) -> Element {
+        Element::new(q("Notify")).with_child(self.to_element())
+    }
+
+    /// One `<wsnt:Notify>` envelope wrapping several already-built
+    /// `<wsnt:NotificationMessage>` subtrees — WS-BaseNotification allows
+    /// multiple NotificationMessage children, which is exactly what makes
+    /// batch coalescing legal for this stack (and not for WS-Eventing).
+    pub fn wrap_all(messages: Vec<Element>) -> Element {
+        Element::new(q("Notify")).with_children(messages)
+    }
+
+    fn from_nm_element(nm: &Element) -> Option<Self> {
         let topic = TopicPath::parse(nm.child_text("Topic")?)?;
         let producer = nm
             .child_local("ProducerReference")
@@ -216,6 +236,31 @@ impl NotificationMessage {
             producer,
             message,
         })
+    }
+
+    /// Parse a wrapped `<wsnt:Notify>` body (first notification message).
+    pub fn from_notify_element(e: &Element) -> Option<Self> {
+        Self::from_nm_element(e.child_local("NotificationMessage")?)
+    }
+
+    /// Parse every notification message in a (possibly coalesced)
+    /// `<wsnt:Notify>` envelope, in document order.
+    pub fn all_from_notify_element(e: &Element) -> Vec<Self> {
+        e.child_elements()
+            .filter(|c| &*c.name.local == "NotificationMessage")
+            .filter_map(Self::from_nm_element)
+            .collect()
+    }
+}
+
+/// The fan-out core indexes WSN subscriptions directly.
+impl ogsa_fanout::Subscriber for Subscription {
+    fn sub_id(&self) -> &str {
+        &self.id
+    }
+
+    fn endpoint(&self) -> &EndpointReference {
+        &self.consumer
     }
 }
 
@@ -296,6 +341,25 @@ mod tests {
             use_notify: true,
         };
         assert!(!sub.accepts(&TopicPath::parse("t").unwrap(), &Element::new("M")));
+    }
+
+    #[test]
+    fn coalesced_notify_roundtrip() {
+        let mk = |v: &str| NotificationMessage {
+            topic: TopicPath::parse("counter/valueChanged").unwrap(),
+            producer: None,
+            message: Element::text_element("NewValue", v),
+        };
+        let batch = vec![mk("1"), mk("2"), mk("3")];
+        let envelope =
+            NotificationMessage::wrap_all(batch.iter().map(|n| n.to_element()).collect());
+        let back = NotificationMessage::all_from_notify_element(&envelope);
+        assert_eq!(back, batch);
+        // The single-message parser still reads the first member.
+        assert_eq!(
+            NotificationMessage::from_notify_element(&envelope).unwrap(),
+            batch[0]
+        );
     }
 
     #[test]

@@ -146,7 +146,6 @@ impl BrokerService {
 
 impl BrokerCore {
     fn recheck_demand(&self) -> usize {
-        let subs = self.store.all();
         let proxy = SubscriptionProxy::new(&self.agent);
         let mut calls = 0;
         let mut regs = self.registrations.lock();
@@ -157,9 +156,9 @@ impl BrokerCore {
             let Some(upstream) = &reg.upstream else {
                 continue;
             };
-            let wanted = subs
-                .iter()
-                .any(|s| !s.paused && s.topic.matches(&reg.topic));
+            // One index resolve on the registration's topic instead of the
+            // seed's full-table scan per registration.
+            let wanted = self.store.has_active_matching(&reg.topic);
             if wanted && !reg.active {
                 if proxy.resume(upstream).is_ok() {
                     reg.active = true;

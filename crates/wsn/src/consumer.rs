@@ -33,11 +33,17 @@ impl NotificationConsumer {
             "http",
             path,
             Arc::new(move |env: ogsa_soap::Envelope| {
-                let delivery = match NotificationMessage::from_notify_element(&env.body) {
-                    Some(n) => Delivery::Wrapped(n),
-                    None => Delivery::Raw(env.body),
-                };
-                let _ = tx.send(delivery);
+                // A coalesced `<Notify>` carries several NotificationMessage
+                // children; expand each into its own delivery so consumers
+                // are agnostic to the producer's batching plan.
+                let wrapped = NotificationMessage::all_from_notify_element(&env.body);
+                if wrapped.is_empty() {
+                    let _ = tx.send(Delivery::Raw(env.body));
+                } else {
+                    for n in wrapped {
+                        let _ = tx.send(Delivery::Wrapped(n));
+                    }
+                }
             }),
         );
         NotificationConsumer { epr, rx }

@@ -16,9 +16,11 @@
 //!   — is visible in the code: subscriptions are created by the producer's
 //!   idiosyncratic `Subscribe` handler, not by any spec-defined factory.
 //! * [`producer`] — the container's notification-producer component:
-//!   matches emitted messages against the (database-backed) subscription
-//!   set and delivers them over HTTP one-ways (WSRF.NET's custom HTTP
-//!   server on the client side).
+//!   matches emitted messages against the sharded fan-out index
+//!   (`ogsa_fanout::ShardedTable`, with the database remaining the store
+//!   of record) and delivers them over HTTP one-ways (WSRF.NET's custom
+//!   HTTP server on the client side) through the fan-out core's
+//!   coalescing deliverer.
 //! * [`consumer`] — the client-side notification consumer.
 //! * [`broker`] — **WS-BrokeredNotification** with demand-based publishing,
 //!   including the pause/resume cascade the paper estimates generates "an

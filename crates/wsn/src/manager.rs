@@ -7,19 +7,38 @@
 //! producer's `Subscribe` handler calls [`SubscriptionStore::subscribe`]
 //! directly, the "specific, non-standard way of creating and retrieving
 //! subscriptions" the paper's §3.1 complains about.
+//!
+//! Fan-out is served by a sharded in-memory index
+//! ([`ogsa_fanout::ShardedTable`]) kept strictly in lock-step with the
+//! database: `subscribe` inserts, pause/resume flips the indexed flag,
+//! `Destroy` and WS-RL expiry evict **eagerly** (a dead subscriber never
+//! costs a delivery attempt), and deploy rebuilds the index from whatever
+//! subscription documents already exist (container restart). The naive
+//! full-database scan is retained as [`SubscriptionStore::active_matching_naive`]
+//! — the differential oracle the property tests and the `fanout` bench
+//! compare the index against.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ogsa_addressing::EndpointReference;
 use ogsa_container::{Container, Operation, OperationContext};
+use ogsa_fanout::{FanoutCosts, ShardedTable};
 use ogsa_soap::Fault;
 use ogsa_wsrf::service_base::{PortType, ServiceBase, WsrfService, WsrfServiceHost};
-use ogsa_wsrf::TerminationTime;
+use ogsa_wsrf::{ResourceDocument, TerminationTime};
 use ogsa_xml::Element;
+use parking_lot::Mutex;
 
 use crate::base::{actions, SubscribeRequest, Subscription};
 use crate::topics::TopicPath;
+
+/// Routed fan-out shards per subscription table (plus the wildcard shard).
+pub const DEFAULT_FANOUT_SHARDS: usize = 8;
+
+/// Notified when a subscription leaves the store for good (expiry or
+/// `Destroy`): the producer's deliverer discards parked batches, etc.
+pub type EvictHook = Arc<dyn Fn(&str) + Send + Sync>;
 
 /// Shared, database-backed subscription state: used by the producer (to
 /// match and deliver) and by the manager service (to manipulate).
@@ -28,9 +47,23 @@ pub struct SubscriptionStore {
     base: ServiceBase,
     manager_address: String,
     seq: Arc<AtomicU64>,
+    index: Arc<ShardedTable<Subscription>>,
+    evict_hooks: Arc<Mutex<Vec<EvictHook>>>,
 }
 
 impl SubscriptionStore {
+    fn evict(&self, id: &str) {
+        self.index.remove(id);
+        for hook in self.evict_hooks.lock().iter() {
+            hook(id);
+        }
+    }
+
+    /// Run `hook` whenever a subscription is destroyed or expires.
+    pub fn on_evict(&self, hook: EvictHook) {
+        self.evict_hooks.lock().push(hook);
+    }
+
     /// Create a subscription from a parsed request; returns its EPR (on the
     /// manager service).
     pub fn subscribe(
@@ -48,15 +81,25 @@ impl SubscriptionStore {
             use_notify: req.use_notify,
         };
         self.base.create_with_id(ctx, &id, sub.to_document())?;
+        self.index.insert(sub, req.topic.compile(), false);
         // Clients can request an initial lifetime; the manager controls it
-        // thereafter (§2.1).
-        self.base.schedule_termination(
-            ctx,
-            &id,
+        // thereafter (§2.1). The destructor evicts from the fan-out index
+        // *at expiry*, not lazily on the next notify — an expired
+        // subscriber is never charged a delivery attempt.
+        let cache = self.base.store().clone();
+        let store = self.clone();
+        let rid = id.clone();
+        ctx.lifetime().register(
+            &self.base.lifetime_key(&id),
             match req.initial_termination {
                 Some(t) => TerminationTime::At(t),
                 None => TerminationTime::Never,
-            },
+            }
+            .as_option(),
+            Arc::new(move |_key| {
+                cache.remove(&rid);
+                store.evict(&rid);
+            }),
         );
         Ok(EndpointReference::resource(
             self.manager_address.clone(),
@@ -64,10 +107,24 @@ impl SubscriptionStore {
         ))
     }
 
-    /// All unpaused subscriptions whose filters pass for (topic, message).
-    /// One database query, as WSRF.NET's database-resident subscriptions
-    /// imply.
+    /// All unpaused subscriptions whose filters pass for (topic, message):
+    /// one trie walk over the routed shard + the wildcard shard, then the
+    /// message-content selector on the survivors.
     pub fn active_matching(&self, topic: &TopicPath, message: &Element) -> Vec<Subscription> {
+        let segs: Vec<&str> = topic.segments().iter().map(String::as_str).collect();
+        self.index
+            .resolve(&segs)
+            .into_iter()
+            .filter(|s| s.selector_accepts(message))
+            .collect()
+    }
+
+    /// The seed's matcher: a full database scan testing every subscription
+    /// document — one database query, as WSRF.NET's database-resident
+    /// subscriptions imply. Retained as the differential oracle for
+    /// [`SubscriptionStore::active_matching`]; the `fanout` bench measures
+    /// the index against it.
+    pub fn active_matching_naive(&self, topic: &TopicPath, message: &Element) -> Vec<Subscription> {
         let collection = self.base.store().collection();
         let xp = ogsa_xml::XPath::compile("/SubscriptionResource").expect("static xpath");
         let Ok(docs) = collection.query(&xp, &ogsa_xml::XPathContext::new()) else {
@@ -79,16 +136,21 @@ impl SubscriptionStore {
             .collect()
     }
 
-    /// All subscriptions, paused or not (broker demand bookkeeping).
+    /// Is there at least one unpaused subscription matching `topic`? The
+    /// broker's demand bookkeeping — an index resolve, not a table scan.
+    pub fn has_active_matching(&self, topic: &TopicPath) -> bool {
+        let segs: Vec<&str> = topic.segments().iter().map(String::as_str).collect();
+        !self.index.resolve(&segs).is_empty()
+    }
+
+    /// All subscriptions, paused or not.
     pub fn all(&self) -> Vec<Subscription> {
-        let collection = self.base.store().collection();
-        let xp = ogsa_xml::XPath::compile("/SubscriptionResource").expect("static xpath");
-        let Ok(docs) = collection.query(&xp, &ogsa_xml::XPathContext::new()) else {
-            return Vec::new();
-        };
-        docs.iter()
-            .filter_map(|(id, doc)| Subscription::from_document(id, doc))
-            .collect()
+        self.index.all().into_iter().map(|(s, _)| s).collect()
+    }
+
+    /// The shared fan-out index.
+    pub fn index(&self) -> &Arc<ShardedTable<Subscription>> {
+        &self.index
     }
 
     /// The manager service address subscription EPRs point at.
@@ -98,22 +160,68 @@ impl SubscriptionStore {
 }
 
 /// The deployable Subscription Manager Service.
-pub struct SubscriptionManagerService;
+pub struct SubscriptionManagerService {
+    index: Arc<ShardedTable<Subscription>>,
+    evict_hooks: Arc<Mutex<Vec<EvictHook>>>,
+}
 
 impl SubscriptionManagerService {
-    /// Deploy at `path`; returns (manager service EPR, shared store).
+    /// Deploy at `path` with [`DEFAULT_FANOUT_SHARDS`] routed shards;
+    /// returns (manager service EPR, shared store).
     pub fn deploy(container: &Container, path: &str) -> (EndpointReference, SubscriptionStore) {
+        Self::deploy_sharded(container, path, DEFAULT_FANOUT_SHARDS)
+    }
+
+    /// Deploy with an explicit shard count (the `fanout` bench sweeps it).
+    pub fn deploy_sharded(
+        container: &Container,
+        path: &str,
+        shards: usize,
+    ) -> (EndpointReference, SubscriptionStore) {
+        let index = Arc::new(ShardedTable::new(
+            shards,
+            container.clock().clone(),
+            FanoutCosts::from_model(container.model()),
+            container.telemetry().clone(),
+            "wsn",
+        ));
+        index.stats().register_gauges(container.telemetry(), "wsn");
+        let evict_hooks: Arc<Mutex<Vec<EvictHook>>> = Arc::new(Mutex::new(Vec::new()));
         let (epr, base) = WsrfServiceHost::deploy(
             container,
             path,
-            Arc::new(SubscriptionManagerService),
+            Arc::new(SubscriptionManagerService {
+                index: index.clone(),
+                evict_hooks: evict_hooks.clone(),
+            }),
             PortType::all(),
             true,
         );
+        // Container restart: re-index subscription documents that survived
+        // in the database, and keep fresh ids clear of the old ones.
+        let mut max_seq = 0;
+        if let Ok(docs) = base.store().collection().query(
+            &ogsa_xml::XPath::compile("/SubscriptionResource").expect("static xpath"),
+            &ogsa_xml::XPathContext::new(),
+        ) {
+            for (id, doc) in docs.iter() {
+                let Some(sub) = Subscription::from_document(id, doc) else {
+                    continue;
+                };
+                if let Some(n) = id.strip_prefix("sub-").and_then(|n| n.parse::<u64>().ok()) {
+                    max_seq = max_seq.max(n + 1);
+                }
+                let paused = sub.paused;
+                let topic = sub.topic.compile();
+                index.insert(sub, topic, paused);
+            }
+        }
         let store = SubscriptionStore {
             base,
             manager_address: epr.address.clone(),
-            seq: Arc::new(AtomicU64::new(0)),
+            seq: Arc::new(AtomicU64::new(max_seq)),
+            index,
+            evict_hooks,
         };
         (epr, store)
     }
@@ -131,6 +239,7 @@ impl WsrfService for SubscriptionManagerService {
             let mut res = base.load(ctx, id)?;
             res.set_member("Paused", paused.to_string());
             base.save(ctx, &res)?;
+            self.index.set_paused(id, paused);
             Ok(Element::new(if paused {
                 "PauseSubscriptionResponse"
             } else {
@@ -143,6 +252,15 @@ impl WsrfService for SubscriptionManagerService {
             other => Err(Fault::client(format!(
                 "unknown operation `{other}` on SubscriptionManager"
             ))),
+        }
+    }
+
+    /// `Destroy` (unsubscribe) evicts from the fan-out index immediately —
+    /// same eager eviction as the expiry destructor.
+    fn on_destroy(&self, res: &ResourceDocument, _ctx: &OperationContext) {
+        self.index.remove(&res.id);
+        for hook in self.evict_hooks.lock().iter() {
+            hook(&res.id);
         }
     }
 }

@@ -7,17 +7,26 @@ use std::sync::Arc;
 
 use ogsa_addressing::EndpointReference;
 use ogsa_container::ClientAgent;
+use ogsa_fanout::{Deliverer, DelivererConfig, Sink};
 use ogsa_xml::Element;
 use parking_lot::Mutex;
 
-use crate::base::{actions, NotificationMessage};
+use crate::base::{actions, NotificationMessage, Subscription};
 use crate::manager::SubscriptionStore;
 use crate::topics::TopicPath;
 
-/// Matches emitted messages against the subscription store and delivers
-/// them. Deliveries go over HTTP one-ways (the consumer side is WSRF.NET's
-/// "custom HTTP server that clients include") — the very transport choice
-/// that makes WSN Notify slower than WS-Eventing's TCP path in Figure 2.
+/// Matches emitted messages against the sharded subscription index and
+/// delivers them. Deliveries go over HTTP one-ways (the consumer side is
+/// WSRF.NET's "custom HTTP server that clients include") — the very
+/// transport choice that makes WSN Notify slower than WS-Eventing's TCP
+/// path in Figure 2.
+///
+/// Delivery runs through the fan-out core's [`Deliverer`]: the default
+/// immediate plan sends one wire message per subscriber per event exactly
+/// as the seed did; the opt-in coalesce plan parks notifications in bounded
+/// per-subscriber outboxes and folds a drain into a single `<wsnt:Notify>`
+/// envelope (WS-BaseNotification permits several NotificationMessage
+/// children, so batching is spec-legal for this stack).
 ///
 /// Also retains the last message per topic, backing WS-BaseNotification's
 /// optional `GetCurrentMessage` operation (a late subscriber can ask for
@@ -28,16 +37,65 @@ pub struct NotificationProducer {
     producer: Option<EndpointReference>,
     agent: ClientAgent,
     last_messages: Arc<Mutex<HashMap<String, NotificationMessage>>>,
+    deliverer: Deliverer<Subscription>,
 }
 
 impl NotificationProducer {
     pub fn new(store: SubscriptionStore, agent: ClientAgent) -> Self {
+        let deliverer = Self::build_deliverer(&store, &agent);
         NotificationProducer {
             store,
             producer: None,
             agent,
             last_messages: Arc::new(Mutex::new(HashMap::new())),
+            deliverer,
         }
+    }
+
+    /// The WSN sink: wrapped subscribers get everything queued for them in
+    /// ONE `<wsnt:Notify>` envelope (one wire send, one `notify.sent`);
+    /// raw-delivery subscribers get one bare message per notification —
+    /// there is no legal batch container for out-of-band-schema payloads.
+    fn build_deliverer(store: &SubscriptionStore, agent: &ClientAgent) -> Deliverer<Subscription> {
+        let sender = agent.clone();
+        let metrics_net = agent.network().clone();
+        let sink: Sink<Subscription> = Arc::new(move |sub: &Subscription, bodies: Vec<Element>| {
+            let mut sent = 0u64;
+            if sub.use_notify {
+                sender.send_oneway(
+                    &sub.consumer,
+                    actions::NOTIFY,
+                    NotificationMessage::wrap_all(bodies),
+                );
+                sent += 1;
+            } else {
+                for body in bodies {
+                    sender.send_oneway(&sub.consumer, actions::NOTIFY, body);
+                    sent += 1;
+                }
+            }
+            for _ in 0..sent {
+                metrics_net
+                    .telemetry()
+                    .metrics()
+                    .inc("notify.sent", &[("stack", "wsn")]);
+            }
+        });
+        let deliverer = Deliverer::new(
+            agent.network().clone(),
+            agent.port().host().to_owned(),
+            store.index().stats().clone(),
+            "wsn",
+            sink,
+        );
+        // Destroyed/expired subscribers lose their parked batches and their
+        // ledger row too — nothing in the fan-out plane outlives them.
+        let evictor = deliverer.clone();
+        store.on_evict(Arc::new(move |id| {
+            evictor.evict(id);
+            evictor.ledger().forget(id);
+        }));
+        deliverer
     }
 
     /// Stamp a producer EPR into outgoing notifications (builder style) —
@@ -53,11 +111,28 @@ impl NotificationProducer {
     /// redelivery setting — fire-and-forget by default.)
     pub fn with_redelivery(mut self, policy: ogsa_transport::RetryPolicy) -> Self {
         self.agent = self.agent.with_redelivery(policy);
+        // The sink captured the old agent; rebuild around the new one,
+        // carrying the delivery plan over.
+        let config = self.deliverer.config();
+        self.deliverer = Self::build_deliverer(&self.store, &self.agent);
+        self.deliverer.set_config(config);
         self
     }
 
-    /// Emit a message on a topic; returns the number of deliveries fanned
-    /// out.
+    /// Switch the delivery plan (builder style) — e.g. coalesced batches.
+    pub fn with_delivery(self, config: DelivererConfig) -> Self {
+        self.deliverer.set_config(config);
+        self
+    }
+
+    /// The fan-out deliverer (outbox state, redelivery ledger, flush).
+    pub fn deliverer(&self) -> &Deliverer<Subscription> {
+        &self.deliverer
+    }
+
+    /// Emit a message on a topic; returns the number of subscribers the
+    /// message was fanned out to (with coalescing enabled, wire sends can
+    /// be fewer — `notify.sent` counts the wire).
     pub fn notify(&self, topic: &TopicPath, message: Element) -> usize {
         self.notify_from(topic, message, self.producer.clone())
     }
@@ -76,30 +151,24 @@ impl NotificationProducer {
         };
 
         let matching = self.store.active_matching(topic, &notification.message);
-        // Build the wrapped `Notify` tree once; each delivery clones the
-        // finished tree instead of re-wrapping (and re-cloning) the payload
-        // per subscriber.
-        let wrapped = matching
+        // Build the `NotificationMessage` tree once; each delivery clones
+        // the finished tree instead of re-wrapping (and re-cloning) the
+        // payload per subscriber.
+        let nm = matching
             .iter()
             .any(|s| s.use_notify)
-            .then(|| notification.to_notify_element());
+            .then(|| notification.to_element());
+        let shard = self.store.index().shard_of(topic.root());
         let mut delivered = 0;
         for sub in &matching {
             let body = if sub.use_notify {
-                wrapped
-                    .clone()
-                    .expect("built when any subscriber uses Notify")
+                nm.clone().expect("built when any subscriber uses Notify")
             } else {
                 // Raw delivery: the bare message, schema known only by
                 // out-of-band agreement (the interop hazard of §3.1).
                 notification.message.clone()
             };
-            self.agent.send_oneway(&sub.consumer, actions::NOTIFY, body);
-            self.agent
-                .network()
-                .telemetry()
-                .metrics()
-                .inc("notify.sent", &[("stack", "wsn")]);
+            self.deliverer.enqueue(sub, shard, body);
             delivered += 1;
         }
         self.last_messages

@@ -102,6 +102,17 @@ impl TopicExpression {
         }
     }
 
+    /// Compile into the fan-out core's precompiled form (interned segments,
+    /// explicit wildcard nodes) for insertion into the sharded table's
+    /// per-shard topic tries.
+    pub fn compile(&self) -> ogsa_fanout::CompiledTopic {
+        match self.dialect {
+            TopicDialect::Simple => ogsa_fanout::CompiledTopic::simple(&self.expr),
+            TopicDialect::Concrete => ogsa_fanout::CompiledTopic::concrete(&self.expr),
+            TopicDialect::Full => ogsa_fanout::CompiledTopic::full(&self.expr),
+        }
+    }
+
     /// Does a concrete topic match this expression?
     pub fn matches(&self, topic: &TopicPath) -> bool {
         match self.dialect {
@@ -283,5 +294,33 @@ mod tests {
     #[test]
     fn display_roundtrip() {
         assert_eq!(p("a/b").to_string(), "a/b");
+    }
+
+    #[test]
+    fn compiled_form_agrees_with_dialect_matcher() {
+        let exprs = [
+            TopicExpression::simple("jobs"),
+            TopicExpression::concrete("jobs/status"),
+            TopicExpression::full("jobs/*/exited"),
+            TopicExpression::full("jobs//exited"),
+        ];
+        let paths = [
+            "jobs",
+            "jobs/status",
+            "jobs/j1/exited",
+            "jobs/a/b/exited",
+            "data/x",
+        ];
+        for expr in &exprs {
+            for path in paths {
+                let tp = p(path);
+                let segs: Vec<&str> = tp.segments().iter().map(String::as_str).collect();
+                assert_eq!(
+                    expr.compile().matches(&segs),
+                    expr.matches(&tp),
+                    "{expr:?} on {path}"
+                );
+            }
+        }
     }
 }

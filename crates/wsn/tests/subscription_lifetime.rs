@@ -77,6 +77,86 @@ fn initial_termination_expires_the_subscription() {
 }
 
 #[test]
+fn expired_subscriber_is_evicted_and_never_charged_a_delivery() {
+    // The leak fix: expiry evicts the subscription from the fan-out index
+    // *at expiry* (via the lifetime destructor), not lazily on the next
+    // notify — so an expired subscriber never costs a delivery attempt,
+    // a wire send, or a ledger row again.
+    let tb = Testbed::free();
+    let container = tb.container("host-a", SecurityPolicy::None);
+    let (publisher, producer) = deploy(&container);
+    let client = tb.client("client-1", "CN=a", SecurityPolicy::None);
+    let doomed = NotificationConsumer::listen(&client, "/doomed");
+    let survivor = NotificationConsumer::listen(&client, "/survivor");
+
+    let expires = tb.clock().now().plus(SimDuration::from_millis(5.0));
+    let resp = client
+        .invoke(
+            &publisher,
+            actions::SUBSCRIBE,
+            SubscribeRequest::new(doomed.epr().clone(), TopicExpression::simple("t"))
+                .with_initial_termination(expires)
+                .to_element(),
+        )
+        .unwrap();
+    let doomed_epr = SubscribeRequest::parse_response(&resp).unwrap();
+    let doomed_id = doomed_epr.resource_id().unwrap().to_owned();
+    client
+        .invoke(
+            &publisher,
+            actions::SUBSCRIBE,
+            SubscribeRequest::new(survivor.epr().clone(), TopicExpression::simple("t"))
+                .to_element(),
+        )
+        .unwrap();
+    assert_eq!(producer.store().index().len(), 2);
+
+    let topic = TopicPath::parse("t/x").unwrap();
+    assert_eq!(producer.notify(&topic, Element::new("M")), 2);
+    assert!(doomed.recv_timeout(Duration::from_secs(2)).is_some());
+    assert!(survivor.recv_timeout(Duration::from_secs(2)).is_some());
+
+    // Lapse the lifetime; any dispatch drives the container sweep, which
+    // runs the subscription's destructor — eager eviction happens HERE,
+    // before any further notify touches the index.
+    tb.clock().advance(SimDuration::from_millis(10.0));
+    let _ = WsrfProxy::new(&client).get_property(&doomed_epr, "Paused");
+    assert_eq!(
+        producer.store().index().len(),
+        1,
+        "expiry itself must evict the subscription from the fan-out index"
+    );
+    assert!(
+        producer.deliverer().ledger().entry(&doomed_id).is_none(),
+        "eviction clears the expired subscriber's ledger row"
+    );
+
+    let wire_before = tb
+        .telemetry()
+        .metrics()
+        .counter("notify.sent", &[("stack", "wsn")]);
+    assert_eq!(producer.notify(&topic, Element::new("M")), 1);
+    assert!(survivor.recv_timeout(Duration::from_secs(2)).is_some());
+    let wire_after = tb
+        .telemetry()
+        .metrics()
+        .counter("notify.sent", &[("stack", "wsn")]);
+    assert_eq!(
+        wire_after - wire_before,
+        1,
+        "exactly one wire send: the expired subscriber is never charged"
+    );
+    assert!(
+        doomed.try_recv().is_none(),
+        "nothing reaches the expired consumer"
+    );
+    assert!(
+        producer.deliverer().ledger().entry(&doomed_id).is_none(),
+        "no ledger row is recreated for the expired subscriber"
+    );
+}
+
+#[test]
 fn renewal_via_set_termination_time() {
     // The WSN way to renew: SetTerminationTime on the subscription
     // WS-Resource (contrast with WS-Eventing's dedicated Renew message).

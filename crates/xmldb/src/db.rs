@@ -246,8 +246,9 @@ impl std::fmt::Debug for Collection {
 }
 
 /// FNV-1a: a stable, dependency-free key hash so shard routing is
-/// deterministic across runs and platforms.
-fn fnv1a(key: &str) -> u64 {
+/// deterministic across runs and platforms. Public because other sharded
+/// subsystems (the notification fan-out tables) route with the same hash.
+pub fn fnv1a(key: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.bytes() {
         h ^= b as u64;
